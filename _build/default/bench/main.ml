@@ -1,0 +1,113 @@
+(* Benchmark harness: reproduces every table and figure of the paper
+   (Tables 1-5, Fig. 1-2, the appendix weight listings, and the §3/§5.3
+   extension experiments), then measures the library's computational
+   kernels with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 quick reproduction + kernels
+     dune exec bench/main.exe -- --full       paper-scale reproduction
+     dune exec bench/main.exe -- --only t3,f2 selected experiments
+     dune exec bench/main.exe -- --no-perf    skip the Bechamel section *)
+
+let parse_args () =
+  let full = ref (Sys.getenv_opt "OPTPROB_BENCH_FULL" = Some "1") in
+  let only = ref None in
+  let perf = ref true in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+      full := true;
+      go rest
+    | "--no-perf" :: rest ->
+      perf := false;
+      go rest
+    | "--only" :: ids :: rest ->
+      only := Some (String.split_on_char ',' ids);
+      go rest
+    | _ :: rest -> go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!full, !only, !perf)
+
+let run_experiments ~full ~only =
+  let tables =
+    match only with
+    | None -> Rt_repro.Experiments.all ~full ()
+    | Some ids ->
+      List.filter_map
+        (fun id ->
+          match Rt_repro.Experiments.by_id id with
+          | Some f -> Some (f ~full ())
+          | None ->
+            Format.eprintf "unknown experiment id: %s@." id;
+            None)
+        ids
+  in
+  List.iter (Rt_repro.Experiments.print_table Format.std_formatter) tables
+
+(* --- Bechamel kernels ----------------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let kernel_tests () =
+  let c = Rt_circuit.Generators.s1_comparator () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let n_inputs = Array.length (Rt_circuit.Netlist.inputs c) in
+  let x = Array.make n_inputs 0.5 in
+  let cop = Rt_testability.Detect.make Rt_testability.Detect.Cop c faults in
+  let bdd =
+    Rt_testability.Detect.make (Rt_testability.Detect.Bdd_exact { node_limit = 500_000 }) c faults
+  in
+  let sim = Rt_sim.Logic_sim.create c in
+  let rng = Rt_util.Rng.create 1 in
+  let source = Rt_sim.Pattern.equiprobable rng ~n_inputs in
+  let lfsr = Rt_bist.Lfsr.create ~width:32 1L in
+  let mult = Rt_circuit.Generators.c6288ish ~width:8 () in
+  let mult_faults = Rt_fault.Collapse.collapsed_universe mult in
+  let mult_rng = Rt_util.Rng.create 2 in
+  let mult_source =
+    Rt_sim.Pattern.equiprobable mult_rng ~n_inputs:(Array.length (Rt_circuit.Netlist.inputs mult))
+  in
+  [ Test.make ~name:"cop analysis (s1, 534 faults)"
+      (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs cop x)));
+    Test.make ~name:"exact bdd analysis (s1, 534 faults)"
+      (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs bdd x)));
+    Test.make ~name:"logic sim 64 patterns (s1)"
+      (Staged.stage (fun () -> Rt_sim.Logic_sim.run sim (source ())));
+    Test.make ~name:"ppsfp 256 patterns (8x8 multiplier)"
+      (Staged.stage (fun () ->
+           ignore
+             (Rt_sim.Fault_sim.simulate ~drop:true mult mult_faults ~source:mult_source
+                ~n_patterns:256)));
+    Test.make ~name:"lfsr 64-bit word"
+      (Staged.stage (fun () -> ignore (Rt_bist.Lfsr.step_word lfsr 64))) ]
+
+let run_perf () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~kde:(Some 1000) () in
+  let tests = Test.make_grouped ~name:"kernels" ~fmt:"%s %s" (kernel_tests ()) in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  Format.printf "@.== PERF: kernel timings (Bechamel, ns/run) ==@.";
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) tbl [] in
+      List.iter
+        (fun (test_name, ols_result) ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.printf "%-55s %12.0f ns/run@." test_name est
+          | Some _ | None -> Format.printf "%-55s (no estimate)@." test_name)
+        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
+    results
+
+let () =
+  let full, only, perf = parse_args () in
+  Format.printf "optprob reproduction harness (%s mode)@."
+    (if full then "full paper-scale" else "quick");
+  let t0 = Rt_util.Stats.timer_start () in
+  run_experiments ~full ~only;
+  Format.printf "@.experiments completed in %.1fs@." (Rt_util.Stats.timer_elapsed t0);
+  if perf then run_perf ()

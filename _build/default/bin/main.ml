@@ -1,0 +1,353 @@
+(* optprob — command-line front end.
+
+   Subcommands: list, generate, analyze, optimize, simulate, atpg,
+   selftest, tables.  A CIRCUIT argument is either a built-in generator
+   name (see `optprob list`) or a path to an ISCAS-85 .bench file. *)
+
+open Cmdliner
+
+let load_circuit spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then Rt_circuit.Bench_format.load spec
+  else begin
+    match Rt_circuit.Generators.by_name spec with
+    | Some gen -> gen ()
+    | None -> failwith (Printf.sprintf "unknown circuit %S (try `optprob list`)" spec)
+  end
+
+let parse_engine s =
+  let int_after prefix =
+    int_of_string (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  in
+  if s = "cop" then Rt_testability.Detect.Cop
+  else if s = "bdd" then Rt_testability.Detect.Bdd_exact { node_limit = 1_000_000 }
+  else if String.length s > 4 && String.sub s 0 4 = "bdd:" then
+    Rt_testability.Detect.Bdd_exact { node_limit = int_after "bdd:" }
+  else if String.length s > 7 && String.sub s 0 7 = "stafan:" then
+    Rt_testability.Detect.Stafan { n_patterns = int_after "stafan:"; seed = 7 }
+  else if String.length s > 3 && String.sub s 0 3 = "mc:" then
+    Rt_testability.Detect.Monte_carlo { n_patterns = int_after "mc:"; seed = 7 }
+  else if String.length s > 5 && String.sub s 0 5 = "cond:" then
+    Rt_testability.Detect.Conditioned { max_vars = int_after "cond:" }
+  else
+    failwith
+      (Printf.sprintf "unknown engine %S (cop | cond:K | bdd[:nodes] | stafan:N | mc:N)" s)
+
+let circuit_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
+         ~doc:"Built-in circuit name or path to a .bench file.")
+
+let engine_arg =
+  Arg.(value & opt string "bdd" & info [ "engine"; "e" ] ~docv:"ENGINE"
+         ~doc:"ANALYSIS engine: cop, cond:K, bdd[:nodes], stafan:N, mc:N.")
+
+let confidence_arg =
+  Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"C"
+         ~doc:"Target confidence of the random test.")
+
+let weights_arg =
+  Arg.(value & opt (some string) None & info [ "weights"; "w" ] ~docv:"FILE"
+         ~doc:"Weight file (from `optprob optimize -o`); default: all 0.5.")
+
+let seed_arg = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let exits = Cmd.Exit.defaults
+
+let wrap f = try `Ok (f ()) with Failure msg -> `Error (false, msg)
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "built-in circuits:@.";
+    List.iter
+      (fun (name, gen) ->
+        let c = gen () in
+        Format.printf "  %-10s %t@." name (fun ppf -> Rt_circuit.Netlist.stats c ppf))
+      Rt_circuit.Generators.paper_suite;
+    Format.printf "  %-10s pathological pair for --partition (section 5.3)@." "antagonist"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in circuit generators." ~exits)
+    Term.(ret (const (fun () -> wrap run) $ const ()))
+
+(* --- generate -------------------------------------------------------------- *)
+
+let generate_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the netlist to FILE instead of stdout.")
+  in
+  let run circuit out () =
+    let c = load_circuit circuit in
+    match out with
+    | Some path ->
+      Rt_circuit.Bench_format.save path c;
+      Format.printf "wrote %s (%t)@." path (fun ppf -> Rt_circuit.Netlist.stats c ppf)
+    | None -> print_string (Rt_circuit.Bench_format.to_string c)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit a circuit as ISCAS-85 .bench text." ~exits)
+    Term.(ret (const (fun c o () -> wrap (run c o)) $ circuit_arg $ out $ const ()))
+
+(* --- analyze --------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run circuit engine confidence weights () =
+    let c = load_circuit circuit in
+    let faults = Rt_fault.Collapse.collapsed_universe c in
+    let oracle = Rt_testability.Detect.make (parse_engine engine) c faults in
+    let x =
+      match weights with
+      | Some path -> Rt_repro.Weights_io.load path c
+      | None -> Array.make (Array.length (Rt_circuit.Netlist.inputs c)) 0.5
+    in
+    let pf = Rt_testability.Detect.probs oracle x in
+    let red = Rt_testability.Detect.proven_redundant oracle in
+    let detectable =
+      pf |> Array.to_list |> List.filteri (fun i _ -> not red.(i)) |> Array.of_list
+    in
+    let norm = Rt_optprob.Normalize.run ~confidence detectable in
+    Format.printf "circuit:    %t@." (fun ppf -> Rt_circuit.Netlist.stats c ppf);
+    Format.printf "faults:     %d collapsed (universe %d), %d proven redundant@."
+      (Array.length faults)
+      (Array.length (Rt_fault.Fault.universe c))
+      (Array.fold_left (fun a b -> if b then a + 1 else a) 0 red);
+    Format.printf "engine:     %s@." (Rt_testability.Detect.describe oracle);
+    Format.printf "required N: %s (confidence %.2f)@."
+      (if Float.is_finite norm.Rt_optprob.Normalize.n then
+         Printf.sprintf "%.3e" norm.Rt_optprob.Normalize.n
+       else "infinite")
+      confidence;
+    Format.printf "hardest faults:@.";
+    let hard = Rt_optprob.Normalize.hard_indices norm in
+    let shown = min 10 (Array.length hard) in
+    (* hard indexes into the detectable-filtered array; remap for names. *)
+    let det_idx =
+      pf |> Array.to_list |> List.mapi (fun i _ -> i)
+      |> List.filteri (fun i _ -> not red.(i))
+      |> Array.of_list
+    in
+    for k = 0 to shown - 1 do
+      let fi = det_idx.(hard.(k)) in
+      Format.printf "  %-30s p = %a@."
+        (Rt_fault.Fault.to_string c faults.(fi))
+        Rt_util.Prob.pp pf.(fi)
+    done
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Testability analysis: detection probabilities and test length."
+       ~exits)
+    Term.(
+      ret
+        (const (fun c e conf w () -> wrap (run c e conf w))
+        $ circuit_arg $ engine_arg $ confidence_arg $ weights_arg $ const ()))
+
+(* --- optimize -------------------------------------------------------------- *)
+
+let optimize_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the optimized weights to FILE.")
+  in
+  let grid =
+    Arg.(value & opt (some float) (Some 0.05) & info [ "grid" ] ~docv:"G"
+           ~doc:"Quantisation grid (paper appendix: 0.05); 0 disables.")
+  in
+  let dyadic =
+    Arg.(value & opt (some int) None & info [ "dyadic" ] ~docv:"BITS"
+           ~doc:"Quantise to k/2^BITS instead (LFSR weighting hardware grid).")
+  in
+  let sweeps =
+    Arg.(value & opt int 10 & info [ "sweeps" ] ~docv:"K" ~doc:"Maximum optimisation sweeps.")
+  in
+  let partition =
+    Arg.(value & flag & info [ "partition" ]
+           ~doc:"Also try the section-5.3 fault-set partitioning (2 distributions).")
+  in
+  let run circuit engine confidence grid dyadic sweeps out partition () =
+    let c = load_circuit circuit in
+    let faults = Rt_fault.Collapse.collapsed_universe c in
+    let oracle = Rt_testability.Detect.make (parse_engine engine) c faults in
+    let quantize =
+      match (dyadic, grid) with
+      | Some bits, _ -> Rt_optprob.Optimize.Dyadic bits
+      | None, Some g when g > 0.0 -> Rt_optprob.Optimize.Grid g
+      | None, (Some _ | None) -> Rt_optprob.Optimize.No_quantization
+    in
+    let options =
+      { Rt_optprob.Optimize.default_options with
+        Rt_optprob.Optimize.confidence;
+        max_sweeps = sweeps;
+        quantize }
+    in
+    let report =
+      Rt_optprob.Optimize.run ~options
+        ~progress:(fun ~sweep ~n -> Format.printf "sweep %d: N = %.3e@." sweep n)
+        oracle
+    in
+    Format.printf "@.engine:        %s@." (Rt_testability.Detect.describe oracle);
+    Format.printf "N conventional: %.3e@." report.Rt_optprob.Optimize.n_initial;
+    Format.printf "N optimized:    %.3e  (gain x%.0f)@." report.Rt_optprob.Optimize.n_final
+      (Rt_optprob.Optimize.improvement report);
+    Format.printf "weights:@.%a" (Rt_repro.Weights_io.pp c) report.Rt_optprob.Optimize.weights;
+    (match out with
+     | Some path ->
+       Rt_repro.Weights_io.save path c report.Rt_optprob.Optimize.weights;
+       Format.printf "wrote %s@." path
+     | None -> ());
+    if partition then begin
+      let sp = Rt_optprob.Partition.split ~options oracle in
+      Format.printf "@.partitioned test (%d parts):@."
+        (Array.length sp.Rt_optprob.Partition.groups);
+      Array.iteri
+        (fun i n -> Format.printf "  part %d: N = %.3e@." i n)
+        sp.Rt_optprob.Partition.n_parts;
+      Format.printf "  total %.3e vs single %.3e@." sp.Rt_optprob.Partition.n_total
+        sp.Rt_optprob.Partition.n_single
+    end
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Compute optimized input probabilities (the paper's procedure)."
+       ~exits)
+    Term.(
+      ret
+        (const (fun c e conf g d s o p () -> wrap (run c e conf g d s o p))
+        $ circuit_arg $ engine_arg $ confidence_arg $ grid $ dyadic $ sweeps $ out $ partition
+        $ const ()))
+
+(* --- simulate -------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let patterns =
+    Arg.(value & opt int 10_000 & info [ "patterns"; "n" ] ~docv:"N"
+           ~doc:"Number of random patterns.")
+  in
+  let curve =
+    Arg.(value & flag & info [ "curve" ] ~doc:"Print the coverage-vs-pattern-count curve.")
+  in
+  let run circuit weights patterns seed curve () =
+    let c = load_circuit circuit in
+    let faults = Rt_fault.Collapse.collapsed_universe c in
+    let x =
+      match weights with
+      | Some path -> Rt_repro.Weights_io.load path c
+      | None -> Array.make (Array.length (Rt_circuit.Netlist.inputs c)) 0.5
+    in
+    let rng = Rt_util.Rng.create seed in
+    let source = Rt_sim.Pattern.weighted rng x in
+    let stats = Rt_sim.Fault_sim.simulate ~drop:true c faults ~source ~n_patterns:patterns in
+    Format.printf "patterns: %d  faults: %d  coverage: %.2f%%@." patterns (Array.length faults)
+      (100.0 *. Rt_sim.Fault_sim.coverage stats);
+    if curve then begin
+      let points = Rt_util.Stats.geometric_steps ~lo:16 ~hi:patterns ~per_decade:4 in
+      List.iter
+        (fun (k, cov) -> Format.printf "  %6d  %.2f%%@." k (100.0 *. cov))
+        (Rt_sim.Fault_sim.coverage_curve stats ~points)
+    end;
+    let undet = Rt_sim.Fault_sim.undetected stats in
+    if Array.length undet > 0 && Array.length undet <= 20 then begin
+      Format.printf "undetected:@.";
+      Array.iter (fun f -> Format.printf "  %s@." (Rt_fault.Fault.to_string c f)) undet
+    end
+    else if Array.length undet > 20 then
+      Format.printf "undetected: %d faults@." (Array.length undet)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Fault-simulate random patterns and report coverage." ~exits)
+    Term.(
+      ret
+        (const (fun c w n s cv () -> wrap (run c w n s cv))
+        $ circuit_arg $ weights_arg $ patterns $ seed_arg $ curve $ const ()))
+
+(* --- atpg ------------------------------------------------------------------ *)
+
+let atpg_cmd =
+  let engine =
+    Arg.(value & opt string "podem" & info [ "engine"; "e" ] ~docv:"ENGINE"
+           ~doc:"Deterministic engine: podem or dalg (the classical D-algorithm).")
+  in
+  let run circuit engine () =
+    let c = load_circuit circuit in
+    let faults = Rt_fault.Collapse.collapsed_universe c in
+    let engine =
+      match engine with
+      | "podem" -> `Podem
+      | "dalg" -> `Dalg
+      | other -> failwith (Printf.sprintf "unknown engine %S (podem | dalg)" other)
+    in
+    let r = Rt_atpg.Tpg.generate ~engine c faults in
+    Format.printf "tests:     %d@." (Array.length r.Rt_atpg.Tpg.tests);
+    Format.printf "detected:  %d / %d@." r.Rt_atpg.Tpg.detected (Array.length faults);
+    Format.printf "redundant: %d@." (Array.length r.Rt_atpg.Tpg.redundant);
+    Format.printf "aborted:   %d@." (Array.length r.Rt_atpg.Tpg.aborted);
+    Format.printf "atpg:      %d calls@." r.Rt_atpg.Tpg.podem_calls;
+    Format.printf "time:      %.2fs@." r.Rt_atpg.Tpg.seconds
+  in
+  Cmd.v
+    (Cmd.info "atpg"
+       ~doc:"Deterministic test generation (PODEM or D-algorithm) — the section-5.2 baseline."
+       ~exits)
+    Term.(ret (const (fun c e () -> wrap (run c e)) $ circuit_arg $ engine $ const ()))
+
+(* --- selftest --------------------------------------------------------------- *)
+
+let selftest_cmd =
+  let patterns =
+    Arg.(value & opt int 4096 & info [ "patterns"; "n" ] ~docv:"N" ~doc:"Session length.")
+  in
+  let run circuit weights patterns () =
+    let c = load_circuit circuit in
+    let faults = Rt_fault.Collapse.collapsed_universe c in
+    let x =
+      match weights with
+      | Some path -> Rt_repro.Weights_io.load path c
+      | None -> Array.make (Array.length (Rt_circuit.Netlist.inputs c)) 0.5
+    in
+    let cfg =
+      { (Rt_bist.Selftest.default_config c ~weights:x) with Rt_bist.Selftest.n_patterns = patterns }
+    in
+    let oc = Rt_bist.Selftest.run c faults cfg in
+    Format.printf "golden signature: %016Lx@." oc.Rt_bist.Selftest.golden;
+    Format.printf "coverage:         %.2f%%@." (100.0 *. oc.Rt_bist.Selftest.coverage);
+    Format.printf "aliased:          %d@." oc.Rt_bist.Selftest.aliased
+  in
+  Cmd.v
+    (Cmd.info "selftest" ~doc:"BILBO-style self-test session with weighted LFSR and MISR."
+       ~exits)
+    Term.(
+      ret
+        (const (fun c w n () -> wrap (run c w n))
+        $ circuit_arg $ weights_arg $ patterns $ const ()))
+
+(* --- tables ------------------------------------------------------------------ *)
+
+let tables_cmd =
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale mode.") in
+  let only =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"IDS"
+           ~doc:"Comma-separated experiment ids (t1..t5, f1, f2, a1, x2, x3).")
+  in
+  let run full only () =
+    let tables =
+      match only with
+      | None -> Rt_repro.Experiments.all ~full ()
+      | Some ids ->
+        List.filter_map
+          (fun id ->
+            match Rt_repro.Experiments.by_id id with
+            | Some f -> Some (f ~full ())
+            | None -> failwith ("unknown experiment id " ^ id))
+          (String.split_on_char ',' ids)
+    in
+    List.iter (Rt_repro.Experiments.print_table Format.std_formatter) tables
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's tables and figures." ~exits)
+    Term.(ret (const (fun f o () -> wrap (run f o)) $ full $ only $ const ()))
+
+let () =
+  let doc = "optimized input probabilities for random tests (Wunderlich, DAC 1987)" in
+  let info = Cmd.info "optprob" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ list_cmd; generate_cmd; analyze_cmd; optimize_cmd; simulate_cmd; atpg_cmd; selftest_cmd;
+        tables_cmd ]
+  in
+  exit (Cmd.eval group)

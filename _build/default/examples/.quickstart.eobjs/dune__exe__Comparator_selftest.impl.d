@@ -1,0 +1,1 @@
+examples/comparator_selftest.ml: Array Format Rt_bist Rt_circuit Rt_fault Rt_optprob Rt_testability

@@ -1,0 +1,1 @@
+examples/coverage_curve.ml: Array Float Format List Rt_circuit Rt_fault Rt_optprob Rt_sim Rt_testability Rt_util String

@@ -1,0 +1,1 @@
+examples/divider_weights.ml: Array Format Rt_atpg Rt_circuit Rt_fault Rt_optprob Rt_repro Rt_sim Rt_testability Rt_util

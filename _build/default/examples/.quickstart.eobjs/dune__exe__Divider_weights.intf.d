@@ -1,0 +1,1 @@
+examples/divider_weights.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Format Rt_circuit Rt_fault Rt_optprob Rt_repro Rt_sim Rt_testability Rt_util

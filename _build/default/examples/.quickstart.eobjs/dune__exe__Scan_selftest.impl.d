@@ -1,0 +1,1 @@
+examples/scan_selftest.ml: Array Float Format Int64 Rt_circuit Rt_fault Rt_optprob Rt_scan Rt_testability

@@ -1,0 +1,55 @@
+(* Self test of the paper's S1 comparator: the full on-chip dataflow.
+
+   The optimizer's weights are quantised onto the 1/16 hardware grid, a
+   weighting network biases the LFSR stream, and a MISR compacts the
+   responses.  Coverage is compared against an unweighted session of the
+   same length — the motivating scenario of the paper (a self test that
+   "needs less than 1 sec test time" instead of hours).
+
+   Run with: dune exec examples/comparator_selftest.exe *)
+
+let () =
+  let c = Rt_circuit.Generators.s1_comparator () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  Format.printf "S1: %t@." (fun ppf -> Rt_circuit.Netlist.stats c ppf);
+
+  (* Optimize for the LFSR-realisable dyadic grid straight away. *)
+  let oracle =
+    Rt_testability.Detect.make
+      (Rt_testability.Detect.Bdd_exact { node_limit = 2_000_000 })
+      c faults
+  in
+  let options =
+    { Rt_optprob.Optimize.default_options with
+      Rt_optprob.Optimize.quantize = Rt_optprob.Optimize.Dyadic 4 }
+  in
+  let report = Rt_optprob.Optimize.run ~options oracle in
+  Format.printf "optimized N: %.2e (from %.2e)@." report.Rt_optprob.Optimize.n_final
+    report.Rt_optprob.Optimize.n_initial;
+
+  let n_patterns = 8192 in
+  let session weights =
+    let cfg =
+      { (Rt_bist.Selftest.default_config c ~weights) with Rt_bist.Selftest.n_patterns }
+    in
+    Rt_bist.Selftest.run c faults cfg
+  in
+  let uniform = Array.make 48 0.5 in
+  let conv = session uniform in
+  let opt = session report.Rt_optprob.Optimize.weights in
+  Format.printf "@.%d-pattern BIST session (32-bit LFSR, 4-bit weighting, MISR):@." n_patterns;
+  Format.printf "  conventional: signature %016Lx coverage %.1f%% (aliased %d)@."
+    conv.Rt_bist.Selftest.golden
+    (100.0 *. conv.Rt_bist.Selftest.coverage)
+    conv.Rt_bist.Selftest.aliased;
+  Format.printf "  weighted:     signature %016Lx coverage %.1f%% (aliased %d)@."
+    opt.Rt_bist.Selftest.golden
+    (100.0 *. opt.Rt_bist.Selftest.coverage)
+    opt.Rt_bist.Selftest.aliased;
+
+  (* The weighting network that would sit between LFSR and inputs. *)
+  let net = Rt_bist.Weighting.design ~bits:4 report.Rt_optprob.Optimize.weights in
+  Format.printf "@.weighting network: grid 1/16, max quantisation error %.3f@."
+    (Rt_bist.Weighting.quantisation_error net);
+  Format.printf "LFSR bits consumed per pattern: %d@."
+    (Array.fold_left ( + ) 0 net.Rt_bist.Weighting.levels)

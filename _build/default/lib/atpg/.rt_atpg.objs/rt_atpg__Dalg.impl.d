@@ -1,0 +1,1 @@
+lib/atpg/dalg.ml: Array Fun List Rt_circuit Rt_fault Tristate

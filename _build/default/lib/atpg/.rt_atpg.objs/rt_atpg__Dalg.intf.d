@@ -1,0 +1,1 @@
+lib/atpg/dalg.mli: Rt_circuit Rt_fault

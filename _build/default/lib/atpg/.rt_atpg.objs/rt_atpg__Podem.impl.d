@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array List Rt_circuit Rt_fault Stack Tristate

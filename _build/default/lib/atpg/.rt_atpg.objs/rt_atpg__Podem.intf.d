@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Rt_circuit Rt_fault Tristate

@@ -1,0 +1,1 @@
+lib/atpg/tpg.ml: Array Dalg Hashtbl List Podem Rt_circuit Rt_fault Rt_sim Rt_util

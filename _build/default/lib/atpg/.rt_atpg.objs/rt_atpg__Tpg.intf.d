@@ -1,0 +1,1 @@
+lib/atpg/tpg.mli: Rt_circuit Rt_fault

@@ -1,0 +1,1 @@
+lib/atpg/tristate.ml: Array Rt_circuit

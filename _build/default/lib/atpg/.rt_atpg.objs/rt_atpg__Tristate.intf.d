@@ -1,0 +1,1 @@
+lib/atpg/tristate.mli: Rt_circuit

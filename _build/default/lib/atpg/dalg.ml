@@ -1,0 +1,434 @@
+module Netlist = Rt_circuit.Netlist
+module Gate = Rt_circuit.Gate
+module Fault = Rt_fault.Fault
+module T = Tristate
+
+type verdict =
+  | Test of bool array
+  | Redundant
+  | Aborted
+
+type stats = {
+  backtracks : int;
+  decisions : int;
+  implications : int;
+}
+
+exception Conflict
+exception Found
+exception Abort_limit
+
+(* plane: false = good, true = faulty. *)
+type space = {
+  c : Netlist.t;
+  fault : Fault.t;
+  g : T.t array;
+  f : T.t array;
+  in_cone : bool array;  (* transitive fanout of the fault origin *)
+  origin : Netlist.node;
+  site_stem : Netlist.node option;  (* forced-f node for stem faults *)
+  mutable trail : (bool * int * T.t) list;  (* (plane, node, previous) *)
+  mutable worklist : int list;
+  mutable backtracks : int;
+  mutable decisions : int;
+  mutable implications : int;
+  backtrack_limit : int;
+}
+
+let plane s p = if p then s.f else s.g
+
+let make_space ?(backtrack_limit = 20_000) c fault =
+  let n = Netlist.size c in
+  let origin = match fault.Fault.site with Fault.Stem s -> s | Fault.Branch (g, _) -> g in
+  { c;
+    fault;
+    g = Array.make n T.X;
+    f = Array.make n T.X;
+    in_cone = Rt_circuit.Cone.transitive_fanout c origin;
+    origin;
+    site_stem = (match fault.Fault.site with Fault.Stem s -> Some s | Fault.Branch _ -> None);
+    trail = [];
+    worklist = [];
+    backtracks = 0;
+    decisions = 0;
+    implications = 0;
+    backtrack_limit }
+
+(* Assign one plane of a line; out-of-cone lines keep both planes tied. *)
+let rec set s p node v =
+  let a = plane s p in
+  match a.(node) with
+  | old when T.equal old v -> ()
+  | T.X ->
+    s.trail <- (p, node, T.X) :: s.trail;
+    a.(node) <- v;
+    s.worklist <- node :: s.worklist;
+    if not s.in_cone.(node) then set s (not p) node v
+  | T.F | T.T -> raise Conflict
+
+let mark s = s.trail
+
+let undo_to s mark =
+  let rec go trail =
+    if trail != mark then begin
+      match trail with
+      | [] -> ()
+      | (p, node, old) :: rest ->
+        (plane s p).(node) <- old;
+        go rest
+    end
+  in
+  go s.trail;
+  s.trail <- mark;
+  s.worklist <- []
+
+(* The faulty-plane view of a gate's fanin values, with the branch-fault
+   pin override. *)
+let fanin_value s p gate k =
+  let fi = Netlist.fanin s.c gate in
+  match s.fault.Fault.site with
+  | Fault.Branch (bg, bk) when p && bg = gate && bk = k -> T.of_bool s.fault.Fault.stuck
+  | Fault.Branch _ | Fault.Stem _ -> (plane s p).(fi.(k))
+
+(* Whether derivations about gate [gate]'s output in plane [p] are valid
+   (the stem site's faulty output is pinned, not computed). *)
+let output_free s p gate =
+  not (p && s.site_stem = Some gate)
+
+let gate_eval s p gate =
+  let fi = Netlist.fanin s.c gate in
+  let args = Array.init (Array.length fi) (fun k -> fanin_value s p gate k) in
+  T.eval (Netlist.kind s.c gate) args
+
+(* Backward propagation: the output of [gate] in plane [p] is known; derive
+   forced inputs.  [set] raises Conflict on contradiction. *)
+let backward s p gate =
+  let kind = Netlist.kind s.c gate in
+  let fi = Netlist.fanin s.c gate in
+  let out = (plane s p).(gate) in
+  if not (T.is_known out) then ()
+  else begin
+    let arity = Array.length fi in
+    let derivable k =
+      (* pin k's source can be set unless the branch override covers it *)
+      match s.fault.Fault.site with
+      | Fault.Branch (bg, bk) when p && bg = gate && bk = k -> false
+      | Fault.Branch _ | Fault.Stem _ -> true
+    in
+    let inner inv = if inv then (match out with T.T -> T.F | T.F -> T.T | T.X -> T.X) else out in
+    let and_or_like ~inv ~controlling =
+      (* AND family: controlling = F; OR family: controlling = T. *)
+      let target = inner inv in
+      let non_controlling = (match controlling with T.F -> T.T | T.T -> T.F | T.X -> T.X) in
+      if T.equal target non_controlling then
+        (* every input must be non-controlling *)
+        Array.iteri
+          (fun k src ->
+            if derivable k then set s p src non_controlling
+            else if not (T.equal (fanin_value s p gate k) non_controlling) then raise Conflict)
+          fi
+      else begin
+        (* output at controlled value: at least one controlling input; if
+           all but one are known non-controlling, the last is forced. *)
+        let x_pin = ref (-1) and x_count = ref 0 and satisfied = ref false in
+        for k = 0 to arity - 1 do
+          let v = fanin_value s p gate k in
+          if T.equal v controlling then satisfied := true
+          else if not (T.is_known v) then begin
+            incr x_count;
+            x_pin := k
+          end
+        done;
+        if not !satisfied then begin
+          if !x_count = 0 then raise Conflict
+          else if !x_count = 1 && derivable !x_pin then set s p fi.(!x_pin) controlling
+        end
+      end
+    in
+    match kind with
+    | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+    | Gate.Buf -> if derivable 0 then set s p fi.(0) out
+    | Gate.Not ->
+      if derivable 0 then set s p fi.(0) (match out with T.T -> T.F | T.F -> T.T | T.X -> T.X)
+    | Gate.And -> and_or_like ~inv:false ~controlling:T.F
+    | Gate.Nand -> and_or_like ~inv:true ~controlling:T.F
+    | Gate.Or -> and_or_like ~inv:false ~controlling:T.T
+    | Gate.Nor -> and_or_like ~inv:true ~controlling:T.T
+    | Gate.Xor | Gate.Xnor ->
+      (* all-but-one known: the last input is the needed parity *)
+      let x_pin = ref (-1) and x_count = ref 0 and acc = ref false in
+      for k = 0 to arity - 1 do
+        match fanin_value s p gate k with
+        | T.T -> acc := not !acc
+        | T.F -> ()
+        | T.X ->
+          incr x_count;
+          x_pin := k
+      done;
+      let want = (match out with T.T -> true | T.F -> false | T.X -> assert false) in
+      let want = if kind = Gate.Xnor then not want else want in
+      if !x_count = 0 then begin
+        if !acc <> want then raise Conflict
+      end
+      else if !x_count = 1 && derivable !x_pin then
+        set s p fi.(!x_pin) (T.of_bool (want <> !acc))
+  end
+
+(* Process one node's neighbourhood in both planes. *)
+let examine s node =
+  let planes = [ false; true ] in
+  List.iter
+    (fun p ->
+      (* forward: this node as a gate *)
+      (match Netlist.kind s.c node with
+       | Gate.Input -> ()
+       | Gate.Const0 -> if output_free s p node then set s p node T.F
+       | Gate.Const1 -> if output_free s p node then set s p node T.T
+       | _ ->
+         if output_free s p node then begin
+           let v = gate_eval s p node in
+           if T.is_known v then set s p node v
+           else backward s p node
+         end);
+      (* forward/backward through each reader *)
+      Array.iter
+        (fun reader ->
+          if output_free s p reader then begin
+            let v = gate_eval s p reader in
+            if T.is_known v then set s p reader v;
+            backward s p reader
+          end)
+        (Netlist.fanout s.c node))
+    planes
+
+let imply_fixpoint s =
+  let budget = ref 0 in
+  while s.worklist <> [] do
+    incr budget;
+    s.implications <- s.implications + 1;
+    if !budget > 200_000 then raise Conflict;
+    match s.worklist with
+    | [] -> ()
+    | node :: rest ->
+      s.worklist <- rest;
+      examine s node
+  done
+
+let detected s =
+  Array.exists
+    (fun o -> T.is_known s.g.(o) && T.is_known s.f.(o) && not (T.equal s.g.(o) s.f.(o)))
+    (Netlist.outputs s.c)
+
+let diff_known s n = T.is_known s.g.(n) && T.is_known s.f.(n) && not (T.equal s.g.(n) s.f.(n))
+let settled_equal s n = T.is_known s.g.(n) && T.is_known s.f.(n) && T.equal s.g.(n) s.f.(n)
+
+let x_path_exists s =
+  let n = Netlist.size s.c in
+  let carries = Array.make n false in
+  for i = 0 to n - 1 do
+    if not (settled_equal s i) then
+      if i = s.origin then carries.(i) <- true
+      else if Array.exists (fun j -> carries.(j)) (Netlist.fanin s.c i) then carries.(i) <- true
+  done;
+  Array.exists (fun o -> carries.(o)) (Netlist.outputs s.c)
+
+let activation_failed s =
+  let src = Fault.source s.fault s.c in
+  T.is_known s.g.(src) && T.equal s.g.(src) (T.of_bool s.fault.Fault.stuck)
+
+(* D-frontier: gates with an undetermined output reading a difference (or
+   the branch-faulted gate once activated). *)
+let d_frontier s =
+  let c = s.c in
+  let acc = ref [] in
+  for i = Netlist.size c - 1 downto 0 do
+    (match Netlist.kind c i with
+     | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+     | _ ->
+       if not (T.is_known s.g.(i) && T.is_known s.f.(i)) then begin
+         let virtual_frontier =
+           match s.fault.Fault.site with
+           | Fault.Branch (bg, _) -> bg = i && not (activation_failed s)
+           | Fault.Stem _ -> false
+         in
+         if virtual_frontier || Array.exists (fun j -> diff_known s j) (Netlist.fanin c i) then
+           acc := i :: !acc
+       end)
+  done;
+  !acc
+
+(* J-frontier: (gate, plane) with a known output that the inputs do not yet
+   force. *)
+let j_frontier s =
+  let c = s.c in
+  let acc = ref [] in
+  for i = Netlist.size c - 1 downto 0 do
+    match Netlist.kind c i with
+    | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+    | _ ->
+      List.iter
+        (fun p ->
+          if output_free s p i && T.is_known (plane s p).(i) then begin
+            let v = gate_eval s p i in
+            if not (T.is_known v) then acc := (i, p) :: !acc
+          end)
+        [ false; true ]
+  done;
+  !acc
+
+let register_backtrack s =
+  s.backtracks <- s.backtracks + 1;
+  if s.backtracks > s.backtrack_limit then raise Abort_limit
+
+(* Alternatives at a choice point: apply one assignment set, recurse. *)
+let rec search s =
+  imply_fixpoint s;
+  if detected s then begin
+    if j_frontier s = [] then raise Found
+    else justify_then_continue s
+  end
+  else if activation_failed s || not (x_path_exists s) then raise Conflict
+  else begin
+    let src = Fault.source s.fault s.c in
+    if not (T.is_known s.g.(src)) then begin
+      (* Activate the fault first (both planes for out-of-cone lines; the
+         good plane for cone lines — the faulty plane follows by
+         implication). *)
+      try_alternatives s [ [ (false, src, T.of_bool (not s.fault.Fault.stuck)) ] ]
+    end
+    else begin
+      match d_frontier s with
+      | [] -> pi_branch s
+      | frontier ->
+        (* Drive the difference through some frontier gate: side inputs to
+           the non-controlling value (good plane; ties and implication do
+           the rest). *)
+        let drive gate =
+          let kind = Netlist.kind s.c gate in
+          let free =
+            Netlist.fanin s.c gate |> Array.to_list
+            |> List.filter (fun j -> not (T.is_known s.g.(j) || diff_known s j))
+          in
+          match Gate.controlling_value kind with
+          | Some cv ->
+            (* AND/OR family: propagation forces every side input to the
+               non-controlling value — one alternative. *)
+            let nc = T.of_bool (not cv) in
+            (match free with [] -> [] | _ -> [ List.map (fun j -> (false, j, nc)) free ])
+          | None ->
+            (* XOR family: side inputs only need to be KNOWN; branch the
+               first free one over both values. *)
+            (match free with [] -> [] | j :: _ -> [ [ (false, j, T.F) ]; [ (false, j, T.T) ] ])
+        in
+        let alts = List.concat_map drive frontier in
+        (* Completeness: sensitizing a frontier gate is a heuristic
+           accelerator, not a partition of the search space — reconvergent
+           fault effects may need one path *de*-sensitized (the classic
+           multiple-path cancellation).  Appending the two branches of a
+           free primary input makes the choice point exhaustive: those two
+           alternatives alone already cover the whole space. *)
+        try_alternatives s (alts @ pi_alternatives s)
+    end
+  end
+
+and pi_alternatives s =
+  let inputs = Netlist.inputs s.c in
+  let rec find k =
+    if k >= Array.length inputs then None
+    else if not (T.is_known s.g.(inputs.(k))) then Some inputs.(k)
+    else find (k + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some i -> [ [ (false, i, T.T) ]; [ (false, i, T.F) ] ]
+
+and pi_branch s =
+  match pi_alternatives s with
+  | [] -> raise Conflict
+  | alts -> try_alternatives s alts
+
+and justify_then_continue s =
+  match j_frontier s with
+  | [] -> raise Found
+  | (gate, p) :: _ ->
+    let kind = Netlist.kind s.c gate in
+    let fi = Netlist.fanin s.c gate in
+    let out = (plane s p).(gate) in
+    let x_inputs =
+      List.init (Array.length fi) Fun.id
+      |> List.filter (fun k ->
+             (not (T.is_known (fanin_value s p gate k)))
+             &&
+             match s.fault.Fault.site with
+             | Fault.Branch (bg, bk) when p && bg = gate && bk = k -> false
+             | Fault.Branch _ | Fault.Stem _ -> true)
+    in
+    let alts =
+      match (Gate.controlling_value kind, Gate.controlled_output kind) with
+      | Some cv, Some co ->
+        let want_controlled =
+          T.equal out (T.of_bool co)
+        in
+        if want_controlled then
+          (* one controlling input suffices: each X input is an alternative *)
+          List.map (fun k -> [ (p, fi.(k), T.of_bool cv) ]) x_inputs
+        else
+          (* all inputs non-controlling: handled by backward implication;
+             reaching here means nothing was derivable — force them all. *)
+          [ List.map (fun k -> (p, fi.(k), T.of_bool (not cv))) x_inputs ]
+      | _ ->
+        (* XOR family / buffers: binary-branch the first X input. *)
+        (match x_inputs with
+         | [] -> raise Conflict
+         | k :: _ -> [ [ (p, fi.(k), T.T) ]; [ (p, fi.(k), T.F) ] ])
+    in
+    if alts = [] then raise Conflict else try_alternatives s alts
+
+and try_alternatives s alts =
+  let m = mark s in
+  let rec go = function
+    | [] -> raise Conflict
+    | assignments :: rest ->
+      s.decisions <- s.decisions + 1;
+      (match
+         List.iter (fun (p, node, v) -> set s p node v) assignments;
+         search s
+       with
+       | () -> raise Conflict (* search never returns normally *)
+       | exception Conflict ->
+         undo_to s m;
+         register_backtrack s;
+         go rest)
+  in
+  go alts
+
+let generate ?backtrack_limit c fault =
+  let s = make_space ?backtrack_limit c fault in
+  (* Seed: constants and the stem fault's forced faulty value. *)
+  let seed () =
+    Netlist.iter_gates c (fun i ->
+        match Netlist.kind c i with
+        | Gate.Const0 ->
+          set s false i T.F
+        | Gate.Const1 -> set s false i T.T
+        | _ -> ());
+    (match s.site_stem with Some node -> set s true node (T.of_bool fault.Fault.stuck) | None -> ());
+    imply_fixpoint s
+  in
+  let finish verdict =
+    (verdict, { backtracks = s.backtracks; decisions = s.decisions; implications = s.implications })
+  in
+  match
+    seed ();
+    search s
+  with
+  | () -> finish Redundant
+  | exception Conflict -> finish Redundant
+  | exception Abort_limit -> finish Aborted
+  | exception Found ->
+    let pattern =
+      Array.map
+        (fun i -> match s.g.(i) with T.T -> true | T.F | T.X -> false)
+        (Netlist.inputs c)
+    in
+    finish (Test pattern)

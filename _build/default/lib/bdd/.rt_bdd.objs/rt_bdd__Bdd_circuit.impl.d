@@ -1,0 +1,1 @@
+lib/bdd/bdd_circuit.ml: Array Bdd Rt_circuit

@@ -1,0 +1,1 @@
+lib/bdd/bdd_circuit.mli: Bdd Rt_circuit

@@ -1,0 +1,232 @@
+(* Node store: node 0 = terminal FALSE, node 1 = terminal TRUE.  Internal
+   node i >= 2 has (var, low, high) with low <> high and both children over
+   strictly larger variables. *)
+
+type t = int
+
+exception Limit_exceeded
+
+type manager = {
+  nvars : int;
+  node_limit : int;
+  mutable vars : int array;
+  mutable lows : int array;
+  mutable highs : int array;
+  mutable n : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  apply_cache : (int * int * int, int) Hashtbl.t;
+  (* op codes for the cache: 0=and 1=or 2=xor 3=not (b ignored) 4=ite-part *)
+}
+
+let terminal_var = max_int
+
+let manager ?(node_limit = 2_000_000) ~nvars () =
+  let cap = 1024 in
+  let m =
+    { nvars;
+      node_limit;
+      vars = Array.make cap terminal_var;
+      lows = Array.make cap 0;
+      highs = Array.make cap 0;
+      n = 2;
+      unique = Hashtbl.create 4096;
+      apply_cache = Hashtbl.create 4096 }
+  in
+  m.vars.(0) <- terminal_var;
+  m.vars.(1) <- terminal_var;
+  m
+
+let node_count m = m.n - 2
+
+let zero (_ : manager) : t = 0
+let one (_ : manager) : t = 1
+let is_zero (x : t) = x = 0
+let is_one (x : t) = x = 1
+let equal (a : t) (b : t) = a = b
+
+let var_of m x = m.vars.(x)
+
+let mk m v low high =
+  if low = high then low
+  else begin
+    match Hashtbl.find_opt m.unique (v, low, high) with
+    | Some id -> id
+    | None ->
+      if m.n >= m.node_limit then raise Limit_exceeded;
+      if m.n >= Array.length m.vars then begin
+        let cap = 2 * Array.length m.vars in
+        let grow a = let a' = Array.make cap 0 in Array.blit a 0 a' 0 m.n; a' in
+        m.vars <- (let a' = Array.make cap terminal_var in Array.blit m.vars 0 a' 0 m.n; a');
+        m.lows <- grow m.lows;
+        m.highs <- grow m.highs
+      end;
+      let id = m.n in
+      m.n <- id + 1;
+      m.vars.(id) <- v;
+      m.lows.(id) <- low;
+      m.highs.(id) <- high;
+      Hashtbl.add m.unique (v, low, high) id;
+      id
+  end
+
+let var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.var";
+  mk m i 0 1
+
+let rec not_ m x =
+  if x = 0 then 1
+  else if x = 1 then 0
+  else begin
+    let key = (3, x, 0) in
+    match Hashtbl.find_opt m.apply_cache key with
+    | Some r -> r
+    | None ->
+      let r = mk m m.vars.(x) (not_ m m.lows.(x)) (not_ m m.highs.(x)) in
+      Hashtbl.add m.apply_cache key r;
+      r
+  end
+
+let rec apply m op f g =
+  (* Terminal rules per op. *)
+  let terminal () =
+    match op with
+    | 0 (* and *) ->
+      if f = 0 || g = 0 then Some 0
+      else if f = 1 then Some g
+      else if g = 1 then Some f
+      else if f = g then Some f
+      else None
+    | 1 (* or *) ->
+      if f = 1 || g = 1 then Some 1
+      else if f = 0 then Some g
+      else if g = 0 then Some f
+      else if f = g then Some f
+      else None
+    | 2 (* xor *) ->
+      if f = g then Some 0
+      else if f = 0 then Some g
+      else if g = 0 then Some f
+      else if f = 1 then Some (not_ m g)
+      else if g = 1 then Some (not_ m f)
+      else None
+    | _ -> invalid_arg "Bdd.apply: bad op"
+  in
+  match terminal () with
+  | Some r -> r
+  | None ->
+    (* Commutative ops: normalise operand order for cache hits. *)
+    let f, g = if f <= g then (f, g) else (g, f) in
+    let key = (op, f, g) in
+    (match Hashtbl.find_opt m.apply_cache key with
+     | Some r -> r
+     | None ->
+       let vf = var_of m f and vg = var_of m g in
+       let v = min vf vg in
+       let f0, f1 = if vf = v then (m.lows.(f), m.highs.(f)) else (f, f) in
+       let g0, g1 = if vg = v then (m.lows.(g), m.highs.(g)) else (g, g) in
+       let r = mk m v (apply m op f0 g0) (apply m op f1 g1) in
+       Hashtbl.add m.apply_cache key r;
+       r)
+
+let and_ m f g = apply m 0 f g
+let or_ m f g = apply m 1 f g
+let xor_ m f g = apply m 2 f g
+let xnor_ m f g = not_ m (xor_ m f g)
+
+let ite m c t e = or_ m (and_ m c t) (and_ m (not_ m c) e)
+
+let apply_kind m kind args =
+  let open Rt_circuit.Gate in
+  let fold op init = Array.fold_left (fun acc x -> apply m op acc x) init args in
+  match kind with
+  | Input -> invalid_arg "Bdd.apply_kind: Input"
+  | Const0 -> 0
+  | Const1 -> 1
+  | Buf -> args.(0)
+  | Not -> not_ m args.(0)
+  | And -> fold 0 1
+  | Nand -> not_ m (fold 0 1)
+  | Or -> fold 1 0
+  | Nor -> not_ m (fold 1 0)
+  | Xor -> fold 2 0
+  | Xnor -> not_ m (fold 2 0)
+
+let rec restrict m x i v =
+  if x < 2 then x
+  else begin
+    let vx = m.vars.(x) in
+    if vx > i then x
+    else if vx = i then restrict m (if v then m.highs.(x) else m.lows.(x)) i v
+    else begin
+      let key = ((if v then 5 else 4) + (i lsl 3), x, i) in
+      match Hashtbl.find_opt m.apply_cache key with
+      | Some r -> r
+      | None ->
+        let r = mk m vx (restrict m m.lows.(x) i v) (restrict m m.highs.(x) i v) in
+        Hashtbl.add m.apply_cache key r;
+        r
+    end
+  end
+
+let size m x =
+  let seen = Hashtbl.create 64 in
+  let rec visit x =
+    if x >= 2 && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      visit m.lows.(x);
+      visit m.highs.(x)
+    end
+  in
+  visit x;
+  Hashtbl.length seen
+
+let eval m x assign =
+  let rec go x = if x < 2 then x = 1 else go (if assign m.vars.(x) then m.highs.(x) else m.lows.(x)) in
+  go x
+
+let prob m x p =
+  let memo = Hashtbl.create 256 in
+  let rec go x =
+    if x = 0 then 0.0
+    else if x = 1 then 1.0
+    else begin
+      match Hashtbl.find_opt memo x with
+      | Some r -> r
+      | None ->
+        let pv = p m.vars.(x) in
+        let r = ((1.0 -. pv) *. go m.lows.(x)) +. (pv *. go m.highs.(x)) in
+        Hashtbl.add memo x r;
+        r
+    end
+  in
+  go x
+
+let prob_many m roots p =
+  let memo = Hashtbl.create 1024 in
+  let rec go x =
+    if x = 0 then 0.0
+    else if x = 1 then 1.0
+    else begin
+      match Hashtbl.find_opt memo x with
+      | Some r -> r
+      | None ->
+        let pv = p m.vars.(x) in
+        let r = ((1.0 -. pv) *. go m.lows.(x)) +. (pv *. go m.highs.(x)) in
+        Hashtbl.add memo x r;
+        r
+    end
+  in
+  Array.map go roots
+
+let sat_fraction m x = prob m x (fun _ -> 0.5)
+
+let any_sat m x =
+  if x = 0 then None
+  else begin
+    let rec go x acc =
+      if x = 1 then acc
+      else if m.lows.(x) <> 0 then go m.lows.(x) ((m.vars.(x), false) :: acc)
+      else go m.highs.(x) ((m.vars.(x), true) :: acc)
+    in
+    Some (List.rev (go x []))
+  end

@@ -1,0 +1,71 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    The Parker-McCluskey exact computation of signal probabilities is
+    #P-hard in general; on a BDD it is a single linear pass, because the
+    two branches of a node are disjoint events.  This engine is the exact
+    oracle against which the fast estimators are validated, and the exact
+    ANALYSIS backend for small circuits.
+
+    Nodes are indices into a manager-owned store; every function below is
+    meaningful only for values created by the same manager. *)
+
+type manager
+type t
+(** A BDD root (terminal or internal node) owned by some manager. *)
+
+exception Limit_exceeded
+(** Raised by node allocation when the manager's node limit is reached —
+    callers fall back to estimation. *)
+
+val manager : ?node_limit:int -> nvars:int -> unit -> manager
+(** [manager ~nvars ()] supports variables [0 .. nvars-1] with the natural
+    order.  [node_limit] (default 2_000_000) bounds the unique table. *)
+
+val node_count : manager -> int
+(** Nodes currently allocated (excludes terminals). *)
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor_ : manager -> t -> t -> t
+val xnor_ : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val apply_kind : manager -> Rt_circuit.Gate.kind -> t array -> t
+(** Fold a gate's boolean function over BDD operands (Input is invalid). *)
+
+val equal : t -> t -> bool
+(** Canonical: structural function equality. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor with respect to one variable. *)
+
+val size : manager -> t -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+val eval : manager -> t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val prob : manager -> t -> (int -> float) -> float
+(** [prob m f p] is the exact probability that [f] is true when variable
+    [i] is independently true with probability [p i] — the arithmetical
+    embedding of paper §2.1 evaluated exactly. *)
+
+val prob_many : manager -> t array -> (int -> float) -> float array
+(** As {!prob} for many roots, sharing one memo table — evaluating the
+    per-fault detection BDDs of a whole fault list costs one pass over
+    their shared subgraphs. *)
+
+val sat_fraction : manager -> t -> float
+(** [sat_fraction m f] is the fraction of assignments satisfying [f]:
+    {!prob} at the uniform distribution. *)
+
+val any_sat : manager -> t -> (int * bool) list option
+(** A satisfying partial assignment (variables not listed are free), or
+    [None] for the zero BDD. *)

@@ -1,0 +1,1 @@
+lib/bist/lfsr.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/bist/misr.ml: Float Int64 Lfsr List

@@ -1,0 +1,1 @@
+lib/bist/selftest.ml: Array Float Int64 Lfsr List Misr Rt_circuit Rt_sim Weighting

@@ -1,0 +1,1 @@
+lib/bist/selftest.mli: Rt_circuit Rt_fault

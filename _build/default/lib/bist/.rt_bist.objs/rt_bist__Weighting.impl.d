@@ -1,0 +1,1 @@
+lib/bist/weighting.ml: Array Float Int64 Lfsr Rt_sim

@@ -1,0 +1,1 @@
+lib/bist/weighting.mli: Lfsr Rt_sim

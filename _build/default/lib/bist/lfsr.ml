@@ -1,0 +1,101 @@
+type t = {
+  w : int;
+  taps : int list;  (* 1-based exponents *)
+  mutable s : int64;
+}
+
+(* Primitive polynomial exponents (x^w + ... + 1); classic tables
+   (Xilinx XAPP052 / Golomb). *)
+let table =
+  [ (2, [ 2; 1 ]);
+    (3, [ 3; 2 ]);
+    (4, [ 4; 3 ]);
+    (5, [ 5; 3 ]);
+    (6, [ 6; 5 ]);
+    (7, [ 7; 6 ]);
+    (8, [ 8; 6; 5; 4 ]);
+    (9, [ 9; 5 ]);
+    (10, [ 10; 7 ]);
+    (11, [ 11; 9 ]);
+    (12, [ 12; 6; 4; 1 ]);
+    (13, [ 13; 4; 3; 1 ]);
+    (14, [ 14; 5; 3; 1 ]);
+    (15, [ 15; 14 ]);
+    (16, [ 16; 15; 13; 4 ]);
+    (17, [ 17; 14 ]);
+    (18, [ 18; 11 ]);
+    (19, [ 19; 6; 2; 1 ]);
+    (20, [ 20; 17 ]);
+    (21, [ 21; 19 ]);
+    (22, [ 22; 21 ]);
+    (23, [ 23; 18 ]);
+    (24, [ 24; 23; 22; 17 ]);
+    (25, [ 25; 22 ]);
+    (26, [ 26; 6; 2; 1 ]);
+    (27, [ 27; 5; 2; 1 ]);
+    (28, [ 28; 25 ]);
+    (29, [ 29; 27 ]);
+    (30, [ 30; 6; 4; 1 ]);
+    (31, [ 31; 28 ]);
+    (32, [ 32; 22; 2; 1 ]);
+    (64, [ 64; 63; 61; 60 ]) ]
+
+let primitive_taps w = List.assoc_opt w table
+
+let create ?taps ~width seed =
+  if width < 2 || width > 64 then invalid_arg "Lfsr.create: width must be in 2..64";
+  let taps =
+    match taps with
+    | Some t ->
+      if List.exists (fun e -> e < 1 || e > width) t then invalid_arg "Lfsr.create: bad tap";
+      t
+    | None ->
+      (match primitive_taps width with
+       | Some t -> t
+       | None -> invalid_arg "Lfsr.create: no primitive polynomial known for this width")
+  in
+  let mask = if width = 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L in
+  let s = Int64.logand seed mask in
+  let s = if Int64.equal s 0L then 1L else s in
+  { w = width; taps; s }
+
+let width t = t.w
+let state t = t.s
+
+let step t =
+  (* With register bit i holding sequence element s_{n+i}, the polynomial
+     x^w + sum x^e + 1 gives the recurrence
+     s_{n+w} = s_n XOR sum_e s_{n+e}: feedback = b_0 (the constant term)
+     XOR the middle-exponent stages; it enters at the top as bit 0 shifts
+     out. *)
+  let out = Int64.logand t.s 1L <> 0L in
+  let fb =
+    List.fold_left
+      (fun acc e ->
+        if e = t.w then acc
+        else acc <> (Int64.logand (Int64.shift_right_logical t.s e) 1L <> 0L))
+      out t.taps
+  in
+  let s' = Int64.shift_right_logical t.s 1 in
+  t.s <- (if fb then Int64.logor s' (Int64.shift_left 1L (t.w - 1)) else s');
+  out
+
+let step_word t k =
+  if k < 0 || k > 64 then invalid_arg "Lfsr.step_word";
+  let acc = ref 0L in
+  for i = 0 to k - 1 do
+    if step t then acc := Int64.logor !acc (Int64.shift_left 1L i)
+  done;
+  !acc
+
+let period ?(max_steps = 1 lsl 22) t =
+  let probe = { t with s = t.s } in
+  let start = probe.s in
+  let rec go n =
+    if n > max_steps then None
+    else begin
+      ignore (step probe);
+      if Int64.equal probe.s start then Some n else go (n + 1)
+    end
+  in
+  go 1

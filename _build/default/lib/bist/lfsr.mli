@@ -1,0 +1,32 @@
+(** Linear feedback shift registers — the on-chip pattern source.
+
+    The paper's motivation is self test: "the application of those patterns
+    needs no expensive test equipment, since it can be done by linear
+    feedback shift registers during self test".  Fibonacci-configuration
+    LFSRs with primitive feedback polynomials give maximal period
+    [2^width - 1]. *)
+
+type t
+
+val primitive_taps : int -> int list option
+(** Known primitive-polynomial tap positions (1-based, the polynomial
+    exponents) for widths 2..32 and 64. *)
+
+val create : ?taps:int list -> width:int -> int64 -> t
+(** [create ~width seed] uses {!primitive_taps}; raises
+    [Invalid_argument] for widths without a table entry unless [taps] is
+    given.  A zero seed is silently replaced by 1 (the all-zero state is a
+    fixed point). *)
+
+val width : t -> int
+val state : t -> int64
+
+val step : t -> bool
+(** Advance one cycle; returns the output bit (the stage shifted out). *)
+
+val step_word : t -> int -> int64
+(** [step_word t k] packs the next [k] output bits (bit 0 = first). *)
+
+val period : ?max_steps:int -> t -> int option
+(** Cycle length from the current state, or [None] if beyond [max_steps]
+    (default 1 lsl 22).  For primitive taps this is [2^width - 1]. *)

@@ -1,0 +1,38 @@
+type t = {
+  w : int;
+  poly : int64;  (* Galois feedback mask *)
+  mask : int64;
+  mutable s : int64;
+}
+
+let poly_of_taps w taps =
+  (* Exponents -> bit mask over stages 0..w-1 (exponent w is the implicit
+     monic term). *)
+  List.fold_left
+    (fun acc e -> if e = w then acc else Int64.logor acc (Int64.shift_left 1L e))
+    1L taps
+
+let create ?taps ~width seed =
+  if width < 2 || width > 64 then invalid_arg "Misr.create: width must be in 2..64";
+  let taps =
+    match taps with
+    | Some t -> t
+    | None ->
+      (match Lfsr.primitive_taps width with
+       | Some t -> t
+       | None -> invalid_arg "Misr.create: no primitive polynomial known for this width")
+  in
+  let mask = if width = 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L in
+  { w = width; poly = Int64.logand (poly_of_taps width taps) mask; mask; s = Int64.logand seed mask }
+
+let absorb t word =
+  let msb = Int64.logand (Int64.shift_right_logical t.s (t.w - 1)) 1L in
+  let shifted = Int64.logand (Int64.shift_left t.s 1) t.mask in
+  let fb = if Int64.equal msb 1L then t.poly else 0L in
+  t.s <- Int64.logand (Int64.logxor (Int64.logxor shifted fb) (Int64.logand word t.mask)) t.mask
+
+let signature t = t.s
+
+let reset t ~seed = t.s <- Int64.logand seed t.mask
+
+let aliasing_probability ~width = 2.0 ** Float.of_int (-width)

@@ -1,0 +1,20 @@
+(** Multiple-input signature register: response compaction for self test.
+
+    Each cycle the circuit's output vector is XORed into a Galois-mode
+    LFSR; after the test the final state (signature) is compared against
+    the fault-free golden value.  A faulty response escapes only on
+    aliasing, probability about [2^-width]. *)
+
+type t
+
+val create : ?taps:int list -> width:int -> int64 -> t
+(** Width 2..64; taps as in {!Lfsr.create}. *)
+
+val absorb : t -> int64 -> unit
+(** Feed one cycle's output vector (low [width] bits used). *)
+
+val signature : t -> int64
+val reset : t -> seed:int64 -> unit
+
+val aliasing_probability : width:int -> float
+(** The asymptotic escape probability [2^-width]. *)

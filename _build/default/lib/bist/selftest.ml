@@ -1,0 +1,101 @@
+module Netlist = Rt_circuit.Netlist
+
+type config = {
+  weights : float array;
+  weight_bits : int;
+  lfsr_width : int;
+  lfsr_seed : int64;
+  misr_seed : int64;
+  n_patterns : int;
+}
+
+let default_config c ~weights =
+  ignore c;
+  { weights;
+    weight_bits = 4;
+    lfsr_width = 32;
+    lfsr_seed = 0xACE1L;
+    misr_seed = 0L;
+    n_patterns = 4096 }
+
+type outcome = {
+  golden : int64;
+  detected : bool array;
+  coverage : float;
+  aliased : int;
+}
+
+(* At least 16 stages even for few-output circuits: a w-bit MISR aliases
+   with probability ~2^-w, and 2^-3 would be unusable. *)
+let misr_width c = min 64 (max 16 (Array.length (Netlist.outputs c)))
+
+let output_word c vals =
+  let outs = Netlist.outputs c in
+  let n = min 64 (Array.length outs) in
+  let w = ref 0L in
+  for k = 0 to n - 1 do
+    if vals.(outs.(k)) then w := Int64.logor !w (Int64.shift_left 1L k)
+  done;
+  !w
+
+let session_source cfg =
+  let lfsr = Lfsr.create ~width:cfg.lfsr_width cfg.lfsr_seed in
+  let net = Weighting.design ~bits:cfg.weight_bits cfg.weights in
+  (net, Weighting.source net lfsr)
+
+let golden_signature c cfg =
+  let lfsr = Lfsr.create ~width:cfg.lfsr_width cfg.lfsr_seed in
+  let net = Weighting.design ~bits:cfg.weight_bits cfg.weights in
+  let misr = Misr.create ~width:(misr_width c) cfg.misr_seed in
+  for _ = 1 to cfg.n_patterns do
+    let p = Weighting.generate_pattern net lfsr in
+    let vals = Netlist.eval c p in
+    Misr.absorb misr (output_word c vals)
+  done;
+  Misr.signature misr
+
+(* Signature analysis is linear over GF(2): with the same seed and pattern
+   stream, sig_faulty = sig_golden XOR M(d) where d is the stream of
+   response differences and M the zero-seeded MISR transform.  So a fault
+   escapes iff its difference stream is nonzero yet M(d) = 0 — a pure
+   aliasing event.  This lets the PPSFP engine supply the differences and
+   avoids n_faults full sequential simulations. *)
+let run c faults cfg =
+  let _, source = session_source cfg in
+  let stats, responses =
+    Rt_sim.Fault_sim.simulate_with_responses c faults ~source ~n_patterns:cfg.n_patterns
+  in
+  let width = misr_width c in
+  let golden = golden_signature c cfg in
+  let nf = Array.length faults in
+  let detected = Array.make nf false in
+  let aliased = ref 0 in
+  for fi = 0 to nf - 1 do
+    match responses.(fi) with
+    | [] -> ()
+    | diffs ->
+      let misr = Misr.create ~width 0L in
+      let t = ref 0 in
+      List.iter
+        (fun (idx, d) ->
+          while !t < idx do
+            Misr.absorb misr 0L;
+            incr t
+          done;
+          Misr.absorb misr d;
+          incr t)
+        diffs;
+      while !t < cfg.n_patterns do
+        Misr.absorb misr 0L;
+        incr t
+      done;
+      if Int64.equal (Misr.signature misr) 0L then incr aliased else detected.(fi) <- true
+  done;
+  ignore stats;
+  let cov =
+    if nf = 0 then 1.0
+    else
+      Float.of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 detected)
+      /. Float.of_int nf
+  in
+  { golden; detected; coverage = cov; aliased = !aliased }

@@ -1,0 +1,37 @@
+(** A complete BILBO-style self-test session.
+
+    Mirrors the module of [Wu86]/[Wu87] referenced in §5.2: a weighted
+    LFSR pattern source drives the circuit under test, a MISR compacts the
+    responses, and the final signature is compared against the fault-free
+    golden value.  Everything is combinational-circuit simulation here, but
+    the dataflow is exactly the on-chip one, including the dyadic weight
+    quantisation. *)
+
+type config = {
+  weights : float array;  (** per-input probabilities (pre-quantisation) *)
+  weight_bits : int;  (** weighting-network depth *)
+  lfsr_width : int;
+  lfsr_seed : int64;
+  misr_seed : int64;
+  n_patterns : int;
+}
+
+val default_config : Rt_circuit.Netlist.t -> weights:float array -> config
+(** 32-bit LFSR, 4-bit weighting, MISR width = min(#outputs, 32),
+    4096 patterns. *)
+
+type outcome = {
+  golden : int64;  (** fault-free signature *)
+  detected : bool array;  (** per fault: signature mismatch observed *)
+  coverage : float;
+  aliased : int;
+      (** faults whose responses differed somewhere but whose signature
+          still matched — MISR aliasing events *)
+}
+
+val golden_signature : Rt_circuit.Netlist.t -> config -> int64
+
+val run : Rt_circuit.Netlist.t -> Rt_fault.Fault.t array -> config -> outcome
+(** Runs the full session once per fault (bit-serial, faithful to the
+    hardware; cost is [n_faults * n_patterns] circuit evaluations — size
+    the experiment accordingly). *)

@@ -1,0 +1,60 @@
+type network = {
+  bits : int;
+  requested : float array;
+  realised : float array;
+  levels : int array;
+}
+
+let design ?(bits = 4) requested =
+  if bits < 1 || bits > 16 then invalid_arg "Weighting.design: bits must be in 1..16";
+  let denom = 1 lsl bits in
+  let quantise w =
+    let k = Float.to_int (Float.round (w *. Float.of_int denom)) in
+    let k = if k < 1 then 1 else if k >= denom then denom - 1 else k in
+    k
+  in
+  let ks = Array.map quantise requested in
+  let realised = Array.map (fun k -> Float.of_int k /. Float.of_int denom) ks in
+  (* The OR/AND chain consumes one fair bit per binary digit of the weight;
+     trailing zeros of k (a coarser dyadic) shorten the chain. *)
+  let trailing_zeros k =
+    let rec go k acc = if k land 1 = 1 then acc else go (k lsr 1) (acc + 1) in
+    go k 0
+  in
+  let levels = Array.map (fun k -> bits - trailing_zeros k) ks in
+  { bits; requested = Array.copy requested; realised; levels }
+
+let quantisation_error n =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i r -> worst := Float.max !worst (Float.abs (r -. n.requested.(i))))
+    n.realised;
+  !worst
+
+(* The chain acc := b_j ? acc OR r : acc AND r over the binary digits of
+   the realised weight, LSB-significant first — same recurrence as
+   Rng.biased_word, but fed from the LFSR like the real network. *)
+let weighted_bit net lfsr i =
+  let denom = 1 lsl net.bits in
+  let k = Float.to_int (Float.round (net.realised.(i) *. Float.of_int denom)) in
+  let rec strip k m = if k land 1 = 0 then strip (k lsr 1) (m - 1) else (k, m) in
+  let k, nbits = strip k net.bits in
+  let acc = ref false in
+  for j = 0 to nbits - 1 do
+    let b = (k lsr j) land 1 = 1 in
+    let r = Lfsr.step lfsr in
+    acc := if b then !acc || r else !acc && r
+  done;
+  !acc
+
+let generate_pattern net lfsr = Array.init (Array.length net.realised) (weighted_bit net lfsr)
+
+let source net lfsr () =
+  let n_inputs = Array.length net.realised in
+  let bits = Array.make n_inputs 0L in
+  for lane = 0 to 63 do
+    for i = 0 to n_inputs - 1 do
+      if weighted_bit net lfsr i then bits.(i) <- Int64.logor bits.(i) (Int64.shift_left 1L lane)
+    done
+  done;
+  { Rt_sim.Pattern.n_inputs; n_patterns = 64; bits }

@@ -1,0 +1,28 @@
+(** Weighting networks: realising biased input probabilities from the fair
+    bit stream of an LFSR.
+
+    Hardware weights are dyadic: ANDing [k] fair bits gives probability
+    [2^-k], OR/AND trees reach any [m/2^bits].  [design] quantises the
+    optimizer's weights onto that grid (the realisability loss shows up as
+    a slightly longer test, which the benches measure); [source] turns a
+    network plus an LFSR into a pattern stream. *)
+
+type network = {
+  bits : int;  (** tree depth: grid is [1/2^bits] *)
+  requested : float array;  (** the weights asked for *)
+  realised : float array;  (** the dyadic weights actually produced *)
+  levels : int array;
+      (** per input: number of fresh LFSR bits consumed per pattern *)
+}
+
+val design : ?bits:int -> float array -> network
+(** Default [bits = 4] (grid 1/16, typical of weighted-pattern BIST). *)
+
+val quantisation_error : network -> float
+(** Largest [|requested - realised|]. *)
+
+val generate_pattern : network -> Lfsr.t -> bool array
+(** One pattern, consuming LFSR bits (bit-serial, as the hardware would). *)
+
+val source : network -> Lfsr.t -> Rt_sim.Pattern.source
+(** Batched stream for the simulators. *)

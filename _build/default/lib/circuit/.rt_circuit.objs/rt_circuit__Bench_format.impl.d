@@ -1,0 +1,1 @@
+lib/circuit/bench_format.ml: Array Format Gate Hashtbl List Netlist String

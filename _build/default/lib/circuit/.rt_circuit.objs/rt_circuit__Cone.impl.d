@@ -1,0 +1,1 @@
+lib/circuit/cone.ml: Array Gate List Netlist

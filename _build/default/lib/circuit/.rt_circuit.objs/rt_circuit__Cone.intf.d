@@ -1,0 +1,1 @@
+lib/circuit/cone.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Builder Fun Gate Hashtbl List Printf Rt_util String

@@ -1,0 +1,23 @@
+(** ISCAS-85 [.bench] netlist reader and writer.
+
+    The textual format used by the 1985 benchmark distribution:
+    [# comment], [INPUT(g)], [OUTPUT(g)], [g = NAND(a, b, ...)].
+    Declarations may appear in any order; the parser topologically sorts
+    them.  Only combinational gate types are accepted (no [DFF]). *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Netlist.t
+(** Parse from the full file contents. *)
+
+val load : string -> Netlist.t
+(** [load path] reads and parses a file. *)
+
+val print : Format.formatter -> Netlist.t -> unit
+(** Emit [.bench] text; [Buf] alias nodes are emitted as [BUFF], constants
+    as 0-input gates spelled [CONST0]/[CONST1] (a common extension). *)
+
+val to_string : Netlist.t -> string
+
+val save : string -> Netlist.t -> unit

@@ -1,0 +1,116 @@
+type kind =
+  | Input
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+let equal_kind (a : kind) (b : kind) = a = b
+
+let to_string = function
+  | Input -> "INPUT"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "CONST0" -> Some Const0
+  | "CONST1" -> Some Const1
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let arity_ok k n =
+  match k with
+  | Input | Const0 | Const1 -> n = 0
+  | Buf | Not -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 1
+
+let eval k (vs : bool array) =
+  match k with
+  | Input -> invalid_arg "Gate.eval: Input has no gate function"
+  | Const0 -> false
+  | Const1 -> true
+  | Buf -> vs.(0)
+  | Not -> not vs.(0)
+  | And -> Array.for_all Fun.id vs
+  | Nand -> not (Array.for_all Fun.id vs)
+  | Or -> Array.exists Fun.id vs
+  | Nor -> not (Array.exists Fun.id vs)
+  | Xor -> Array.fold_left (fun acc v -> acc <> v) false vs
+  | Xnor -> not (Array.fold_left (fun acc v -> acc <> v) false vs)
+
+let eval_words k (ws : int64 array) =
+  let open Int64 in
+  let fold f init = Array.fold_left f init ws in
+  match k with
+  | Input -> invalid_arg "Gate.eval_words: Input has no gate function"
+  | Const0 -> 0L
+  | Const1 -> -1L
+  | Buf -> ws.(0)
+  | Not -> lognot ws.(0)
+  | And -> fold logand (-1L)
+  | Nand -> lognot (fold logand (-1L))
+  | Or -> fold logor 0L
+  | Nor -> lognot (fold logor 0L)
+  | Xor -> fold logxor 0L
+  | Xnor -> lognot (fold logxor 0L)
+
+let prob k (ps : float array) =
+  let prod () = Array.fold_left ( *. ) 1.0 ps in
+  let prod_compl () = Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 ps in
+  let xor () =
+    (* P(xor) folds pairwise: p <- a(1-b) + b(1-a), exact for independent
+       fanins. *)
+    Array.fold_left (fun a b -> (a *. (1.0 -. b)) +. (b *. (1.0 -. a))) 0.0 ps
+  in
+  match k with
+  | Input -> invalid_arg "Gate.prob: Input has no gate function"
+  | Const0 -> 0.0
+  | Const1 -> 1.0
+  | Buf -> ps.(0)
+  | Not -> 1.0 -. ps.(0)
+  | And -> prod ()
+  | Nand -> 1.0 -. prod ()
+  | Or -> 1.0 -. prod_compl ()
+  | Nor -> prod_compl ()
+  | Xor -> xor ()
+  | Xnor -> 1.0 -. xor ()
+
+let inverting = function
+  | Nand | Nor | Not | Xnor -> true
+  | Input | Const0 | Const1 | Buf | And | Or | Xor -> false
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Const0 | Const1 | Buf | Not | Xor | Xnor -> None
+
+let controlled_output k =
+  match k with
+  | And -> Some false
+  | Nand -> Some true
+  | Or -> Some true
+  | Nor -> Some false
+  | Input | Const0 | Const1 | Buf | Not | Xor | Xnor -> None

@@ -1,0 +1,135 @@
+type node = int
+
+type t = {
+  kinds : Gate.kind array;
+  fanins : node array array;
+  fanouts : node array array;
+  names : string array;
+  by_name : (string, node) Hashtbl.t;
+  inputs : node array;
+  outputs : node array;
+  output_set : bool array;
+  input_index : int array;
+  levels : int array;
+  max_level : int;
+}
+
+let size t = Array.length t.kinds
+let kind t n = t.kinds.(n)
+let fanin t n = t.fanins.(n)
+let fanout t n = t.fanouts.(n)
+let name t n = t.names.(n)
+let find t s = Hashtbl.find_opt t.by_name s
+let inputs t = t.inputs
+let outputs t = t.outputs
+let input_index t n = t.input_index.(n)
+let is_output t n = t.output_set.(n)
+let level t n = t.levels.(n)
+let max_level t = t.max_level
+
+let iter_gates t f =
+  for n = 0 to size t - 1 do
+    match t.kinds.(n) with Gate.Input -> () | _ -> f n
+  done
+
+let gate_count t =
+  let c = ref 0 in
+  for n = 0 to size t - 1 do
+    match t.kinds.(n) with Gate.Input | Gate.Const0 | Gate.Const1 -> () | _ -> incr c
+  done;
+  !c
+
+let make ~kinds ~fanins ~names ~output_list =
+  let n = Array.length kinds in
+  if Array.length fanins <> n || Array.length names <> n then
+    invalid_arg "Netlist.make: array length mismatch";
+  (* Topological order + arity validation. *)
+  for i = 0 to n - 1 do
+    let fi = fanins.(i) in
+    if not (Gate.arity_ok kinds.(i) (Array.length fi)) then
+      invalid_arg
+        (Printf.sprintf "Netlist.make: node %d (%s) has invalid arity %d" i
+           (Gate.to_string kinds.(i)) (Array.length fi));
+    Array.iter
+      (fun j ->
+        if j < 0 || j >= i then
+          invalid_arg (Printf.sprintf "Netlist.make: node %d has non-topological fanin %d" i j))
+      fi
+  done;
+  let by_name = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i s ->
+      if Hashtbl.mem by_name s then invalid_arg ("Netlist.make: duplicate name " ^ s);
+      Hashtbl.add by_name s i)
+    names;
+  let outputs = Array.of_list output_list in
+  Array.iter
+    (fun o -> if o < 0 || o >= n then invalid_arg "Netlist.make: output id out of range")
+    outputs;
+  let output_set = Array.make n false in
+  Array.iter (fun o -> output_set.(o) <- true) outputs;
+  (* Fanout lists. *)
+  let deg = Array.make n 0 in
+  Array.iter (Array.iter (fun j -> deg.(j) <- deg.(j) + 1)) fanins;
+  let fanouts = Array.map (fun d -> Array.make d (-1)) deg in
+  let fill = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun j ->
+        fanouts.(j).(fill.(j)) <- i;
+        fill.(j) <- fill.(j) + 1)
+      fanins.(i)
+  done;
+  (* Inputs, input_index. *)
+  let input_list = ref [] in
+  for i = n - 1 downto 0 do
+    if kinds.(i) = Gate.Input then input_list := i :: !input_list
+  done;
+  let inputs = Array.of_list !input_list in
+  let input_index = Array.make n (-1) in
+  Array.iteri (fun pos id -> input_index.(id) <- pos) inputs;
+  (* Levels. *)
+  let levels = Array.make n 0 in
+  let max_level = ref 0 in
+  for i = 0 to n - 1 do
+    let l =
+      Array.fold_left (fun acc j -> if levels.(j) >= acc then levels.(j) + 1 else acc) 0 fanins.(i)
+    in
+    levels.(i) <- l;
+    if l > !max_level then max_level := l
+  done;
+  { kinds; fanins; fanouts; names; by_name; inputs; outputs; output_set; input_index; levels;
+    max_level = !max_level }
+
+let eval t input_values =
+  if Array.length input_values <> Array.length t.inputs then
+    invalid_arg "Netlist.eval: wrong input vector width";
+  let vals = Array.make (size t) false in
+  for i = 0 to size t - 1 do
+    match t.kinds.(i) with
+    | Gate.Input -> vals.(i) <- input_values.(t.input_index.(i))
+    | k ->
+      let fi = t.fanins.(i) in
+      let args = Array.map (fun j -> vals.(j)) fi in
+      vals.(i) <- Gate.eval k args
+  done;
+  vals
+
+let eval_outputs t input_values =
+  let vals = eval t input_values in
+  Array.map (fun o -> vals.(o)) t.outputs
+
+let stats t ppf =
+  let hist = Hashtbl.create 11 in
+  Array.iter
+    (fun k ->
+      let key = Gate.to_string k in
+      Hashtbl.replace hist key (1 + Option.value ~default:0 (Hashtbl.find_opt hist key)))
+    t.kinds;
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.fprintf ppf "nodes=%d inputs=%d outputs=%d gates=%d levels=%d [%s]" (size t)
+    (Array.length t.inputs) (Array.length t.outputs) (gate_count t) t.max_level
+    (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) entries))

@@ -1,0 +1,1 @@
+lib/fault/collapse.ml: Array Fault Float Fun Hashtbl List Option Rt_circuit

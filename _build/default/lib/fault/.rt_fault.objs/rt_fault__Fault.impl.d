@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Format List Rt_circuit Stdlib

@@ -1,0 +1,78 @@
+module Netlist = Rt_circuit.Netlist
+module Gate = Rt_circuit.Gate
+
+(* Union-find with path compression. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(max ra rb) <- min ra rb
+
+let classes c faults =
+  let n = Array.length faults in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i f -> Hashtbl.replace index f i) faults;
+  let lookup f = Hashtbl.find_opt index f in
+  let parent = Array.init n Fun.id in
+  (* The fault sitting on the connection into pin k of gate g. *)
+  let connection_fault g k stuck =
+    let src = (Netlist.fanin c g).(k) in
+    if Array.length (Netlist.fanout c src) > 1 then
+      { Fault.site = Fault.Branch (g, k); stuck }
+    else { Fault.site = Fault.Stem src; stuck }
+  in
+  let link g k in_val out_val =
+    match (lookup (connection_fault g k in_val), lookup { site = Stem g; stuck = out_val }) with
+    | Some a, Some b -> union parent a b
+    | None, _ | Some _, None -> ()
+  in
+  Netlist.iter_gates c (fun g ->
+      let arity = Array.length (Netlist.fanin c g) in
+      match Netlist.kind c g with
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+      | Gate.And -> for k = 0 to arity - 1 do link g k false false done
+      | Gate.Nand -> for k = 0 to arity - 1 do link g k false true done
+      | Gate.Or -> for k = 0 to arity - 1 do link g k true true done
+      | Gate.Nor -> for k = 0 to arity - 1 do link g k true false done
+      | Gate.Buf ->
+        link g 0 false false;
+        link g 0 true true
+      | Gate.Not ->
+        link g 0 false true;
+        link g 0 true false
+      | Gate.Xor | Gate.Xnor -> ());
+  let buckets = Hashtbl.create n in
+  Array.iteri
+    (fun i _ ->
+      let r = find parent i in
+      Hashtbl.replace buckets r (i :: Option.value ~default:[] (Hashtbl.find_opt buckets r)))
+    faults;
+  let cls =
+    Hashtbl.fold
+      (fun _ members acc ->
+        let fs = List.rev_map (fun i -> faults.(i)) members in
+        Array.of_list (List.sort Fault.compare fs) :: acc)
+      buckets []
+  in
+  let cls = List.sort (fun a b -> Fault.compare a.(0) b.(0)) cls in
+  Array.of_list cls
+
+let representatives c faults = Array.map (fun cl -> cl.(0)) (classes c faults)
+
+let collapsed_universe c = representatives c (Fault.universe c)
+
+let ratio c =
+  let u = Fault.universe c in
+  if Array.length u = 0 then 1.0
+  else Float.of_int (Array.length (representatives c u)) /. Float.of_int (Array.length u)

@@ -1,0 +1,63 @@
+module Netlist = Rt_circuit.Netlist
+module Gate = Rt_circuit.Gate
+
+type site =
+  | Stem of Netlist.node
+  | Branch of Netlist.node * int
+
+type t = { site : site; stuck : bool }
+
+let compare a b =
+  let key f =
+    match f.site with
+    | Stem n -> (n, -1, if f.stuck then 1 else 0)
+    | Branch (g, k) -> (g, k, if f.stuck then 1 else 0)
+  in
+  Stdlib.compare (key a) (key b)
+
+let equal a b = compare a b = 0
+
+let source f c =
+  match f.site with
+  | Stem n -> n
+  | Branch (g, k) -> (Netlist.fanin c g).(k)
+
+let observation_gate f = match f.site with Stem _ -> None | Branch (g, _) -> Some g
+
+let universe c =
+  let acc = ref [] in
+  for n = Netlist.size c - 1 downto 0 do
+    (match Netlist.kind c n with
+     | Gate.Const0 | Gate.Const1 -> ()
+     | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+     | Gate.Xor | Gate.Xnor ->
+       acc := { site = Stem n; stuck = true } :: { site = Stem n; stuck = false } :: !acc)
+  done;
+  (* Branch faults where the driver has fanout > 1. *)
+  let branches = ref [] in
+  Netlist.iter_gates c (fun g ->
+      Array.iteri
+        (fun k src ->
+          if Array.length (Netlist.fanout c src) > 1 then
+            branches :=
+              { site = Branch (g, k); stuck = true }
+              :: { site = Branch (g, k); stuck = false }
+              :: !branches)
+        (Netlist.fanin c g));
+  Array.of_list (!acc @ List.rev !branches)
+
+let input_faults c =
+  Netlist.inputs c |> Array.to_list
+  |> List.concat_map (fun i -> [ { site = Stem i; stuck = false }; { site = Stem i; stuck = true } ])
+  |> Array.of_list
+
+let pp c ppf f =
+  let sa = if f.stuck then 1 else 0 in
+  match f.site with
+  | Stem n -> Format.fprintf ppf "%s s-a-%d" (Netlist.name c n) sa
+  | Branch (g, k) ->
+    Format.fprintf ppf "%s->%s[%d] s-a-%d"
+      (Netlist.name c (Netlist.fanin c g).(k))
+      (Netlist.name c g) k sa
+
+let to_string c f = Format.asprintf "%a" (pp c) f

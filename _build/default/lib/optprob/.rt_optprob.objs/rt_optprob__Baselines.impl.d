@@ -1,0 +1,1 @@
+lib/optprob/baselines.ml: Array Float List Normalize Rt_circuit Rt_testability

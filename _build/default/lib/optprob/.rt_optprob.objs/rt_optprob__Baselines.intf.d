@@ -1,0 +1,1 @@
+lib/optprob/baselines.mli: Rt_circuit Rt_testability

@@ -1,0 +1,1 @@
+lib/optprob/minimize.ml: Float Objective Rt_util

@@ -1,0 +1,1 @@
+lib/optprob/normalize.ml: Array Float Fun List

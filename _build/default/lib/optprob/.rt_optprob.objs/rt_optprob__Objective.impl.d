@@ -1,0 +1,1 @@
+lib/optprob/objective.ml: Array Float

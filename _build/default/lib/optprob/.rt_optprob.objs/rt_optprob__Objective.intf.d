@@ -1,0 +1,1 @@
+lib/optprob/objective.mli:

@@ -1,0 +1,1 @@
+lib/optprob/optimize.ml: Array Float List Minimize Normalize Rt_circuit Rt_testability Rt_util

@@ -1,0 +1,1 @@
+lib/optprob/optimize.mli: Rt_testability

@@ -1,0 +1,1 @@
+lib/optprob/partition.ml: Array Float Fun Hashtbl List Normalize Optimize Rt_atpg Rt_circuit Rt_testability

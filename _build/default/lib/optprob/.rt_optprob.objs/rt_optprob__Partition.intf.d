@@ -1,0 +1,1 @@
+lib/optprob/partition.mli: Optimize Rt_circuit Rt_fault Rt_testability

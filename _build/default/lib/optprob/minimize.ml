@@ -1,0 +1,37 @@
+type result = {
+  y : float;
+  objective : float;
+  iterations : int;
+}
+
+let newton ?(lo = 0.01) ?(hi = 0.99) ?(tol = 1e-6) ?(max_iter = 60) ~n ~p0 ~p1 y_start =
+  if lo >= hi then invalid_arg "Minimize.newton: empty interval";
+  let deriv y = Objective.derivatives_along ~n ~p0 ~p1 y in
+  (* Convexity: J' is non-decreasing.  Track a bracket [a, b] with
+     J'(a) <= 0 <= J'(b) when one exists; fall back to the boundary when
+     J' keeps one sign over the whole interval. *)
+  let d_lo, _ = deriv lo in
+  let d_hi, _ = deriv hi in
+  if d_lo >= 0.0 then { y = lo; objective = Objective.value_along ~n ~p0 ~p1 lo; iterations = 0 }
+  else if d_hi <= 0.0 then
+    { y = hi; objective = Objective.value_along ~n ~p0 ~p1 hi; iterations = 0 }
+  else begin
+    let a = ref lo and b = ref hi in
+    let y = ref (Rt_util.Prob.clamp ~lo ~hi y_start) in
+    let iters = ref 0 in
+    let finished = ref false in
+    while (not !finished) && !iters < max_iter do
+      incr iters;
+      let d1, d2 = deriv !y in
+      if d1 <= 0.0 then a := Float.max !a !y else b := Float.min !b !y;
+      let step_ok = d2 > 0.0 in
+      let candidate = if step_ok then !y -. (d1 /. d2) else Float.nan in
+      let next =
+        if step_ok && candidate > !a && candidate < !b then candidate
+        else 0.5 *. (!a +. !b)
+      in
+      if Float.abs (next -. !y) < tol || !b -. !a < tol then finished := true;
+      y := next
+    done;
+    { y = !y; objective = Objective.value_along ~n ~p0 ~p1 !y; iterations = !iters }
+  end

@@ -1,0 +1,28 @@
+(** One-dimensional minimisation of the objective along a coordinate —
+    the paper's MINIMIZE procedure (eq. 15).
+
+    [J_N(X, y|i)] is strictly convex in [y] (Lemma 3) and, because the
+    input stuck-at faults are in [F], diverges from the optimum towards
+    the boundary (Lemma 2), so the minimum over [[lo, hi]] is unique:
+    Newton iteration [y <- y - J'/J''] with a bisection safeguard always
+    converges to it. *)
+
+type result = {
+  y : float;  (** the minimising weight *)
+  objective : float;  (** [J_N] restricted to the scrutinised faults at [y] *)
+  iterations : int;
+}
+
+val newton :
+  ?lo:float ->
+  ?hi:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  n:float ->
+  p0:float array ->
+  p1:float array ->
+  float ->
+  result
+(** [newton ~n ~p0 ~p1 y_start] minimises over [[lo, hi]] (default
+    [[0.01, 0.99]], [tol = 1e-6], [max_iter = 60]).  [p0]/[p1] are the
+    cofactor detection probabilities of the relevant faults. *)

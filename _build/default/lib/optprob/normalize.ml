@@ -1,0 +1,66 @@
+type t = {
+  sorted_idx : int array;
+  undetectable : int array;
+  n : float;
+  nf : int;
+}
+
+let run ?(confidence = 0.95) ?(nf_min = 8) pfs =
+  if confidence <= 0.0 || confidence >= 1.0 then invalid_arg "Normalize.run: confidence";
+  let all = Array.init (Array.length pfs) Fun.id in
+  let undetectable = Array.of_list (List.filter (fun i -> pfs.(i) <= 0.0) (Array.to_list all)) in
+  let sorted_idx =
+    Array.to_list all
+    |> List.filter (fun i -> pfs.(i) > 0.0)
+    |> List.sort (fun a b -> Float.compare pfs.(a) pfs.(b))
+    |> Array.of_list
+  in
+  let n_det = Array.length sorted_idx in
+  if n_det = 0 then { sorted_idx; undetectable; n = Float.infinity; nf = 0 }
+  else begin
+    let q = -.Float.log confidence in
+    let p i = pfs.(sorted_idx.(i)) in
+    (* J_M bounds from a z-prefix; z is 1-based count. *)
+    let l z m =
+      let acc = ref 0.0 in
+      for i = 0 to z - 1 do acc := !acc +. Float.exp (-.p i *. m) done;
+      !acc
+    in
+    let u z m =
+      if z >= n_det then l z m
+      else l z m +. (Float.of_int (n_det - z) *. Float.exp (-.p z *. m))
+    in
+    (* Decide J_M <= q using as small a prefix as possible; returns
+       (meets, z_used). *)
+    let decide m =
+      let rec go z =
+        if l z m > q then (false, z)
+        else if u z m <= q then (true, z)
+        else if z >= n_det then (true, z)
+        else go (min n_det (2 * z))
+      in
+      go (min n_det (max 1 nf_min))
+    in
+    let rec grow m = if fst (decide m) || m > 1e15 then m else grow (m *. 2.0) in
+    let hi = grow 1.0 in
+    if not (fst (decide hi)) then
+      { sorted_idx; undetectable; n = Float.infinity; nf = min n_det nf_min }
+    else begin
+      let rec bisect lo hi =
+        if hi -. lo <= Float.max 0.5 (1e-9 *. hi) then hi
+        else begin
+          let mid = 0.5 *. (lo +. hi) in
+          if fst (decide mid) then bisect lo mid else bisect mid hi
+        end
+      in
+      let n = Float.round (bisect 0.0 hi +. 0.49) in
+      let _, z = decide n in
+      (* Relevant faults: everything whose contribution at N is within a
+         factor exp(-10) of the hardest fault's would still be noise; the
+         paper keeps the z the bound search needed.  Enforce the floor. *)
+      let nf = max (min n_det nf_min) z in
+      { sorted_idx; undetectable; n; nf }
+    end
+  end
+
+let hard_indices t = Array.sub t.sorted_idx 0 t.nf

@@ -1,0 +1,31 @@
+(** The paper's SORT and NORMALIZE procedures (§4).
+
+    Given the fault detection probabilities, NORMALIZE finds the minimum
+    test length [N] whose objective value meets the confidence target, and
+    the number [nf] of {e relevant} (hardest) faults: the paper's
+    observation (1) shows faults much easier than the hardest contribute
+    nothing numerically to [J_N], so one optimisation step only needs the
+    [nf]-prefix of the sorted fault list.
+
+    Bounds on [J_M] from a sorted ascending prefix of [z] faults:
+    [l(z,M) = sum_{i<=z} exp(-p_i M)]         (lower bound)
+    [u(z,M) = l(z,M) + (n-z) exp(-p_{z+1} M)] (upper bound)
+    Interval section on [M] with adaptive [z] yields [N] and [nf]. *)
+
+type t = {
+  sorted_idx : int array;
+      (** Fault indices sorted by ascending detection probability, zero
+          (undetectable-as-analysed) probabilities excluded. *)
+  undetectable : int array;
+      (** Fault indices with [p_f = 0] under the analysis — excluded from
+          [n] (for an exact engine these are proven redundant). *)
+  n : float;  (** Minimal test length; [infinity] when nothing detectable. *)
+  nf : int;  (** Number of relevant (hardest) faults at [N]. *)
+}
+
+val run : ?confidence:float -> ?nf_min:int -> float array -> t
+(** [run pfs] with default confidence 0.95 and at least [nf_min] (default 8)
+    relevant faults retained. *)
+
+val hard_indices : t -> int array
+(** The [nf] relevant fault indices (prefix of [sorted_idx]). *)

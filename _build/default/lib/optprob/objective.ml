@@ -1,0 +1,22 @@
+let value ~n pfs = Array.fold_left (fun acc p -> acc +. Float.exp (-.n *. p)) 0.0 pfs
+
+let value_along ~n ~p0 ~p1 y =
+  let acc = ref 0.0 in
+  for f = 0 to Array.length p0 - 1 do
+    let p = p0.(f) +. (y *. (p1.(f) -. p0.(f))) in
+    acc := !acc +. Float.exp (-.n *. p)
+  done;
+  !acc
+
+let derivatives_along ~n ~p0 ~p1 y =
+  let d1 = ref 0.0 and d2 = ref 0.0 in
+  for f = 0 to Array.length p0 - 1 do
+    let b = p1.(f) -. p0.(f) in
+    let p = p0.(f) +. (y *. b) in
+    let e = Float.exp (-.n *. p) in
+    d1 := !d1 -. (n *. b *. e);
+    d2 := !d2 +. (n *. b *. n *. b *. e)
+  done;
+  (!d1, !d2)
+
+let confidence ~n pfs = Float.exp (-.value ~n pfs)

@@ -1,0 +1,29 @@
+(** The paper's objective function (eq. 9/10):
+
+    [J_N(X) = sum_f exp (-N * p_f(X))]
+
+    which approximates [-ln delta_N(X)], the negated log-confidence of an
+    [N]-pattern random test.  Minimising [J_N] maximises the chance that
+    every fault is caught.
+
+    Along one coordinate the detection probabilities are affine
+    (Lemma 1): [p_f(X, y|i) = p_f(X,0|i) + y * (p_f(X,1|i) - p_f(X,0|i))],
+    so [J_N] restricted to [y] is a sum of exponentials of affine
+    functions — strictly convex (Lemma 3) with analytic derivatives, which
+    {!Minimize} exploits. *)
+
+val value : n:float -> float array -> float
+(** [value ~n pfs] is [J_N] from the fault detection probabilities. *)
+
+val value_along : n:float -> p0:float array -> p1:float array -> float -> float
+(** [value_along ~n ~p0 ~p1 y]: [J_N(X, y|i)] where [p0]/[p1] are the
+    cofactor detection probabilities of the faults under scrutiny. *)
+
+val derivatives_along :
+  n:float -> p0:float array -> p1:float array -> float -> float * float
+(** First and second derivative of {!value_along} in [y] (paper eq. 13/14):
+    [J' = sum -N b_f exp(-N p_f(y))], [J'' = sum (N b_f)^2 exp(-N p_f(y))]
+    with [b_f = p1_f - p0_f].  [J'' >= 0] always. *)
+
+val confidence : n:float -> float array -> float
+(** [exp (-J_N)] — the approximation of eq. (1) used throughout §2.3. *)

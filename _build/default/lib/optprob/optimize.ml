@@ -1,0 +1,125 @@
+module Detect = Rt_testability.Detect
+
+type quantization =
+  | No_quantization
+  | Grid of float
+  | Dyadic of int
+
+type options = {
+  confidence : float;
+  alpha : float;
+  max_sweeps : int;
+  w_min : float;
+  quantize : quantization;
+  nf_min : int;
+  start : float array option;
+  start_jitter : float;
+}
+
+let default_options =
+  { confidence = 0.95;
+    alpha = 0.01;
+    max_sweeps = 12;
+    w_min = 0.02;
+    quantize = Grid 0.05;
+    nf_min = 256;
+    start = None;
+    start_jitter = 0.06 }
+
+type report = {
+  weights : float array;
+  n_initial : float;
+  n_final : float;
+  sweeps_run : int;
+  history : float list;
+  undetectable : int array;
+}
+
+let apply_quantization q w =
+  match q with
+  | No_quantization -> w
+  | Grid grid -> Array.map (fun v -> Rt_util.Prob.quantize ~grid v) w
+  | Dyadic bits -> Array.map (fun v -> Rt_util.Prob.quantize_dyadic ~bits v) w
+
+let run ?(options = default_options) ?progress oracle =
+  let o = options in
+  let n_inputs = Array.length (Rt_circuit.Netlist.inputs (Detect.circuit oracle)) in
+  let x =
+    match o.start with
+    | Some s ->
+      if Array.length s <> n_inputs then invalid_arg "Optimize.run: start vector width";
+      Array.map (fun v -> Rt_util.Prob.interior o.w_min v) s
+    | None ->
+      (* The exact symmetric point X = 0.5 is a stationary saddle for
+         equality-style cones (moving one operand bit alone changes
+         nothing while its partner sits at 0.5), so coordinate descent
+         would stall there.  A small deterministic jitter breaks the tie;
+         the paper's multi-extremality discussion (§3.1) is precisely why
+         a relative optimum from a perturbed start is the goal. *)
+      Array.init n_inputs (fun i ->
+          let phase = Float.of_int ((i * 37) mod 17) /. 16.0 in
+          0.5 +. (o.start_jitter *. ((2.0 *. phase) -. 1.0)))
+  in
+  let analyse x = Normalize.run ~confidence:o.confidence ~nf_min:o.nf_min (Detect.probs oracle x) in
+  (* The reported starting point is the conventional test (exactly 0.5
+     everywhere), even though the search starts from the jittered vector. *)
+  let n_initial = (analyse (Array.make n_inputs 0.5)).Normalize.n in
+  let norm0 = analyse x in
+  let best_x = ref (Array.copy x) in
+  let best_n = ref n_initial in
+  let history = ref [] in
+  let sweeps = ref 0 in
+  let norm = ref norm0 in
+  let continue = ref (o.max_sweeps > 0) in
+  while !continue do
+    incr sweeps;
+    let n_for_sweep =
+      let n = !norm.Normalize.n in
+      if Float.is_finite n then n else 1e7
+    in
+    let hard = Normalize.hard_indices !norm in
+    let gather pf = Array.map (fun i -> pf.(i)) hard in
+    for i = 0 to n_inputs - 1 do
+      let saved = x.(i) in
+      x.(i) <- 0.0;
+      let pf0 = gather (Detect.probs oracle x) in
+      x.(i) <- 1.0;
+      let pf1 = gather (Detect.probs oracle x) in
+      x.(i) <- saved;
+      let r =
+        Minimize.newton ~lo:o.w_min ~hi:(1.0 -. o.w_min) ~n:n_for_sweep ~p0:pf0 ~p1:pf1 saved
+      in
+      x.(i) <- r.Minimize.y
+    done;
+    let norm' = analyse x in
+    let n_new = norm'.Normalize.n in
+    history := n_new :: !history;
+    (match progress with Some f -> f ~sweep:!sweeps ~n:n_new | None -> ());
+    if n_new < !best_n then begin
+      best_n := n_new;
+      best_x := Array.copy x
+    end;
+    let n_old = !norm.Normalize.n in
+    norm := norm';
+    let improved =
+      match (Float.is_finite n_old, Float.is_finite n_new) with
+      | false, true -> true
+      | false, false -> false
+      | true, false -> false
+      | true, true -> (n_old -. n_new) /. Float.max 1.0 n_old > o.alpha
+    in
+    if (not improved) || !sweeps >= o.max_sweeps then continue := false
+  done;
+  (* Quantise the best weights seen and re-evaluate honestly. *)
+  let final_x = apply_quantization o.quantize !best_x in
+  let final_norm = analyse final_x in
+  (* If quantisation degraded below the unquantised best, report the
+     quantised figures anyway — that is what the hardware will do. *)
+  { weights = final_x;
+    n_initial;
+    n_final = final_norm.Normalize.n;
+    sweeps_run = !sweeps;
+    history = List.rev !history;
+    undetectable = final_norm.Normalize.undetectable }
+
+let improvement r = r.n_initial /. Float.max 1.0 r.n_final

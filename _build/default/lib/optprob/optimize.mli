@@ -1,0 +1,60 @@
+(** The paper's OPTIMIZE procedure (§4): cyclic per-input minimisation.
+
+    Each sweep fixes the current test length [N] (from NORMALIZE), then for
+    every primary input runs PREPARE — two ANALYSIS calls giving the
+    cofactor detection probabilities [p_f(X,0|i)] and [p_f(X,1|i)] of the
+    [nf] hardest faults — and MINIMIZE, replacing [x_i] by the unique
+    coordinate optimum.  Sweeps repeat while the required test length keeps
+    improving by more than the user-defined threshold (the paper's "a"). *)
+
+type quantization =
+  | No_quantization
+  | Grid of float  (** round to multiples, e.g. 0.05 as the paper's appendix *)
+  | Dyadic of int  (** round to k/2^bits, realisable by LFSR weighting logic *)
+
+type options = {
+  confidence : float;  (** target confidence of the random test (0.95) *)
+  alpha : float;  (** stop when relative improvement of N falls below (0.01) *)
+  max_sweeps : int;  (** hard sweep cap (12) *)
+  w_min : float;  (** weights stay in [w_min, 1-w_min] (0.02, Lemma 2) *)
+  quantize : quantization;  (** applied after convergence (Grid 0.05) *)
+  nf_min : int;
+      (** lower bound on the relevant-fault prefix (256).  NORMALIZE's own
+          prefix can be very small; minimising against only a handful of
+          hardest faults lets the sweep wreck the detection probabilities
+          of the next tier and stall.  A few hundred faults in scope keeps
+          the coordinate optimum balanced at negligible extra cost (the
+          expensive part, the two ANALYSIS calls per input, is unchanged). *)
+  start : float array option;  (** initial weights (default: jittered 0.5) *)
+  start_jitter : float;
+      (** amplitude of the deterministic perturbation around 0.5 used when
+          [start] is [None] (0.06).  The exact symmetric point is a saddle
+          for equality-comparator cones — coordinate descent needs the tie
+          broken. *)
+}
+
+val default_options : options
+
+val apply_quantization : quantization -> float array -> float array
+(** Project a weight vector onto a grid (used internally after the sweep;
+    exposed for ablation studies). *)
+
+type report = {
+  weights : float array;  (** optimised (and quantised) input probabilities *)
+  n_initial : float;  (** required length at the starting weights *)
+  n_final : float;  (** required length at [weights] *)
+  sweeps_run : int;
+  history : float list;  (** required length after each sweep, oldest first *)
+  undetectable : int array;  (** faults with [p_f = 0] at the final weights *)
+}
+
+val run :
+  ?options:options ->
+  ?progress:(sweep:int -> n:float -> unit) ->
+  Rt_testability.Detect.oracle ->
+  report
+(** Optimise the input probabilities for the oracle's circuit and fault
+    list.  Deterministic for deterministic oracles. *)
+
+val improvement : report -> float
+(** [n_initial / n_final] — the paper reports orders of magnitude here. *)

@@ -1,0 +1,1 @@
+lib/repro/experiments.ml: Array Digest Float Format Hashtbl List Printf Rt_atpg Rt_circuit Rt_fault Rt_optprob Rt_sim Rt_testability Rt_util String Weights_io

@@ -1,0 +1,1 @@
+lib/repro/weights_io.ml: Array Float Format List Printf Rt_circuit String

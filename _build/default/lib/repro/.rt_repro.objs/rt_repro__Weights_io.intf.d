@@ -1,0 +1,1 @@
+lib/repro/weights_io.mli: Format Rt_circuit

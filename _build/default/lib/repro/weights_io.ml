@@ -1,0 +1,51 @@
+module Netlist = Rt_circuit.Netlist
+
+let save path c w =
+  let oc = open_out path in
+  output_string oc "# optimized input probabilities\n";
+  Array.iteri
+    (fun pos input ->
+      Printf.fprintf oc "%s %.6f\n" (Netlist.name c input) w.(pos))
+    (Netlist.inputs c);
+  close_out oc
+
+let load path c =
+  let w = Array.make (Array.length (Netlist.inputs c)) 0.5 in
+  let ic = open_in path in
+  (try
+     let lineno = ref 0 in
+     while true do
+       incr lineno;
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+         | [ name; value ] ->
+           (match Netlist.find c name with
+            | Some node when Netlist.kind c node = Rt_circuit.Gate.Input ->
+              w.(Netlist.input_index c node) <- float_of_string value
+            | Some _ | None ->
+              failwith (Printf.sprintf "weights file line %d: unknown input %s" !lineno name))
+         | _ -> failwith (Printf.sprintf "weights file line %d: expected 'name value'" !lineno)
+       end
+     done
+   with End_of_file -> close_in ic);
+  w
+
+let pp c ppf w =
+  (* Group runs of equal weights like the paper's appendix. *)
+  let inputs = Netlist.inputs c in
+  let n = Array.length inputs in
+  let rec emit i =
+    if i < n then begin
+      let j = ref i in
+      while !j + 1 < n && Float.abs (w.(!j + 1) -. w.(i)) < 1e-9 do incr j done;
+      if !j = i then Format.fprintf ppf "%-12s %.2f@." (Netlist.name c inputs.(i)) w.(i)
+      else
+        Format.fprintf ppf "%s..%s %.2f@."
+          (Netlist.name c inputs.(i))
+          (Netlist.name c inputs.(!j))
+          w.(i);
+      emit (!j + 1)
+    end
+  in
+  emit 0

@@ -1,0 +1,12 @@
+(** Reading and writing weight vectors (optimized input probabilities).
+
+    Format: one [input_name value] pair per line, [#] comments allowed —
+    the machine-readable version of the paper's appendix listings. *)
+
+val save : string -> Rt_circuit.Netlist.t -> float array -> unit
+
+val load : string -> Rt_circuit.Netlist.t -> float array
+(** Missing inputs default to 0.5; unknown names raise [Failure]. *)
+
+val pp : Rt_circuit.Netlist.t -> Format.formatter -> float array -> unit
+(** Compact appendix-style listing, grouping equal consecutive weights. *)

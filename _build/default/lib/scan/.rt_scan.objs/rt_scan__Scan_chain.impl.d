@@ -1,0 +1,1 @@
+lib/scan/scan_chain.ml: Array Fun Rt_bist Rt_circuit Seq_netlist

@@ -1,0 +1,1 @@
+lib/scan/scan_chain.mli: Rt_fault Seq_netlist

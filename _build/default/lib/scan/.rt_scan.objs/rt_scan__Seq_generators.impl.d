@@ -1,0 +1,1 @@
+lib/scan/seq_generators.ml: Array List Printf Rt_circuit Seq_netlist

@@ -1,0 +1,1 @@
+lib/scan/seq_generators.mli: Seq_netlist

@@ -1,0 +1,1 @@
+lib/scan/seq_netlist.ml: Array List Printf Rt_circuit

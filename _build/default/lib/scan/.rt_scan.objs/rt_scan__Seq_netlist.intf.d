@@ -1,0 +1,1 @@
+lib/scan/seq_netlist.mli: Rt_circuit

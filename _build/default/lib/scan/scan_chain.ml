@@ -1,0 +1,124 @@
+type t = {
+  s : Seq_netlist.t;
+  order : int array;
+}
+
+let insert ?order s =
+  let n = Seq_netlist.n_flops s in
+  let order =
+    match order with
+    | None -> Array.init n Fun.id
+    | Some o ->
+      if Array.length o <> n then invalid_arg "Scan_chain.insert: order length";
+      let seen = Array.make n false in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n || seen.(i) then invalid_arg "Scan_chain.insert: bad permutation";
+          seen.(i) <- true)
+        o;
+      o
+  in
+  { s; order }
+
+let seq t = t.s
+let chain_length t = Array.length t.order
+
+let scan_mode t =
+  let s = t.s in
+  let core = Seq_netlist.core s in
+  let module Netlist = Rt_circuit.Netlist in
+  let module Gate = Rt_circuit.Gate in
+  let sb = Seq_netlist.builder () in
+  let b = Seq_netlist.comb sb in
+  let n_pi = Seq_netlist.n_inputs s in
+  let n_flops = Seq_netlist.n_flops s in
+  (* Recreate ports: original primary inputs, then the scan controls. *)
+  let core_inputs = Netlist.inputs core in
+  let pi_map =
+    Array.init n_pi (fun k -> Seq_netlist.input sb (Netlist.name core core_inputs.(k)))
+  in
+  let scan_en = Seq_netlist.input sb "scan_en" in
+  let scan_in = Seq_netlist.input sb "scan_in" in
+  let flops = Array.init n_flops (fun k -> Seq_netlist.flop sb (Seq_netlist.flop_name s k)) in
+  (* Replay the combinational core. *)
+  let map = Array.make (Netlist.size core) (-1) in
+  Array.iteri (fun k i -> map.(i) <- pi_map.(k)) (Array.sub core_inputs 0 n_pi);
+  Array.iteri (fun k i -> map.(i) <- flops.(k)) (Array.sub core_inputs n_pi n_flops);
+  Netlist.iter_gates core (fun g ->
+      let fanin = Array.to_list (Array.map (fun j -> map.(j)) (Netlist.fanin core g)) in
+      map.(g) <- Rt_circuit.Builder.gate b (Netlist.kind core g) fanin);
+  (* Original primary outputs. *)
+  let core_outputs = Netlist.outputs core in
+  for k = 0 to Seq_netlist.n_outputs s - 1 do
+    Seq_netlist.output sb ~name:(Netlist.name core core_outputs.(k)) map.(core_outputs.(k))
+  done;
+  (* Scan muxes: functional D when scan_en = 0, chain data when 1. *)
+  Array.iteri
+    (fun pos flop_idx ->
+      let functional = map.(core_outputs.(Seq_netlist.n_outputs s + flop_idx)) in
+      let chain_prev = if pos = 0 then scan_in else flops.(t.order.(pos - 1)) in
+      let d = Rt_circuit.Builder.mux b ~sel:scan_en functional chain_prev in
+      Seq_netlist.connect sb flops.(flop_idx) ~d)
+    t.order;
+  Seq_netlist.output sb ~name:"scan_out" flops.(t.order.(n_flops - 1));
+  Seq_netlist.finalize sb
+
+let core_weights t ~pi ~scan =
+  let s = t.s in
+  if Array.length pi <> Seq_netlist.n_inputs s then invalid_arg "Scan_chain.core_weights: pi";
+  if Array.length scan <> Seq_netlist.n_flops s then invalid_arg "Scan_chain.core_weights: scan";
+  (* Chain position k loads flop order.(k); the core input vector wants
+     per-flop weights in declaration order. *)
+  let per_flop = Array.make (Seq_netlist.n_flops s) 0.5 in
+  Array.iteri (fun k flop -> per_flop.(flop) <- scan.(k)) t.order;
+  Array.append pi per_flop
+
+type config = {
+  weights : float array;
+  weight_bits : int;
+  lfsr_width : int;
+  lfsr_seed : int64;
+  misr_seed : int64;
+  n_tests : int;
+}
+
+let default_config t ~weights =
+  if Array.length weights <> Array.length (Rt_circuit.Netlist.inputs (Seq_netlist.core t.s))
+  then invalid_arg "Scan_chain.default_config: weights width";
+  { weights;
+    weight_bits = 4;
+    lfsr_width = 32;
+    lfsr_seed = 0xACE1L;
+    misr_seed = 0L;
+    n_tests = 4096 }
+
+type outcome = {
+  golden : int64;
+  detected : bool array;
+  coverage : float;
+  aliased : int;
+}
+
+(* A test-per-scan session observes the full core response (primary
+   outputs directly, captured state through the shift-out), so it is
+   exactly a combinational BIST session on the core.  Delegate to the
+   combinational self-test engine, which already models the weighted LFSR
+   source and MISR linearity. *)
+let to_selftest_config t cfg =
+  ignore t;
+  { Rt_bist.Selftest.weights = cfg.weights;
+    weight_bits = cfg.weight_bits;
+    lfsr_width = cfg.lfsr_width;
+    lfsr_seed = cfg.lfsr_seed;
+    misr_seed = cfg.misr_seed;
+    n_patterns = cfg.n_tests }
+
+let golden_signature t cfg =
+  Rt_bist.Selftest.golden_signature (Seq_netlist.core t.s) (to_selftest_config t cfg)
+
+let run t faults cfg =
+  let oc = Rt_bist.Selftest.run (Seq_netlist.core t.s) faults (to_selftest_config t cfg) in
+  { golden = oc.Rt_bist.Selftest.golden;
+    detected = oc.Rt_bist.Selftest.detected;
+    coverage = oc.Rt_bist.Selftest.coverage;
+    aliased = oc.Rt_bist.Selftest.aliased }

@@ -1,0 +1,59 @@
+(** Full-scan test access and test-per-scan BIST sessions.
+
+    Under full scan every flop joins a serial shift chain; a test applies
+    primary-input values and a shifted-in state, captures one clock, and
+    shifts the captured state out through a signature register while the
+    next state shifts in.  With a fault-free chain this is {e exactly}
+    combinational testing of the core with pseudo-inputs/outputs — the
+    assumption the paper makes in its first paragraph — so weighted-pattern
+    optimization applies to the core's full input vector, scan bits
+    included. *)
+
+type t
+
+val insert : ?order:int array -> Seq_netlist.t -> t
+(** Stitch the flops into a chain ([order] permutes them; default
+    declaration order). *)
+
+val seq : t -> Seq_netlist.t
+val chain_length : t -> int
+
+val scan_mode : t -> Seq_netlist.t
+(** The physical scan view: a new sequential netlist with three extra
+    ports — [scan_en], [scan_in] (new primary inputs, ordered after the
+    original ones) and [scan_out] (a new primary output, ordered last).
+    Every flop's D input becomes a mux: functional data when [scan_en] is
+    low, the previous chain stage (or [scan_in]) when high.  The test
+    suite proves the abstraction: shifting a state in serially and
+    capturing one functional clock equals {!Seq_netlist.step} on the
+    original. *)
+
+val core_weights : t -> pi:float array -> scan:float array -> float array
+(** Assemble the combinational-core weight vector from primary-input
+    weights and per-chain-position scan weights. *)
+
+type config = {
+  weights : float array;  (** over the full core input vector *)
+  weight_bits : int;
+  lfsr_width : int;
+  lfsr_seed : int64;
+  misr_seed : int64;
+  n_tests : int;
+}
+
+val default_config : t -> weights:float array -> config
+
+type outcome = {
+  golden : int64;
+  detected : bool array;
+  coverage : float;
+  aliased : int;
+}
+
+val golden_signature : t -> config -> int64
+
+val run : t -> Rt_fault.Fault.t array -> config -> outcome
+(** Test-per-scan session over the core's stuck-at faults (the chain
+    itself is assumed fault-free, as is standard).  The MISR observes the
+    primary outputs and the captured state (which the chain shifts out),
+    i.e. the full core response. *)

@@ -1,0 +1,63 @@
+module Gate = Rt_circuit.Gate
+module Generators = Rt_circuit.Generators
+
+let mac ?(width = 6) () =
+  if width < 2 then invalid_arg "Seq_generators.mac";
+  let sb = Seq_netlist.builder () in
+  let b = Seq_netlist.comb sb in
+  let a = Seq_netlist.inputs sb "a" width in
+  let bb = Seq_netlist.inputs sb "b" width in
+  let acc = Seq_netlist.flops sb "acc" (2 * width) in
+  let ovf = Seq_netlist.flop sb "ovf" in
+  (* a * b as an array multiplier (same cells as c6288ish). *)
+  let zero = Rt_circuit.Builder.const b false in
+  let pp i j = Rt_circuit.Builder.and2 b a.(i) bb.(j) in
+  let h = ref (Array.append (Array.init width (fun i -> pp i 0)) [| zero |]) in
+  let low = ref [] in
+  for j = 1 to width - 1 do
+    let row_sh = Array.append [| zero |] (Array.init width (fun i -> pp i j)) in
+    let s, cout = Generators.ripple_adder b !h row_sh zero in
+    low := s.(0) :: !low;
+    h := Array.append (Array.sub s 1 width) [| cout |]
+  done;
+  let product =
+    Array.of_list (List.rev !low @ Array.to_list !h)
+  in
+  (* product has 2*width bits (plus the top carry word bit). *)
+  let product = Array.sub product 0 (2 * width) in
+  let sums, carry = Generators.ripple_adder b acc product zero in
+  Array.iteri (fun i q -> Seq_netlist.connect sb q ~d:sums.(i)) acc;
+  (* Sticky overflow. *)
+  Seq_netlist.connect sb ovf ~d:(Rt_circuit.Builder.or2 b ovf carry);
+  Array.iteri
+    (fun i q -> Seq_netlist.output sb ~name:(Printf.sprintf "o%d" i) q)
+    acc;
+  Seq_netlist.output sb ~name:"overflow" ovf;
+  (* Status flags over the wide accumulator: the random-resistant cones
+     that make scan weighting worthwhile (2^-2w events unweighted, but the
+     scan chain makes every accumulator bit a weighted pseudo-input). *)
+  Seq_netlist.output sb ~name:"acc_zero"
+    (Rt_circuit.Builder.gate b Gate.Nor (Array.to_list acc));
+  Seq_netlist.output sb ~name:"acc_max" (Rt_circuit.Builder.andn b (Array.to_list acc));
+  Seq_netlist.finalize sb
+
+let decade_counter () =
+  let sb = Seq_netlist.builder () in
+  let b = Seq_netlist.comb sb in
+  let enable = Seq_netlist.input sb "enable" in
+  let clear = Seq_netlist.input sb "clear" in
+  let q = Seq_netlist.flops sb "q" 4 in
+  (* at9 = q = 1001 *)
+  let open Rt_circuit.Builder in
+  let at9 = andn b [ q.(0); not_ b q.(1); not_ b q.(2); q.(3) ] in
+  let one = const b true in
+  let inc, _ = Generators.ripple_adder b q [| one; const b false; const b false; const b false |]
+      (const b false)
+  in
+  let next_counting = Array.init 4 (fun i -> mux b ~sel:at9 inc.(i) (const b false)) in
+  let next_en = Array.init 4 (fun i -> mux b ~sel:enable q.(i) next_counting.(i)) in
+  let next = Array.init 4 (fun i -> and2 b (not_ b clear) next_en.(i)) in
+  Array.iteri (fun i qq -> Seq_netlist.connect sb qq ~d:next.(i)) q;
+  Array.iteri (fun i qq -> Seq_netlist.output sb ~name:(Printf.sprintf "count%d" i) qq) q;
+  Seq_netlist.output sb ~name:"carry" (and2 b enable at9);
+  Seq_netlist.finalize sb

@@ -1,0 +1,13 @@
+(** Sequential demonstration circuits for the scan flow. *)
+
+val mac : ?width:int -> unit -> Seq_netlist.t
+(** Multiply-accumulate unit: [acc' = acc + a * b] with a [2*width]-bit
+    accumulator register, [width]-bit operand inputs (default 6), the
+    accumulator visible on the primary outputs plus an overflow sticky
+    flag.  Multiplier plus adder datapath: plenty of reconvergence, deep
+    carry chains, and — through the accumulator feedback — faults that are
+    hard to reach without scan. *)
+
+val decade_counter : unit -> Seq_netlist.t
+(** A BCD decade counter with enable and synchronous clear, carry-out at
+    9: a small control-dominated FSM. *)

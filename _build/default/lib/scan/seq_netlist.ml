@@ -1,0 +1,135 @@
+module Netlist = Rt_circuit.Netlist
+module Builder = Rt_circuit.Builder
+module Gate = Rt_circuit.Gate
+
+type t = {
+  core : Netlist.t;
+  n_inputs : int;
+  n_outputs : int;
+  n_flops : int;
+  flop_names : string array;
+}
+
+let core t = t.core
+let n_inputs t = t.n_inputs
+let n_outputs t = t.n_outputs
+let n_flops t = t.n_flops
+let flop_name t i = t.flop_names.(i)
+
+type builder = {
+  b : Builder.t;
+  mutable real_input_names : string list;  (* reversed *)
+  mutable flop_list : (string * Netlist.node * Netlist.node option ref) list;  (* reversed *)
+  mutable n_outs : int;
+}
+
+let builder () = { b = Builder.create (); real_input_names = []; flop_list = []; n_outs = 0 }
+
+let input sb name =
+  let n = Builder.input sb.b name in
+  sb.real_input_names <- name :: sb.real_input_names;
+  n
+
+let inputs sb prefix n = Array.init n (fun i -> input sb (Printf.sprintf "%s%d" prefix i))
+
+let flop sb name =
+  let q = Builder.input sb.b name in
+  sb.flop_list <- (name, q, ref None) :: sb.flop_list;
+  q
+
+let flops sb prefix n = Array.init n (fun i -> flop sb (Printf.sprintf "%s%d" prefix i))
+
+let connect sb q ~d =
+  let rec find = function
+    | [] -> invalid_arg "Seq_netlist.connect: not a flop Q"
+    | (_, q', slot) :: rest -> if q' = q then slot := Some d else find rest
+  in
+  find sb.flop_list
+
+let gate sb ?name kind fanin = Builder.gate sb.b ?name kind fanin
+let comb sb = sb.b
+
+let output sb ?name node =
+  Builder.output sb.b ?name node;
+  sb.n_outs <- sb.n_outs + 1
+
+(* Rebuild a netlist with its input nodes moved to the front in the given
+   order (inputs have no fanins, so any such permutation stays
+   topological). *)
+let reorder_inputs c desired_inputs =
+  let n = Netlist.size c in
+  let is_desired = Array.make n false in
+  Array.iter (fun i -> is_desired.(i) <- true) desired_inputs;
+  let order = Array.make n (-1) in
+  let pos = ref 0 in
+  Array.iter
+    (fun i ->
+      order.(!pos) <- i;
+      incr pos)
+    desired_inputs;
+  for i = 0 to n - 1 do
+    if not is_desired.(i) then begin
+      order.(!pos) <- i;
+      incr pos
+    end
+  done;
+  let new_of_old = Array.make n (-1) in
+  Array.iteri (fun new_id old_id -> new_of_old.(old_id) <- new_id) order;
+  let kinds = Array.map (fun old_id -> Netlist.kind c old_id) order in
+  let fanins =
+    Array.map (fun old_id -> Array.map (fun f -> new_of_old.(f)) (Netlist.fanin c old_id)) order
+  in
+  let names = Array.map (fun old_id -> Netlist.name c old_id) order in
+  let output_list = Array.to_list (Array.map (fun o -> new_of_old.(o)) (Netlist.outputs c)) in
+  Netlist.make ~kinds ~fanins ~names ~output_list
+
+let finalize sb =
+  let flop_list = List.rev sb.flop_list in
+  (* Pseudo-outputs: the D nets, appended after the real outputs. *)
+  List.iter
+    (fun (name, _, slot) ->
+      match !slot with
+      | None -> invalid_arg (Printf.sprintf "Seq_netlist.finalize: flop %s has no D" name)
+      | Some d -> Builder.output sb.b ~name:(name ^ "_D") d)
+    flop_list;
+  let raw = Builder.finalize sb.b in
+  (* Pruning may have shifted node ids; resolve the inputs by name and put
+     real inputs first, flop Qs after. *)
+  let find_input name =
+    match Netlist.find raw name with
+    | Some n -> n
+    | None -> invalid_arg ("Seq_netlist.finalize: lost input " ^ name)
+  in
+  let real_names = List.rev sb.real_input_names in
+  let flop_names = List.map (fun (name, _, _) -> name) flop_list in
+  let desired =
+    Array.of_list (List.map find_input (real_names @ flop_names))
+  in
+  let core = reorder_inputs raw desired in
+  { core;
+    n_inputs = List.length real_names;
+    n_outputs = sb.n_outs;
+    n_flops = List.length flop_names;
+    flop_names = Array.of_list flop_names }
+
+type state = bool array
+
+let initial_state t = Array.make t.n_flops false
+
+let step t s pis =
+  if Array.length pis <> t.n_inputs then invalid_arg "Seq_netlist.step: input width";
+  if Array.length s <> t.n_flops then invalid_arg "Seq_netlist.step: state width";
+  let all_out = Netlist.eval_outputs t.core (Array.append pis s) in
+  (Array.sub all_out 0 t.n_outputs, Array.sub all_out t.n_outputs t.n_flops)
+
+let run t s seq =
+  let state = ref s in
+  let outs =
+    List.map
+      (fun pis ->
+        let o, s' = step t !state pis in
+        state := s';
+        o)
+      seq
+  in
+  (outs, !state)

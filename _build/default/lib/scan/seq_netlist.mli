@@ -1,0 +1,71 @@
+(** Sequential circuits as a combinational core plus D flip-flops.
+
+    The paper's opening assumption — "the most widely used self test
+    techniques configure the circuit registers to linear feedback shift
+    registers ... therefore we can restrict our examinations to
+    combinational networks" — is the full-scan discipline.  This module
+    provides the sequential side of that story: flops are modelled as
+    pseudo-inputs (their Q outputs) and pseudo-outputs (their D inputs) of
+    a combinational core, which is exactly the netlist every other library
+    in this project analyses. *)
+
+type t
+
+val core : t -> Rt_circuit.Netlist.t
+(** The combinational core.  Its input array is the real primary inputs
+    followed by the flop Q pseudo-inputs; its output array is the real
+    primary outputs followed by the flop D pseudo-outputs. *)
+
+val n_inputs : t -> int  (** real primary inputs *)
+
+val n_outputs : t -> int  (** real primary outputs *)
+
+val n_flops : t -> int
+
+val flop_name : t -> int -> string
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val input : builder -> string -> Rt_circuit.Netlist.node
+val inputs : builder -> string -> int -> Rt_circuit.Netlist.node array
+
+val flop : builder -> string -> Rt_circuit.Netlist.node
+(** Declare a flip-flop; returns its Q value (usable immediately, like any
+    other signal).  Its D input must be wired with {!connect} before
+    {!finalize}. *)
+
+val flops : builder -> string -> int -> Rt_circuit.Netlist.node array
+
+val connect : builder -> Rt_circuit.Netlist.node -> d:Rt_circuit.Netlist.node -> unit
+(** [connect b q ~d] wires the D input of the flop whose Q is [q]. *)
+
+val gate :
+  builder -> ?name:string -> Rt_circuit.Gate.kind -> Rt_circuit.Netlist.node list ->
+  Rt_circuit.Netlist.node
+
+val comb : builder -> Rt_circuit.Builder.t
+(** The underlying combinational builder, for use with
+    {!Rt_circuit.Generators} building blocks. *)
+
+val output : builder -> ?name:string -> Rt_circuit.Netlist.node -> unit
+
+val finalize : builder -> t
+(** Raises [Invalid_argument] if some flop's D input was never connected. *)
+
+(** {1 Cycle-accurate simulation} *)
+
+type state = bool array
+(** One bool per flop, in declaration order. *)
+
+val initial_state : t -> state
+(** All flops zero. *)
+
+val step : t -> state -> bool array -> bool array * state
+(** [step t s primary_inputs] is [(primary_outputs, next_state)]. *)
+
+val run : t -> state -> bool array list -> bool array list * state
+(** Fold {!step} over an input sequence. *)

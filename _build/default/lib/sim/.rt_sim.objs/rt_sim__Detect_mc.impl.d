@@ -1,0 +1,1 @@
+lib/sim/detect_mc.ml: Array Fault_sim Float Pattern Rt_util

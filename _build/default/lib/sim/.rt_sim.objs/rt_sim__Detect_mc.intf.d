@@ -1,0 +1,1 @@
+lib/sim/detect_mc.mli: Rt_circuit Rt_fault

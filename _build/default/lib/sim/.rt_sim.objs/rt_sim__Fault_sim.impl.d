@@ -1,0 +1,1 @@
+lib/sim/fault_sim.ml: Array Float Fun Int64 List Logic_sim Pattern Rt_circuit Rt_fault Rt_util

@@ -1,0 +1,1 @@
+lib/sim/fault_sim.mli: Pattern Rt_circuit Rt_fault

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.ml: Array Int64 Pattern Rt_circuit

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.mli: Pattern Rt_circuit

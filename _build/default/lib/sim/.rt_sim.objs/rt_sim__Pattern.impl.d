@@ -1,0 +1,1 @@
+lib/sim/pattern.ml: Array Int64 List Rt_util

@@ -1,0 +1,1 @@
+lib/sim/pattern.mli: Rt_util

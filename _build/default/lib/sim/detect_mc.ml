@@ -1,0 +1,11 @@
+let detection_probs c faults ~weights ~n_patterns ~seed =
+  let rng = Rt_util.Rng.create seed in
+  let source = Pattern.weighted rng weights in
+  let stats = Fault_sim.simulate ~drop:false c faults ~source ~n_patterns in
+  Array.map
+    (fun count -> Float.of_int count /. Float.of_int stats.Fault_sim.patterns_run)
+    stats.Fault_sim.detect_count
+
+let confidence_halfwidth ~p ~n =
+  if n <= 0 then invalid_arg "Detect_mc.confidence_halfwidth";
+  1.96 *. sqrt (p *. (1.0 -. p) /. Float.of_int n)

@@ -1,0 +1,19 @@
+(** Monte-Carlo estimation of fault detection probabilities.
+
+    [p_f(X)] is estimated as the fraction of [n] weighted random patterns
+    that detect [f], simulating without fault dropping.  Slower than the
+    analytic estimators but model-free; used to validate them and available
+    as an ANALYSIS oracle for the optimizer. *)
+
+val detection_probs :
+  Rt_circuit.Netlist.t ->
+  Rt_fault.Fault.t array ->
+  weights:float array ->
+  n_patterns:int ->
+  seed:int ->
+  float array
+(** Estimated [p_f] per fault, in fault-array order. *)
+
+val confidence_halfwidth : p:float -> n:int -> float
+(** 95 % normal-approximation half-width of the estimate — tests use it to
+    set tolerances. *)

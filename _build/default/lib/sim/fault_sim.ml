@@ -1,0 +1,276 @@
+module Netlist = Rt_circuit.Netlist
+module Gate = Rt_circuit.Gate
+module Fault = Rt_fault.Fault
+
+type stats = {
+  faults : Fault.t array;
+  first_detect : int array;
+  detect_count : int array;
+  patterns_run : int;
+}
+
+(* Workspace reused across faults within a batch. *)
+type ws = {
+  c : Netlist.t;
+  sim : Logic_sim.t;
+  fval : int64 array;
+  dirty : bool array;
+  queued : bool array;
+  heap : Rt_util.Int_heap.t;
+  mutable touched : int list;
+  args : int64 array array;  (* scratch per arity, indexed by arity *)
+}
+
+let make_ws c =
+  let n = Netlist.size c in
+  let max_arity =
+    let m = ref 1 in
+    Netlist.iter_gates c (fun g -> m := max !m (Array.length (Netlist.fanin c g)));
+    !m
+  in
+  { c;
+    sim = Logic_sim.create c;
+    fval = Array.make n 0L;
+    dirty = Array.make n false;
+    queued = Array.make n false;
+    heap = Rt_util.Int_heap.create ();
+    touched = [];
+    args = Array.init (max_arity + 1) (fun a -> Array.make (max 1 a) 0L) }
+
+let reset ws =
+  List.iter
+    (fun n ->
+      ws.dirty.(n) <- false;
+      ws.queued.(n) <- false)
+    ws.touched;
+  ws.touched <- [];
+  Rt_util.Int_heap.clear ws.heap
+
+let faulty_in ws good n = if ws.dirty.(n) then ws.fval.(n) else good.(n)
+
+let eval_gate ws good g ~pin_override =
+  let fi = Netlist.fanin ws.c g in
+  let arity = Array.length fi in
+  let args = ws.args.(arity) in
+  for k = 0 to arity - 1 do
+    args.(k) <- faulty_in ws good fi.(k)
+  done;
+  (match pin_override with
+   | Some (k, v) -> args.(k) <- (if v then -1L else 0L)
+   | None -> ());
+  Gate.eval_words (Netlist.kind ws.c g) args
+
+let push_fanouts ws n =
+  Array.iter
+    (fun r ->
+      if not ws.queued.(r) then begin
+        ws.queued.(r) <- true;
+        ws.touched <- r :: ws.touched;
+        Rt_util.Int_heap.push ws.heap r
+      end)
+    (Netlist.fanout ws.c n)
+
+let mark_dirty ws n v =
+  ws.fval.(n) <- v;
+  if not ws.dirty.(n) then begin
+    ws.dirty.(n) <- true;
+    if not ws.queued.(n) then ws.touched <- n :: ws.touched
+  end
+
+(* Returns the 64-lane detection word for one fault on the current batch. *)
+let inject_and_propagate ws fault lanes =
+  let good = Logic_sim.values ws.sim in
+  let c = ws.c in
+  reset ws;
+  let seeded =
+    match fault.Fault.site with
+    | Fault.Stem n ->
+      let v = if fault.Fault.stuck then -1L else 0L in
+      if Int64.logand (Int64.logxor v good.(n)) lanes = 0L then false
+      else begin
+        mark_dirty ws n v;
+        push_fanouts ws n;
+        true
+      end
+    | Fault.Branch (g, k) ->
+      let v = eval_gate ws good g ~pin_override:(Some (k, fault.Fault.stuck)) in
+      if Int64.logand (Int64.logxor v good.(g)) lanes = 0L then false
+      else begin
+        mark_dirty ws g v;
+        push_fanouts ws g;
+        true
+      end
+  in
+  if not seeded then 0L
+  else begin
+    (* Every push targets a strictly larger id, so each node is popped at
+       most once, with all its fanins final — no iteration needed.  The
+       fault site itself is the seed and is never re-queued. *)
+    while not (Rt_util.Int_heap.is_empty ws.heap) do
+      let n = Rt_util.Int_heap.pop ws.heap in
+      if ws.queued.(n) then begin
+        ws.queued.(n) <- false;
+        let v = eval_gate ws good n ~pin_override:None in
+        if Int64.logand (Int64.logxor v good.(n)) lanes <> 0L then begin
+          mark_dirty ws n v;
+          push_fanouts ws n
+        end
+      end
+    done;
+    let detect = ref 0L in
+    Array.iter
+      (fun o ->
+        if ws.dirty.(o) then
+          detect := Int64.logor !detect (Int64.logand (Int64.logxor ws.fval.(o) good.(o)) lanes))
+      (Netlist.outputs c);
+    !detect
+  end
+
+let lowest_lane w =
+  let rec go i = if Int64.logand (Int64.shift_right_logical w i) 1L <> 0L then i else go (i + 1) in
+  go 0
+
+let popcount_64 w =
+  let open Int64 in
+  let x = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let simulate ?(drop = true) c faults ~source ~n_patterns =
+  let nf = Array.length faults in
+  let first_detect = Array.make nf (-1) in
+  let detect_count = Array.make nf 0 in
+  let ws = make_ws c in
+  let live = Array.init nf Fun.id in
+  let n_live = ref nf in
+  let base = ref 0 in
+  while !base < n_patterns && (!n_live > 0 || not drop) do
+    let batch = source () in
+    let batch =
+      if !base + batch.Pattern.n_patterns <= n_patterns then batch
+      else begin
+        let keep = n_patterns - !base in
+        { batch with Pattern.n_patterns = keep }
+      end
+    in
+    let lanes = Pattern.lane_mask batch in
+    Logic_sim.run ws.sim batch;
+    let i = ref 0 in
+    while !i < !n_live do
+      let fi = live.(!i) in
+      let detect = inject_and_propagate ws faults.(fi) lanes in
+      if Int64.equal detect 0L then incr i
+      else begin
+        if first_detect.(fi) < 0 then first_detect.(fi) <- !base + lowest_lane detect;
+        detect_count.(fi) <- detect_count.(fi) + popcount_64 detect;
+        if drop then begin
+          (* Swap-remove from the live set. *)
+          n_live := !n_live - 1;
+          live.(!i) <- live.(!n_live);
+          live.(!n_live) <- fi
+        end
+        else incr i
+      end
+    done;
+    base := !base + batch.Pattern.n_patterns
+  done;
+  { faults; first_detect; detect_count; patterns_run = !base }
+
+let simulate_with_responses c faults ~source ~n_patterns =
+  let nf = Array.length faults in
+  let first_detect = Array.make nf (-1) in
+  let detect_count = Array.make nf 0 in
+  let responses = Array.make nf [] in
+  let ws = make_ws c in
+  let outputs = Netlist.outputs c in
+  let n_out = min 64 (Array.length outputs) in
+  let base = ref 0 in
+  while !base < n_patterns do
+    let batch = source () in
+    let batch =
+      if !base + batch.Pattern.n_patterns <= n_patterns then batch
+      else { batch with Pattern.n_patterns = n_patterns - !base }
+    in
+    let lanes = Pattern.lane_mask batch in
+    Logic_sim.run ws.sim batch;
+    let good = Logic_sim.values ws.sim in
+    for fi = 0 to nf - 1 do
+      let detect = inject_and_propagate ws faults.(fi) lanes in
+      if not (Int64.equal detect 0L) then begin
+        if first_detect.(fi) < 0 then first_detect.(fi) <- !base + lowest_lane detect;
+        detect_count.(fi) <- detect_count.(fi) + popcount_64 detect;
+        (* Per detecting lane, build the output-difference word.  Note this
+           must run before the next fault's [reset], so capture now. *)
+        let out_diffs =
+          Array.init n_out (fun k ->
+              let o = outputs.(k) in
+              if ws.dirty.(o) then Int64.logand (Int64.logxor ws.fval.(o) good.(o)) lanes
+              else 0L)
+        in
+        for lane = 0 to batch.Pattern.n_patterns - 1 do
+          if Int64.logand (Int64.shift_right_logical detect lane) 1L <> 0L then begin
+            let d = ref 0L in
+            for k = 0 to n_out - 1 do
+              if Int64.logand (Int64.shift_right_logical out_diffs.(k) lane) 1L <> 0L then
+                d := Int64.logor !d (Int64.shift_left 1L k)
+            done;
+            responses.(fi) <- (!base + lane, !d) :: responses.(fi)
+          end
+        done
+      end
+    done;
+    base := !base + batch.Pattern.n_patterns
+  done;
+  let responses = Array.map List.rev responses in
+  ({ faults; first_detect; detect_count; patterns_run = !base }, responses)
+
+let detects c f pattern =
+  let good = Netlist.eval c pattern in
+  let n = Netlist.size c in
+  let bad = Array.make n false in
+  for i = 0 to n - 1 do
+    let v =
+      match Netlist.kind c i with
+      | Gate.Input -> pattern.(Netlist.input_index c i)
+      | k ->
+        let fi = Netlist.fanin c i in
+        let args = Array.map (fun j -> bad.(j)) fi in
+        let args =
+          match f.Fault.site with
+          | Fault.Branch (g, pin) when g = i ->
+            let args = Array.copy args in
+            args.(pin) <- f.Fault.stuck;
+            args
+          | Fault.Branch _ | Fault.Stem _ -> args
+        in
+        Gate.eval k args
+    in
+    bad.(i) <- (match f.Fault.site with Fault.Stem s when s = i -> f.Fault.stuck | _ -> v)
+  done;
+  Array.exists (fun o -> good.(o) <> bad.(o)) (Netlist.outputs c)
+
+let coverage s =
+  let nf = Array.length s.faults in
+  if nf = 0 then 1.0
+  else begin
+    let d = Array.fold_left (fun acc fd -> if fd >= 0 then acc + 1 else acc) 0 s.first_detect in
+    Float.of_int d /. Float.of_int nf
+  end
+
+let coverage_at s k =
+  let nf = Array.length s.faults in
+  if nf = 0 then 1.0
+  else begin
+    let d =
+      Array.fold_left (fun acc fd -> if fd >= 0 && fd < k then acc + 1 else acc) 0 s.first_detect
+    in
+    Float.of_int d /. Float.of_int nf
+  end
+
+let coverage_curve s ~points = List.map (fun k -> (k, coverage_at s k)) points
+
+let undetected s =
+  s.faults |> Array.to_list
+  |> List.filteri (fun i _ -> s.first_detect.(i) < 0)
+  |> Array.of_list

@@ -1,0 +1,52 @@
+(** Parallel-pattern single-fault propagation (PPSFP) fault simulation.
+
+    For each 64-pattern batch the good circuit is simulated once; each live
+    fault is then injected and its effect propagated event-driven through
+    its fanout cone only, 64 lanes at a time.  With fault dropping this is
+    the engine behind the paper's Tables 2 and 4 and Fig. 2. *)
+
+type stats = {
+  faults : Rt_fault.Fault.t array;
+  first_detect : int array;
+      (** Per fault: index of the first detecting pattern, or -1. *)
+  detect_count : int array;
+      (** Per fault: number of detecting patterns seen (1 with dropping). *)
+  patterns_run : int;
+}
+
+val simulate :
+  ?drop:bool ->
+  Rt_circuit.Netlist.t ->
+  Rt_fault.Fault.t array ->
+  source:Pattern.source ->
+  n_patterns:int ->
+  stats
+(** [drop] (default true) stops simulating a fault once detected. *)
+
+val simulate_with_responses :
+  Rt_circuit.Netlist.t ->
+  Rt_fault.Fault.t array ->
+  source:Pattern.source ->
+  n_patterns:int ->
+  stats * (int * int64) list array
+(** Like [simulate ~drop:false] but additionally returns, per fault, the
+    sparse response-difference stream: [(pattern_index, diff_word)] pairs
+    (ascending) where bit [k] of [diff_word] says primary output [k]
+    (among the first 64) differed.  Signature analysis is linear, so this
+    stream is exactly what a MISR needs to decide aliasing. *)
+
+val detects :
+  Rt_circuit.Netlist.t -> Rt_fault.Fault.t -> bool array -> bool
+(** [detects c f pattern]: single-pattern check (reference semantics used by
+    tests and ATPG verification). *)
+
+val coverage : stats -> float
+(** Detected / total. *)
+
+val coverage_at : stats -> int -> float
+(** Coverage counting only the first [k] patterns. *)
+
+val coverage_curve : stats -> points:int list -> (int * float) list
+(** Sampled coverage-vs-pattern-count curve (paper Fig. 2). *)
+
+val undetected : stats -> Rt_fault.Fault.t array

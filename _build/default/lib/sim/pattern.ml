@@ -1,0 +1,70 @@
+type batch = {
+  n_inputs : int;
+  n_patterns : int;
+  bits : int64 array;
+}
+
+type source = unit -> batch
+
+let lane_mask b =
+  if b.n_patterns >= 64 then -1L else Int64.sub (Int64.shift_left 1L b.n_patterns) 1L
+
+let pattern b l =
+  if l < 0 || l >= b.n_patterns then invalid_arg "Pattern.pattern: lane out of range";
+  Array.init b.n_inputs (fun i ->
+      Int64.logand (Int64.shift_right_logical b.bits.(i) l) 1L <> 0L)
+
+let of_vectors vectors =
+  match Array.length vectors with
+  | 0 -> []
+  | total ->
+    let n_inputs = Array.length vectors.(0) in
+    Array.iter
+      (fun v -> if Array.length v <> n_inputs then invalid_arg "Pattern.of_vectors: ragged input")
+      vectors;
+    let rec build start acc =
+      if start >= total then List.rev acc
+      else begin
+        let n = min 64 (total - start) in
+        let bits = Array.make n_inputs 0L in
+        for l = 0 to n - 1 do
+          let v = vectors.(start + l) in
+          for i = 0 to n_inputs - 1 do
+            if v.(i) then bits.(i) <- Int64.logor bits.(i) (Int64.shift_left 1L l)
+          done
+        done;
+        build (start + n) ({ n_inputs; n_patterns = n; bits } :: acc)
+      end
+    in
+    build 0 []
+
+let weighted rng weights () =
+  let n_inputs = Array.length weights in
+  let bits = Array.map (fun w -> Rt_util.Rng.biased_word rng w) weights in
+  { n_inputs; n_patterns = 64; bits }
+
+let equiprobable rng ~n_inputs =
+  let w = Array.make n_inputs 0.5 in
+  weighted rng w
+
+let constant_weight rng ~n_inputs p =
+  let w = Array.make n_inputs p in
+  weighted rng w
+
+let take src n =
+  let rec go remaining acc =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let b = src () in
+      let b =
+        if b.n_patterns <= remaining then b
+        else begin
+          let keep = remaining in
+          let mask = Int64.sub (Int64.shift_left 1L keep) 1L in
+          { b with n_patterns = keep; bits = Array.map (fun w -> Int64.logand w mask) b.bits }
+        end
+      in
+      go (remaining - b.n_patterns) (b :: acc)
+    end
+  in
+  go n []

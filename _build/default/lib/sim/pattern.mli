@@ -1,0 +1,36 @@
+(** Test pattern batches and sources.
+
+    A batch packs up to 64 patterns: one 64-bit word per primary input,
+    bit [l] of word [i] being input [i]'s value in pattern (lane) [l].
+    Unused lanes of a short batch are zero and excluded by [lane_mask]. *)
+
+type batch = {
+  n_inputs : int;
+  n_patterns : int;  (** 1..64 *)
+  bits : int64 array;  (** one word per input *)
+}
+
+val lane_mask : batch -> int64
+(** Ones in the valid lanes. *)
+
+val pattern : batch -> int -> bool array
+(** Extract lane [l] as a plain input vector. *)
+
+val of_vectors : bool array array -> batch list
+(** Pack explicit vectors (all of equal width) into batches. *)
+
+type source = unit -> batch
+(** Infinite stream of batches (callers bound the number of patterns). *)
+
+val equiprobable : Rt_util.Rng.t -> n_inputs:int -> source
+(** Conventional random test: every input independently 0.5. *)
+
+val weighted : Rt_util.Rng.t -> float array -> source
+(** The paper's optimized random test: input [i] is 1 with probability
+    [w.(i)]. *)
+
+val constant_weight : Rt_util.Rng.t -> n_inputs:int -> float -> source
+(** All inputs share one probability (Lieberherr's parameterised tests). *)
+
+val take : source -> int -> batch list
+(** [take src n] is batches holding exactly [n] patterns in total. *)

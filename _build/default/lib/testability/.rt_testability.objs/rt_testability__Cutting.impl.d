@@ -1,0 +1,1 @@
+lib/testability/cutting.ml: Array Float List Rt_circuit

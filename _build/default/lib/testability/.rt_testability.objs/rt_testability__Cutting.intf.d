@@ -1,0 +1,1 @@
+lib/testability/cutting.mli: Rt_circuit

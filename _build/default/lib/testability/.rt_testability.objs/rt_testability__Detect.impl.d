@@ -1,0 +1,1 @@
+lib/testability/detect.ml: Array List Observability Printf Rt_bdd Rt_circuit Rt_fault Rt_sim Rt_util Signal_prob Stafan

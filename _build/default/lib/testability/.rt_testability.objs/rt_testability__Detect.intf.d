@@ -1,0 +1,1 @@
+lib/testability/detect.mli: Rt_bdd Rt_circuit Rt_fault

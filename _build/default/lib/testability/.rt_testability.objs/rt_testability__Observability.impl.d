@@ -1,0 +1,1 @@
+lib/testability/observability.ml: Array Float List Rt_circuit

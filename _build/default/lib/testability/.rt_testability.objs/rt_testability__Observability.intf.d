@@ -1,0 +1,1 @@
+lib/testability/observability.mli: Rt_circuit

@@ -1,0 +1,1 @@
+lib/testability/signal_prob.ml: Array Float List Rt_bdd Rt_circuit

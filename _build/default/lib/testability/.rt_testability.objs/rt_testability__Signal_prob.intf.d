@@ -1,0 +1,1 @@
+lib/testability/signal_prob.mli: Rt_circuit

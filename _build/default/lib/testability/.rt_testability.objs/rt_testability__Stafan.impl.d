@@ -1,0 +1,1 @@
+lib/testability/stafan.ml: Array Float Int64 List Observability Rt_circuit Rt_fault Rt_sim

@@ -1,0 +1,1 @@
+lib/testability/stafan.mli: Observability Rt_circuit Rt_fault Rt_sim

@@ -1,0 +1,1 @@
+lib/testability/test_length.ml: Array Float Fun Rt_util

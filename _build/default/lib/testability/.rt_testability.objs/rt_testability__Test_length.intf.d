@@ -1,0 +1,1 @@
+lib/testability/test_length.mli:

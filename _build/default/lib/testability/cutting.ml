@@ -1,0 +1,118 @@
+module Netlist = Rt_circuit.Netlist
+module Gate = Rt_circuit.Gate
+
+(* Guaranteed signal-probability bounds in the spirit of Savir's cutting
+   algorithm.  Where the original cuts reconvergent branches and assigns
+   them [0,1], we track each node's input support and switch combination
+   rule by dependence:
+
+   - disjoint supports: the lines are genuinely independent, so the exact
+     interval-corner arithmetic of the gate function applies;
+   - overlapping supports (a reconvergent meet — exactly where the original
+     algorithm would cut): Frechet bounds, which are valid under ANY joint
+     distribution of the two lines.
+
+   This is sound for all gate types including XOR, where naive corner
+   arithmetic fails (XOR of two copies of the same 0.5-probability signal
+   is identically 0, not 0.5). *)
+
+let i_not (a, b) = (1.0 -. b, 1.0 -. a)
+
+(* Independent combination (corners). *)
+let ind_and (a, b) (c, d) = (a *. c, b *. d)
+let ind_or (a, b) (c, d) = (1.0 -. ((1.0 -. a) *. (1.0 -. c)), 1.0 -. ((1.0 -. b) *. (1.0 -. d)))
+
+let ind_xor (a, b) (c, d) =
+  let f x y = (x *. (1.0 -. y)) +. (y *. (1.0 -. x)) in
+  let corners = [ f a c; f a d; f b c; f b d ] in
+  (List.fold_left Float.min 1.0 corners, List.fold_left Float.max 0.0 corners)
+
+(* Frechet combination: valid for arbitrarily correlated lines with
+   marginals inside the given intervals. *)
+let fre_and (a, b) (c, d) = (Float.max 0.0 (a +. c -. 1.0), Float.min b d)
+let fre_or (a, b) (c, d) = (Float.max a c, Float.min 1.0 (b +. d))
+
+let fre_xor (a, b) (c, d) =
+  (* P(x <> y) for marginals (p, q): ranges over [|p-q|, min(p+q, 2-p-q)]. *)
+  let lo =
+    (* minimum over the box of |p - q|: 0 if the intervals intersect. *)
+    if b < c then c -. b else if d < a then a -. d else 0.0
+  in
+  let hi =
+    (* maximize min(p+q, 2-p-q): the max is at p+q as close to 1 as the box
+       allows. *)
+    let s_min = a +. c and s_max = b +. d in
+    if s_min <= 1.0 && 1.0 <= s_max then 1.0 else if s_max < 1.0 then s_max else 2.0 -. s_min
+  in
+  (lo, hi)
+
+let clamp01 (lo, hi) = (Float.max 0.0 lo, Float.min 1.0 hi)
+
+let bounds c x =
+  if Array.length x <> Array.length (Netlist.inputs c) then
+    invalid_arg "Cutting.bounds: weight vector width mismatch";
+  let n = Netlist.size c in
+  let n_inputs = Array.length (Netlist.inputs c) in
+  let words = (n_inputs + 62) / 63 in
+  let support : int array array = Array.make n [||] in
+  let overlaps a b =
+    let rec go i = i < words && (a.(i) land b.(i) <> 0 || go (i + 1)) in
+    Array.length a > 0 && Array.length b > 0 && go 0
+  in
+  let union a b =
+    if Array.length a = 0 then b
+    else if Array.length b = 0 then a
+    else Array.init words (fun i -> a.(i) lor b.(i))
+  in
+  let iv = Array.make n (0.0, 1.0) in
+  for g = 0 to n - 1 do
+    match Netlist.kind c g with
+    | Gate.Input ->
+      let pos = Netlist.input_index c g in
+      let s = Array.make words 0 in
+      s.(pos / 63) <- 1 lsl (pos mod 63);
+      support.(g) <- s;
+      iv.(g) <- (x.(pos), x.(pos))
+    | Gate.Const0 ->
+      support.(g) <- [||];
+      iv.(g) <- (0.0, 0.0)
+    | Gate.Const1 ->
+      support.(g) <- [||];
+      iv.(g) <- (1.0, 1.0)
+    | k ->
+      let fi = Netlist.fanin c g in
+      let combine ind fre =
+        (* Fold fanins left to right, switching rule by support overlap of
+           the accumulated prefix against the next operand. *)
+        let acc_iv = ref iv.(fi.(0)) in
+        let acc_sup = ref support.(fi.(0)) in
+        for p = 1 to Array.length fi - 1 do
+          let rule = if overlaps !acc_sup support.(fi.(p)) then fre else ind in
+          acc_iv := clamp01 (rule !acc_iv iv.(fi.(p)));
+          acc_sup := union !acc_sup support.(fi.(p))
+        done;
+        !acc_iv
+      in
+      support.(g) <- Array.fold_left (fun acc j -> union acc support.(j)) [||] fi;
+      iv.(g) <-
+        (match k with
+         | Gate.Input | Gate.Const0 | Gate.Const1 -> assert false
+         | Gate.Buf -> iv.(fi.(0))
+         | Gate.Not -> i_not iv.(fi.(0))
+         | Gate.And -> combine ind_and fre_and
+         | Gate.Nand -> i_not (combine ind_and fre_and)
+         | Gate.Or -> combine ind_or fre_or
+         | Gate.Nor -> i_not (combine ind_or fre_or)
+         | Gate.Xor -> combine ind_xor fre_xor
+         | Gate.Xnor -> i_not (combine ind_xor fre_xor))
+  done;
+  iv
+
+let contains iv probs =
+  let ok = ref true in
+  Array.iteri
+    (fun i p ->
+      let lo, hi = iv.(i) in
+      if p < lo -. 1e-9 || p > hi +. 1e-9 then ok := false)
+    probs;
+  !ok

@@ -1,0 +1,20 @@
+(** Guaranteed signal-probability bounds — the role of Savir's cutting
+    algorithm (cited by the paper as [BDS84]).
+
+    Where the original algorithm cuts reconvergent fanout branches and
+    assigns them the unknowable interval [0,1], this implementation tracks
+    each node's input support and switches the combination rule at every
+    gate: exact interval corners where the operand supports are disjoint
+    (true independence), Frechet bounds — valid under {e any} joint
+    distribution — where they overlap, i.e. exactly at the reconvergent
+    meets the original would cut.  Unlike naive corner propagation this is
+    sound for XOR as well.  The resulting [lo, hi] provably brackets the
+    true signal probability; the test suite checks the exact value and the
+    independence estimate both fall inside. *)
+
+val bounds : Rt_circuit.Netlist.t -> float array -> (float * float) array
+(** Per-node [(lo, hi)] given input probabilities. *)
+
+val contains : (float * float) array -> float array -> bool
+(** [contains bounds probs]: every probability inside its interval (with a
+    1e-9 slack for rounding). *)

@@ -1,0 +1,273 @@
+module Netlist = Rt_circuit.Netlist
+module Gate = Rt_circuit.Gate
+module Fault = Rt_fault.Fault
+module Bdd = Rt_bdd.Bdd
+module Bdd_circuit = Rt_bdd.Bdd_circuit
+
+type engine =
+  | Cop
+  | Conditioned of { max_vars : int }
+  | Bdd_exact of { node_limit : int }
+  | Stafan of { n_patterns : int; seed : int }
+  | Monte_carlo of { n_patterns : int; seed : int }
+
+type oracle = {
+  c : Netlist.t;
+  fault_list : Fault.t array;
+  run : float array -> float array;
+  label : string;
+  exact : bool array;
+  redundant : bool array;
+}
+
+let injection f =
+  match f.Fault.site with
+  | Fault.Stem n -> Bdd_circuit.Stem (n, f.Fault.stuck)
+  | Fault.Branch (g, k) -> Bdd_circuit.Pin (g, k, f.Fault.stuck)
+
+let cop_probs c faults x =
+  let sp = Signal_prob.independence c x in
+  let obs = Observability.cop c ~node_probs:sp in
+  Array.map
+    (fun f ->
+      let src = Fault.source f c in
+      let act = if f.Fault.stuck then 1.0 -. sp.(src) else sp.(src) in
+      match f.Fault.site with
+      | Fault.Stem n -> act *. obs.(n)
+      | Fault.Branch (g, k) ->
+        act *. Observability.pin_observability c ~node_probs:sp ~obs g k)
+    faults
+
+(* PREDICT-style (ABS86): Shannon-expand the COP estimate over the
+   highest-fanout inputs — activation and observability are conditionally
+   estimated per assignment, which removes the input-level correlations
+   plain COP ignores. *)
+let conditioned_probs ~max_vars c faults x =
+  let set = Signal_prob.conditioning_set ~max_vars c in
+  if Array.length set = 0 then cop_probs c faults x
+  else begin
+    let k = Array.length set in
+    let positions = Array.map (fun i -> Netlist.input_index c i) set in
+    let acc = Array.make (Array.length faults) 0.0 in
+    let x' = Array.copy x in
+    for a = 0 to (1 lsl k) - 1 do
+      let weight = ref 1.0 in
+      Array.iteri
+        (fun j pos ->
+          if (a lsr j) land 1 = 1 then begin
+            x'.(pos) <- 1.0;
+            weight := !weight *. x.(pos)
+          end
+          else begin
+            x'.(pos) <- 0.0;
+            weight := !weight *. (1.0 -. x.(pos))
+          end)
+        positions;
+      if !weight > 0.0 then begin
+        let pf = cop_probs c faults x' in
+        Array.iteri (fun n v -> acc.(n) <- acc.(n) +. (!weight *. v)) pf
+      end
+    done;
+    acc
+  end
+
+let make_conditioned ~max_vars c faults =
+  { c;
+    fault_list = faults;
+    run = (fun x -> conditioned_probs ~max_vars c faults x);
+    label = Printf.sprintf "conditioned(cop, %d vars)" (Array.length (Signal_prob.conditioning_set ~max_vars c));
+    exact = Array.make (Array.length faults) false;
+    redundant = Array.make (Array.length faults) false }
+
+let make_cop c faults =
+  { c;
+    fault_list = faults;
+    run = (fun x -> cop_probs c faults x);
+    label = "cop";
+    exact = Array.make (Array.length faults) false;
+    redundant = Array.make (Array.length faults) false }
+
+(* Exact engine.  Good-circuit BDDs are built once per "generation"; per
+   fault only its transitive-fanout cone is rebuilt with the fault
+   injected, and the boolean difference at the outputs becomes the fault's
+   detection BDD.  The shared unique table fills up with per-fault
+   intermediates, so when it overflows a fresh generation (new manager,
+   same variable order, rebuilt good circuit) continues with the remaining
+   faults — only a fault too large for an empty manager falls back to the
+   COP estimate. *)
+let make_bdd ~node_limit ?(max_generations = 6) c faults =
+  let nf = Array.length faults in
+  let fallback_probs = cop_probs c faults in
+  let exact = Array.make nf false in
+  let redundant = Array.make nf false in
+  let order = Bdd_circuit.dfs_order c in
+  let n = Netlist.size c in
+  let outputs = Netlist.outputs c in
+  let new_generation () =
+    let m = Bdd.manager ~node_limit ~nvars:(Array.length (Netlist.inputs c)) () in
+    let good = Array.make n (Bdd.zero m) in
+    for i = 0 to n - 1 do
+      good.(i) <-
+        (match Netlist.kind c i with
+         | Gate.Input -> Bdd.var m order.(Netlist.input_index c i)
+         | k -> Bdd.apply_kind m k (Array.map (fun j -> good.(j)) (Netlist.fanin c i)))
+    done;
+    (m, good)
+  in
+  let build_fault m good f =
+    let site_node = match f.Fault.site with Fault.Stem s -> s | Fault.Branch (g, _) -> g in
+    let mask = Rt_circuit.Cone.transitive_fanout c site_node in
+    let bad = Array.make n (Bdd.zero m) in
+    for i = 0 to n - 1 do
+      if mask.(i) then begin
+        let value =
+          match f.Fault.site with
+          | Fault.Stem s when s = i -> if f.Fault.stuck then Bdd.one m else Bdd.zero m
+          | Fault.Stem _ | Fault.Branch _ ->
+            let fanin = Netlist.fanin c i in
+            let args = Array.map (fun j -> if mask.(j) then bad.(j) else good.(j)) fanin in
+            let args =
+              match f.Fault.site with
+              | Fault.Branch (g, k) when g = i ->
+                let args = Array.copy args in
+                args.(k) <- (if f.Fault.stuck then Bdd.one m else Bdd.zero m);
+                args
+              | Fault.Branch _ | Fault.Stem _ -> args
+            in
+            Bdd.apply_kind m (Netlist.kind c i) args
+        in
+        bad.(i) <- value
+      end
+    done;
+    Array.fold_left
+      (fun acc o -> if mask.(o) then Bdd.or_ m acc (Bdd.xor_ m good.(o) bad.(o)) else acc)
+      (Bdd.zero m) outputs
+  in
+  (* detect_roots.(fi) = Some (generation, root). *)
+  let detect_roots = Array.make nf None in
+  let generations = ref [] in
+  let total_nodes = ref 0 in
+  (match new_generation () with
+   | exception Bdd.Limit_exceeded -> ()
+   | first_gen ->
+     let current = ref first_gen in
+     let gen_idx = ref 0 in
+     let fresh = ref true in
+     let gen_yield = ref 0 in
+     (* A generation that places almost no faults before overflowing means
+        the per-fault BDDs are intrinsically large for this circuit;
+        further generations would burn time for nothing. *)
+     let min_yield = max 8 (nf / 20) in
+     generations := [ first_gen ];
+     let fi = ref 0 in
+     while !fi < nf do
+       let f = faults.(!fi) in
+       let m, good = !current in
+       (match build_fault m good f with
+        | detect ->
+          detect_roots.(!fi) <- Some (!gen_idx, detect);
+          exact.(!fi) <- true;
+          if Bdd.is_zero detect then redundant.(!fi) <- true;
+          fresh := false;
+          incr gen_yield;
+          incr fi
+        | exception Bdd.Limit_exceeded ->
+          if !fresh then begin
+            (* Too big even for an empty manager: estimate this fault. *)
+            incr fi
+          end
+          else if List.length !generations >= max_generations || !gen_yield < min_yield then
+            fi := nf
+          else begin
+            match new_generation () with
+            | exception Bdd.Limit_exceeded -> fi := nf
+            | gen ->
+              total_nodes := !total_nodes + Bdd.node_count m;
+              current := gen;
+              incr gen_idx;
+              fresh := true;
+              gen_yield := 0;
+              generations := !generations @ [ gen ]
+          end)
+     done;
+     let m, _ = !current in
+     total_nodes := !total_nodes + Bdd.node_count m);
+  let generations = Array.of_list !generations in
+  let run x =
+    let x_of_var = Array.make (max 1 (Array.length order)) 0.5 in
+    Array.iteri (fun i v -> x_of_var.(v) <- x.(i)) order;
+    let out = Array.make nf 0.0 in
+    let need_fallback = ref false in
+    (* Batch the prob evaluation per generation to share memo tables. *)
+    Array.iteri
+      (fun gi (m, _) ->
+        let idxs = ref [] and roots = ref [] in
+        Array.iteri
+          (fun fi r ->
+            match r with
+            | Some (g, root) when g = gi ->
+              idxs := fi :: !idxs;
+              roots := root :: !roots
+            | Some _ | None -> ())
+          detect_roots;
+        let vals = Bdd.prob_many m (Array.of_list !roots) (fun v -> x_of_var.(v)) in
+        List.iteri (fun j fi -> out.(fi) <- vals.(j)) !idxs)
+      generations;
+    Array.iteri (fun fi r -> if r = None then need_fallback := true else ignore fi) detect_roots;
+    if !need_fallback then begin
+      let fb = fallback_probs x in
+      Array.iteri (fun fi r -> if r = None then out.(fi) <- fb.(fi)) detect_roots
+    end;
+    out
+  in
+  let n_exact = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 exact in
+  { c;
+    fault_list = faults;
+    run;
+    label =
+      Printf.sprintf "bdd-exact(%d/%d exact, %d generations, %d nodes)" n_exact nf
+        (Array.length generations) !total_nodes;
+    exact;
+    redundant }
+
+let make_stafan ~n_patterns ~seed c faults =
+  let run x =
+    let rng = Rt_util.Rng.create seed in
+    let source = Rt_sim.Pattern.weighted rng x in
+    let counts = Stafan.count c ~source ~n_patterns in
+    Stafan.detection_probs c counts faults
+  in
+  { c;
+    fault_list = faults;
+    run;
+    label = Printf.sprintf "stafan(%d patterns)" n_patterns;
+    exact = Array.make (Array.length faults) false;
+    redundant = Array.make (Array.length faults) false }
+
+let make_mc ~n_patterns ~seed c faults =
+  let run x = Rt_sim.Detect_mc.detection_probs c faults ~weights:x ~n_patterns ~seed in
+  { c;
+    fault_list = faults;
+    run;
+    label = Printf.sprintf "monte-carlo(%d patterns)" n_patterns;
+    exact = Array.make (Array.length faults) false;
+    redundant = Array.make (Array.length faults) false }
+
+let make engine c faults =
+  match engine with
+  | Cop -> make_cop c faults
+  | Conditioned { max_vars } -> make_conditioned ~max_vars c faults
+  | Bdd_exact { node_limit } -> make_bdd ~node_limit c faults
+  | Stafan { n_patterns; seed } -> make_stafan ~n_patterns ~seed c faults
+  | Monte_carlo { n_patterns; seed } -> make_mc ~n_patterns ~seed c faults
+
+let probs o x =
+  if Array.length x <> Array.length (Netlist.inputs o.c) then
+    invalid_arg "Detect.probs: weight vector width mismatch";
+  o.run x
+
+let faults o = o.fault_list
+let circuit o = o.c
+let describe o = o.label
+let exact_mask o = Array.copy o.exact
+let proven_redundant o = Array.copy o.redundant

@@ -1,0 +1,49 @@
+(** Fault detection probability oracles — the paper's ANALYSIS step.
+
+    The optimizer only needs a function [X -> p_f(X)] for the fault list;
+    the paper uses PROTEST and remarks that "with slight modifications
+    PREDICT or STAFAN will presumably work as well".  This module offers
+    four interchangeable oracles behind one interface:
+
+    - [Cop]: analytic activation x observability estimate (fast; the
+      default ANALYSIS engine, playing PROTEST's role);
+    - [Conditioned]: COP Shannon-expanded over the worst reconvergence
+      sources (PREDICT's role);
+    - [Bdd_exact]: exact detection probabilities from per-fault boolean
+      difference BDDs built once and re-evaluated per [X] in linear time;
+      falls back to [Cop] for faults whose BDD exceeds the node limit;
+    - [Stafan]: counting-based estimate from fresh weighted simulation;
+    - [Monte_carlo]: direct fault-simulation estimate. *)
+
+type engine =
+  | Cop
+  | Conditioned of { max_vars : int }
+      (** PREDICT-style ([ABS86]): the COP estimate Shannon-expanded over
+          the [max_vars] highest-fanout inputs (cost [2^max_vars] COP
+          sweeps per call). *)
+  | Bdd_exact of { node_limit : int }
+  | Stafan of { n_patterns : int; seed : int }
+  | Monte_carlo of { n_patterns : int; seed : int }
+
+type oracle
+
+val make : engine -> Rt_circuit.Netlist.t -> Rt_fault.Fault.t array -> oracle
+(** Performs all per-circuit precomputation (e.g. BDD construction) so that
+    repeated {!probs} calls are cheap. *)
+
+val probs : oracle -> float array -> float array
+(** [probs o x] is [p_f(X)] for each fault, in fault-array order. *)
+
+val faults : oracle -> Rt_fault.Fault.t array
+val circuit : oracle -> Rt_circuit.Netlist.t
+val describe : oracle -> string
+
+val exact_mask : oracle -> bool array
+(** Per fault: whether the value returned by {!probs} is exact. *)
+
+val proven_redundant : oracle -> bool array
+(** Per fault: an exact engine proved the fault undetectable (its boolean
+    difference is the zero function).  Estimators return all-false. *)
+
+val injection : Rt_fault.Fault.t -> Rt_bdd.Bdd_circuit.injection
+(** The BDD-level injection corresponding to a stuck-at fault. *)

@@ -1,0 +1,48 @@
+module Netlist = Rt_circuit.Netlist
+module Gate = Rt_circuit.Gate
+
+type stem_rule =
+  | Complement_product
+  | Maximum
+
+let pin_sensitization c ~node_probs g k =
+  let fi = Netlist.fanin c g in
+  match Netlist.kind c g with
+  | Gate.Input | Gate.Const0 | Gate.Const1 ->
+    invalid_arg "Observability.pin_sensitization: not a gate"
+  | Gate.Buf | Gate.Not -> 1.0
+  | Gate.Xor | Gate.Xnor -> 1.0
+  | Gate.And | Gate.Nand ->
+    let p = ref 1.0 in
+    Array.iteri (fun j f -> if j <> k then p := !p *. node_probs.(f)) fi;
+    !p
+  | Gate.Or | Gate.Nor ->
+    let p = ref 1.0 in
+    Array.iteri (fun j f -> if j <> k then p := !p *. (1.0 -. node_probs.(f))) fi;
+    !p
+
+let pin_observability c ~node_probs ~obs g k =
+  pin_sensitization c ~node_probs g k *. obs.(g)
+
+let cop ?(stem_rule = Complement_product) c ~node_probs =
+  let n = Netlist.size c in
+  let obs = Array.make n 0.0 in
+  for g = n - 1 downto 0 do
+    let base = if Netlist.is_output c g then 1.0 else 0.0 in
+    let branch_obs = ref [] in
+    Array.iter
+      (fun reader ->
+        let fi = Netlist.fanin c reader in
+        Array.iteri
+          (fun k f ->
+            if f = g then
+              branch_obs := pin_observability c ~node_probs ~obs reader k :: !branch_obs)
+          fi)
+      (Netlist.fanout c g);
+    obs.(g) <-
+      (match stem_rule with
+       | Complement_product ->
+         1.0 -. List.fold_left (fun acc o -> acc *. (1.0 -. o)) (1.0 -. base) !branch_obs
+       | Maximum -> List.fold_left Float.max base !branch_obs)
+  done;
+  obs

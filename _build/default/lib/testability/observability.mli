@@ -1,0 +1,39 @@
+(** COP-style observability: the probability that a value change on a line
+    propagates to some primary output under random patterns.
+
+    Computed in one backward sweep from the outputs, using the signal
+    probabilities of the side inputs along each path.  Reconvergent fanout
+    makes this an estimate; the [stem_rule] picks how branch
+    observabilities recombine at a stem. *)
+
+type stem_rule =
+  | Complement_product
+      (** [1 - prod (1 - o_b)]: treats branches as independent detection
+          opportunities (STAFAN's choice); can overestimate. *)
+  | Maximum
+      (** [max o_b]: a lower bound that never overestimates through
+          reconvergence masking alone. *)
+
+val cop :
+  ?stem_rule:stem_rule ->
+  Rt_circuit.Netlist.t ->
+  node_probs:float array ->
+  float array
+(** Observability of every node ([node_probs] from
+    {!Signal_prob.independence} or better).  Default rule:
+    [Complement_product]. *)
+
+val pin_sensitization :
+  Rt_circuit.Netlist.t -> node_probs:float array -> Rt_circuit.Netlist.node -> int -> float
+(** Probability that gate [g]'s output is sensitive to its pin [k] (all
+    other pins at non-controlling values; 1 for XOR-family). *)
+
+val pin_observability :
+  Rt_circuit.Netlist.t ->
+  node_probs:float array ->
+  obs:float array ->
+  Rt_circuit.Netlist.node ->
+  int ->
+  float
+(** Observability of the connection into pin [k] of gate [g]:
+    [pin_sensitization * obs(g)]. *)

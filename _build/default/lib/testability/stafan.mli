@@ -1,0 +1,34 @@
+(** STAFAN-style statistical fault analysis (Jain & Agrawal 1984).
+
+    Instead of analytic propagation, controllabilities and sensitization
+    probabilities are {e counted} during ordinary logic simulation; the
+    paper names STAFAN as an alternative ANALYSIS provider for the
+    optimizer, and this module implements that role. *)
+
+type counts = {
+  n_patterns : int;
+  ones : int array;  (** per node: patterns with value 1 *)
+  sens : int array array;
+      (** [sens.(g).(k)]: patterns where gate [g]'s output is sensitive to
+          its pin [k] (empty array for inputs/constants) *)
+}
+
+val count :
+  Rt_circuit.Netlist.t -> source:Rt_sim.Pattern.source -> n_patterns:int -> counts
+
+val controllability : counts -> Rt_circuit.Netlist.node -> float
+(** Measured one-probability of a node. *)
+
+val observability :
+  ?stem_rule:Observability.stem_rule -> Rt_circuit.Netlist.t -> counts -> float array
+(** Backward observability sweep driven by the measured sensitization
+    ratios. *)
+
+val detection_probs :
+  ?stem_rule:Observability.stem_rule ->
+  Rt_circuit.Netlist.t ->
+  counts ->
+  Rt_fault.Fault.t array ->
+  float array
+(** Per-fault detection probability estimate: activation x observability,
+    both from counts. *)

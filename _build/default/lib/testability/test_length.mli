@@ -1,0 +1,22 @@
+(** Random test length computation — paper equation (1).
+
+    The confidence of an [N]-pattern random test is
+    [prod_f (1 - (1 - p_f)^N)]; the required test length is the least [N]
+    reaching a target confidence.  All arithmetic is log-domain so test
+    lengths up to 10^12+ (paper Table 1) evaluate without underflow. *)
+
+val confidence : n:float -> float array -> float
+(** Equation (1) at test length [n]. *)
+
+val required : ?confidence:float -> float array -> float
+(** Least [N] (real-valued, rounded up) with confidence at least the target
+    (default 0.95); [infinity] if some fault has [p_f = 0]. *)
+
+val savir_bardell_bound : ?confidence:float -> float array -> float
+(** The closed-form upper bound driven by the hardest faults
+    ([BaSi84], cited in the paper's §4 observation (1)):
+    [N <= ln (n_eff / (1 - c)) / -ln (1 - p_min)]. *)
+
+val hardest : float array -> k:int -> int array
+(** Indices of the [k] smallest detection probabilities, ascending — the
+    paper's SORT output prefix. *)

@@ -1,0 +1,1 @@
+lib/util/bitvec.ml: Array Int64 Rng String

@@ -1,0 +1,1 @@
+lib/util/prob.ml: Array Float Format

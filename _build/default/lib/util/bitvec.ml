@@ -1,0 +1,81 @@
+type t = { n : int; w : int64 array }
+
+let create n =
+  if n < 0 then invalid_arg "Bitvec.create";
+  { n; w = Array.make ((n + 63) / 64) 0L }
+
+let length t = t.n
+let word_count t = Array.length t.w
+let words t = t.w
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitvec.get";
+  Int64.logand (Int64.shift_right_logical t.w.(i lsr 6) (i land 63)) 1L <> 0L
+
+let set t i b =
+  if i < 0 || i >= t.n then invalid_arg "Bitvec.set";
+  let w = i lsr 6 and m = Int64.shift_left 1L (i land 63) in
+  if b then t.w.(w) <- Int64.logor t.w.(w) m
+  else t.w.(w) <- Int64.logand t.w.(w) (Int64.lognot m)
+
+let mask_tail t =
+  let rem = t.n land 63 in
+  if rem <> 0 && Array.length t.w > 0 then begin
+    let last = Array.length t.w - 1 in
+    let mask = Int64.sub (Int64.shift_left 1L rem) 1L in
+    t.w.(last) <- Int64.logand t.w.(last) mask
+  end
+
+(* SWAR popcount. *)
+let popcount_64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let popcount t =
+  let c = ref 0 in
+  for i = 0 to Array.length t.w - 1 do
+    c := !c + popcount_64 t.w.(i)
+  done;
+  !c
+
+let equal a b =
+  a.n = b.n && Array.for_all2 (fun x y -> Int64.equal x y) a.w b.w
+
+let copy t = { n = t.n; w = Array.copy t.w }
+
+let fill_random rng p t =
+  for i = 0 to Array.length t.w - 1 do
+    t.w.(i) <- Rng.biased_word rng p
+  done;
+  mask_tail t
+
+let to_string t = String.init t.n (fun i -> if get t i then '1' else '0')
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> set t i true
+      | '0' -> ()
+      | _ -> invalid_arg "Bitvec.of_string")
+    s;
+  t
+
+let iter_ones t f =
+  for wi = 0 to Array.length t.w - 1 do
+    let w = ref t.w.(wi) in
+    while !w <> 0L do
+      let lsb = Int64.logand !w (Int64.neg !w) in
+      let bit = ref 0 and x = ref lsb in
+      while Int64.compare !x 1L <> 0 do
+        x := Int64.shift_right_logical !x 1;
+        incr bit
+      done;
+      f ((wi lsl 6) + !bit);
+      w := Int64.logxor !w lsb
+    done
+  done

@@ -1,0 +1,42 @@
+(** Packed bit vectors over 64-bit words.
+
+    The fault simulator and pattern generators manipulate one bit per test
+    pattern; packing 64 patterns per word is what makes parallel-pattern
+    fault simulation fast.  Width is fixed at creation; the trailing partial
+    word is kept masked so [popcount]/[equal] are exact. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val words : t -> int64 array
+(** Underlying storage, exposed for word-at-a-time kernels.  The last word's
+    unused high bits are guaranteed zero as long as mutation goes through
+    this module; callers writing words directly must call {!mask_tail}. *)
+
+val word_count : t -> int
+
+val mask_tail : t -> unit
+(** Zero the unused high bits of the final word after raw word writes. *)
+
+val popcount : t -> int
+val equal : t -> t -> bool
+val copy : t -> t
+val fill_random : Rng.t -> float -> t -> unit
+(** [fill_random rng p v] sets every bit of [v] independently to 1 with
+    probability [p]. *)
+
+val to_string : t -> string
+(** Bit [0] first, e.g. ["1010"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on non-['0'/'1']. *)
+
+val iter_ones : t -> (int -> unit) -> unit
+(** [iter_ones v f] calls [f i] for each set bit index, ascending. *)

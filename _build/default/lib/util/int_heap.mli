@@ -1,0 +1,14 @@
+(** Binary min-heap of non-negative ints.
+
+    Drives event-driven fault propagation: nodes are popped in ascending
+    topological id, so every fanin is final when a gate is re-evaluated. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val push : t -> int -> unit
+val pop : t -> int
+(** Raises [Not_found] when empty. *)
+
+val clear : t -> unit

@@ -1,0 +1,96 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the user seed into state words, the
+   recommended seeding procedure for xoshiro. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) in
+  create (seed lxor 0x5851F42D)
+
+let float t =
+  (* 53 high bits scaled to [0,1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if n land (n - 1) = 0 then Int64.to_int (Int64.logand (bits64 t) (Int64.of_int (n - 1)))
+  else begin
+    (* Rejection sampling on 62 bits to avoid modulo bias. *)
+    let mask = 0x3FFFFFFFFFFFFFFF in
+    let bound = mask - (mask mod n) in
+    let rec draw () =
+      let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+      if x >= bound then draw () else x mod n
+    in
+    draw ()
+  end
+
+let bernoulli t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t < p
+
+(* Bit-sliced biased word: write p in binary as 0.b1 b2 ... b30; starting
+   from the least significant considered bit, fold fair words w with
+   acc <- (acc AND w) when b=0 and acc <- (acc OR w) ... actually the
+   standard recurrence processes bits from LSB to MSB of the expansion:
+   acc := if b then acc OR w else acc AND w, starting with acc = 0, yields
+   each bit of acc being 1 with probability exactly 0.b1...bk. *)
+let biased_word t p =
+  if p <= 0.0 then 0L
+  else if p >= 1.0 then -1L
+  else if p = 0.5 then bits64 t
+  else begin
+    let bits = 30 in
+    let scaled = Float.to_int (Float.round (p *. Float.of_int (1 lsl bits))) in
+    let scaled = if scaled <= 0 then 1 else if scaled >= 1 lsl bits then (1 lsl bits) - 1 else scaled in
+    let acc = ref 0L in
+    for i = 0 to bits - 1 do
+      let b = (scaled lsr i) land 1 = 1 in
+      let w = bits64 t in
+      if b then acc := Int64.logor !acc w else acc := Int64.logand !acc w
+    done;
+    !acc
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

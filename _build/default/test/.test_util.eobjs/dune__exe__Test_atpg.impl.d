@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array List Option QCheck QCheck_alcotest Rt_atpg Rt_bdd Rt_circuit Rt_fault Rt_sim Rt_testability

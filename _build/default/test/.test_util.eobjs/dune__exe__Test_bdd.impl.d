@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Float Fun List QCheck QCheck_alcotest Rt_bdd Rt_circuit Rt_fault Rt_sim Rt_testability

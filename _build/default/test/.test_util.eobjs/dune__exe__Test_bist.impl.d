@@ -1,0 +1,1 @@
+test/test_bist.ml: Alcotest Array Float Gen Int64 List Printf QCheck QCheck_alcotest Rt_bist Rt_circuit Rt_fault Rt_sim

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Float Int64 Lazy List Printf QCheck QCheck_alcotest Rt_circuit Rt_util String

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Float List QCheck QCheck_alcotest Rt_circuit Rt_fault Rt_sim

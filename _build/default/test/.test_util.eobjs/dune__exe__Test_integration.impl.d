@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Float List Rt_atpg Rt_bist Rt_circuit Rt_fault Rt_optprob Rt_sim Rt_testability Rt_util Sys

@@ -1,0 +1,1 @@
+test/test_optprob.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Rt_circuit Rt_fault Rt_optprob Rt_testability Rt_util

@@ -1,0 +1,1 @@
+test/test_repro.ml: Alcotest Array Filename Float Format List Rt_circuit Rt_repro String Sys

@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest Array Float Printf Rt_circuit Rt_fault Rt_optprob Rt_scan Rt_testability Rt_util

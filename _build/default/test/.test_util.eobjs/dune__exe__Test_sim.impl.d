@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Int64 List QCheck QCheck_alcotest Rt_circuit Rt_fault Rt_sim Rt_util

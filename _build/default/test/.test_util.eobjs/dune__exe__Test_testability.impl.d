@@ -1,0 +1,1 @@
+test/test_testability.ml: Alcotest Array Float QCheck QCheck_alcotest Rt_circuit Rt_fault Rt_sim Rt_testability

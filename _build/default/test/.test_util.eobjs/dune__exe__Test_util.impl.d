@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Int64 List QCheck QCheck_alcotest Rt_util String

@@ -1,0 +1,176 @@
+(* Tests for Rt_bist: LFSR maximal periods, weighting network statistics
+   and quantisation, MISR linearity (the property the self-test engine
+   relies on), and full self-test sessions cross-checked against fault
+   simulation. *)
+
+module Lfsr = Rt_bist.Lfsr
+module Weighting = Rt_bist.Weighting
+module Misr = Rt_bist.Misr
+module Selftest = Rt_bist.Selftest
+module Generators = Rt_circuit.Generators
+
+let check = Alcotest.check
+
+let test_lfsr_maximal_periods () =
+  List.iter
+    (fun w ->
+      let l = Lfsr.create ~width:w 1L in
+      match Lfsr.period l with
+      | Some p -> check Alcotest.int (Printf.sprintf "width %d" w) ((1 lsl w) - 1) p
+      | None -> Alcotest.failf "width %d: period beyond limit" w)
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18 ]
+
+let test_lfsr_zero_seed_fixed () =
+  let l = Lfsr.create ~width:8 0L in
+  check Alcotest.bool "nonzero state" true (not (Int64.equal (Lfsr.state l) 0L))
+
+let test_lfsr_step_word () =
+  let a = Lfsr.create ~width:16 0xBEEFL in
+  let b = Lfsr.create ~width:16 0xBEEFL in
+  let w = Lfsr.step_word a 64 in
+  let bits = List.init 64 (fun _ -> Lfsr.step b) in
+  List.iteri
+    (fun i bit ->
+      let got = Int64.logand (Int64.shift_right_logical w i) 1L <> 0L in
+      if got <> bit then Alcotest.failf "bit %d differs" i)
+    bits
+
+let test_lfsr_balanced () =
+  (* Over a full period the output bit is 1 exactly 2^(w-1) times. *)
+  let l = Lfsr.create ~width:10 1L in
+  let ones = ref 0 in
+  for _ = 1 to 1023 do
+    if Lfsr.step l then incr ones
+  done;
+  check Alcotest.int "ones in full period" 512 !ones
+
+let test_lfsr_bad_args () =
+  Alcotest.check_raises "width 1" (Invalid_argument "Lfsr.create: width must be in 2..64")
+    (fun () -> ignore (Lfsr.create ~width:1 1L));
+  Alcotest.check_raises "bad tap" (Invalid_argument "Lfsr.create: bad tap") (fun () ->
+      ignore (Lfsr.create ~taps:[ 99 ] ~width:8 1L))
+
+(* --- Weighting ------------------------------------------------------------------ *)
+
+let test_weighting_design () =
+  let net = Weighting.design ~bits:4 [| 0.5; 0.23; 0.95; 0.02 |] in
+  check Alcotest.(array (float 1e-9)) "realised on 1/16 grid"
+    [| 0.5; 0.25; 0.9375; 0.0625 |]
+    net.Weighting.realised;
+  check Alcotest.bool "quantisation error bounded" true
+    (Weighting.quantisation_error net <= 0.0625);
+  (* 0.5 needs one bit; 0.25 two; 15/16 four. *)
+  check Alcotest.(array int) "levels" [| 1; 2; 4; 4 |] net.Weighting.levels
+
+let test_weighting_statistics () =
+  let lfsr = Lfsr.create ~width:24 7L in
+  let net = Weighting.design ~bits:4 [| 0.0625; 0.25; 0.5; 0.875 |] in
+  let n = 30_000 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to n do
+    let p = Weighting.generate_pattern net lfsr in
+    Array.iteri (fun i b -> if b then counts.(i) <- counts.(i) + 1) p
+  done;
+  Array.iteri
+    (fun i c ->
+      let measured = Float.of_int c /. Float.of_int n in
+      let wanted = net.Weighting.realised.(i) in
+      if Float.abs (measured -. wanted) > 0.01 then
+        Alcotest.failf "weight %d: measured %.4f wanted %.4f" i measured wanted)
+    counts
+
+let test_weighting_source_batches () =
+  let lfsr = Lfsr.create ~width:24 7L in
+  let net = Weighting.design ~bits:4 [| 0.5; 0.5 |] in
+  let src = Weighting.source net lfsr in
+  let b = src () in
+  check Alcotest.int "64 lanes" 64 b.Rt_sim.Pattern.n_patterns;
+  check Alcotest.int "2 inputs" 2 b.Rt_sim.Pattern.n_inputs
+
+(* --- MISR ----------------------------------------------------------------------- *)
+
+let test_misr_distinguishes () =
+  let run stream =
+    let m = Misr.create ~width:16 0L in
+    List.iter (Misr.absorb m) stream;
+    Misr.signature m
+  in
+  let a = run [ 1L; 2L; 3L; 4L ] in
+  let b = run [ 1L; 2L; 7L; 4L ] in
+  check Alcotest.bool "different streams, different signatures" false (Int64.equal a b)
+
+let misr_linearity_qcheck =
+  (* The self-test engine depends on: sig(a XOR b, seed 0) =
+     sig(a,0) XOR sig(b,0). *)
+  QCheck.Test.make ~name:"misr is linear over GF(2)" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 30) int64) (list_of_size Gen.(1 -- 30) int64))
+    (fun (a, b) ->
+      let len = max (List.length a) (List.length b) in
+      let pad l = Array.init len (fun i -> try List.nth l i with _ -> 0L) in
+      let a = pad a and b = pad b in
+      let run stream =
+        let m = Misr.create ~width:32 0L in
+        Array.iter (Misr.absorb m) stream;
+        Misr.signature m
+      in
+      let x = Array.init len (fun i -> Int64.logxor a.(i) b.(i)) in
+      Int64.equal (run x) (Int64.logxor (run a) (run b)))
+
+let test_aliasing_probability () =
+  check (Alcotest.float 1e-15) "2^-16" (1.0 /. 65536.0) (Misr.aliasing_probability ~width:16)
+
+(* --- Selftest ---------------------------------------------------------------------- *)
+
+let test_selftest_vs_fault_sim () =
+  (* Signature-based coverage must equal fault-sim coverage on the same
+     stream minus aliasing events. *)
+  let c = Generators.c432ish () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let weights = Array.make 36 0.5 in
+  let cfg = { (Selftest.default_config c ~weights) with Selftest.n_patterns = 1024 } in
+  let oc = Selftest.run c faults cfg in
+  let lfsr = Lfsr.create ~width:cfg.Selftest.lfsr_width cfg.Selftest.lfsr_seed in
+  let net = Weighting.design ~bits:cfg.Selftest.weight_bits weights in
+  let stats =
+    Rt_sim.Fault_sim.simulate ~drop:true c faults ~source:(Weighting.source net lfsr)
+      ~n_patterns:1024
+  in
+  let sim_detected =
+    Array.fold_left (fun a fd -> if fd >= 0 then a + 1 else a) 0 stats.Rt_sim.Fault_sim.first_detect
+  in
+  let sig_detected =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 oc.Selftest.detected
+  in
+  check Alcotest.int "signature = sim - aliased" (sim_detected - oc.Selftest.aliased) sig_detected
+
+let test_selftest_golden_reproducible () =
+  let c = Generators.c432ish () in
+  let weights = Array.make 36 0.5 in
+  let cfg = { (Selftest.default_config c ~weights) with Selftest.n_patterns = 256 } in
+  let g1 = Selftest.golden_signature c cfg in
+  let g2 = Selftest.golden_signature c cfg in
+  check Alcotest.int64 "deterministic" g1 g2;
+  let cfg2 = { cfg with Selftest.lfsr_seed = 99L } in
+  check Alcotest.bool "seed changes signature" false
+    (Int64.equal g1 (Selftest.golden_signature c cfg2))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "rt_bist"
+    [ ( "lfsr",
+        [ Alcotest.test_case "maximal periods" `Quick test_lfsr_maximal_periods;
+          Alcotest.test_case "zero seed" `Quick test_lfsr_zero_seed_fixed;
+          Alcotest.test_case "step_word" `Quick test_lfsr_step_word;
+          Alcotest.test_case "balanced output" `Quick test_lfsr_balanced;
+          Alcotest.test_case "bad args" `Quick test_lfsr_bad_args ] );
+      ( "weighting",
+        [ Alcotest.test_case "design" `Quick test_weighting_design;
+          Alcotest.test_case "statistics" `Quick test_weighting_statistics;
+          Alcotest.test_case "source batches" `Quick test_weighting_source_batches ] );
+      ( "misr",
+        [ Alcotest.test_case "distinguishes" `Quick test_misr_distinguishes;
+          q misr_linearity_qcheck;
+          Alcotest.test_case "aliasing probability" `Quick test_aliasing_probability ] );
+      ( "selftest",
+        [ Alcotest.test_case "vs fault sim" `Quick test_selftest_vs_fault_sim;
+          Alcotest.test_case "golden reproducible" `Quick test_selftest_golden_reproducible ] ) ]

@@ -1,0 +1,127 @@
+(* Tests for Rt_fault: the stuck-at universe and equivalence collapsing.
+   The central property: every fault in a collapse class has exactly the
+   same set of detecting patterns (checked exhaustively on small
+   circuits). *)
+
+module Fault = Rt_fault.Fault
+module Collapse = Rt_fault.Collapse
+module Netlist = Rt_circuit.Netlist
+module Generators = Rt_circuit.Generators
+module Builder = Rt_circuit.Builder
+
+let check = Alcotest.check
+
+let bits_of_int w v = Array.init w (fun i -> (v lsr i) land 1 = 1)
+
+let test_universe_counts () =
+  (* Single AND gate, fanout-free: 2 faults per node (2 inputs + gate +
+     output alias), no branch faults. *)
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  Builder.output b ~name:"z" (Builder.and2 b x y);
+  let c = Builder.finalize b in
+  let u = Fault.universe c in
+  check Alcotest.int "stem faults only" (2 * Netlist.size c) (Array.length u)
+
+let test_universe_has_branch_faults () =
+  (* x fans out to two gates: branch faults must appear. *)
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  Builder.output b ~name:"a" (Builder.and2 b x y);
+  Builder.output b ~name:"o" (Builder.or2 b x y);
+  let c = Builder.finalize b in
+  let u = Fault.universe c in
+  let branches =
+    Array.to_list u |> List.filter (fun f -> match f.Fault.site with Fault.Branch _ -> true | Fault.Stem _ -> false)
+  in
+  (* x and y each feed 2 gates -> 4 branch sites x 2 polarities. *)
+  check Alcotest.int "branch fault count" 8 (List.length branches)
+
+let test_input_faults () =
+  let c = Generators.s1_comparator () in
+  let inf = Fault.input_faults c in
+  check Alcotest.int "two per input" (2 * 48) (Array.length inf);
+  (* All input stuck-at faults must be inside the universe (the paper's
+     requirement on the fault model F). *)
+  let u = Fault.universe c in
+  Array.iter
+    (fun f ->
+      if not (Array.exists (fun g -> Fault.equal f g) u) then
+        Alcotest.fail "input fault missing from universe")
+    inf
+
+let test_collapse_shrinks () =
+  List.iter
+    (fun (name, gen) ->
+      let c = gen () in
+      let u = Fault.universe c in
+      let r = Collapse.representatives c u in
+      if Array.length r >= Array.length u then Alcotest.failf "%s: no shrink" name;
+      if Float.of_int (Array.length r) /. Float.of_int (Array.length u) < 0.2 then
+        Alcotest.failf "%s: collapse suspiciously aggressive" name)
+    [ ("s1", Generators.s1_comparator); ("c432ish", Generators.c432ish) ]
+
+let detection_set c f =
+  let n = Array.length (Netlist.inputs c) in
+  let set = ref [] in
+  for v = 0 to (1 lsl n) - 1 do
+    if Rt_sim.Fault_sim.detects c f (bits_of_int n v) then set := v :: !set
+  done;
+  !set
+
+let collapse_equivalence_qcheck =
+  QCheck.Test.make ~name:"collapse classes are true equivalences" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:6 ~gates:20 ~seed in
+      let classes = Collapse.classes c (Fault.universe c) in
+      Array.for_all
+        (fun cls ->
+          match Array.to_list cls with
+          | [] -> false
+          | first :: rest ->
+            let ref_set = detection_set c first in
+            List.for_all (fun f -> detection_set c f = ref_set) rest)
+        classes)
+
+let collapse_covers_universe_qcheck =
+  QCheck.Test.make ~name:"collapse classes partition the universe" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:6 ~gates:20 ~seed in
+      let u = Fault.universe c in
+      let classes = Collapse.classes c u in
+      let total = Array.fold_left (fun acc cls -> acc + Array.length cls) 0 classes in
+      total = Array.length u)
+
+let test_source_and_pp () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let g = Builder.and2 b x y in
+  Builder.output b g;
+  Builder.output b (Builder.or2 b x g);
+  let c = Builder.finalize b in
+  let f = { Fault.site = Fault.Stem x; stuck = true } in
+  check Alcotest.int "stem source" x (Fault.source f c);
+  check Alcotest.string "pp stem" "x s-a-1" (Fault.to_string c f)
+
+let test_ratio () =
+  let r = Collapse.ratio (Generators.c432ish ()) in
+  check Alcotest.bool "ratio in (0,1)" true (r > 0.0 && r < 1.0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "rt_fault"
+    [ ( "universe",
+        [ Alcotest.test_case "counts" `Quick test_universe_counts;
+          Alcotest.test_case "branch faults" `Quick test_universe_has_branch_faults;
+          Alcotest.test_case "input faults" `Quick test_input_faults;
+          Alcotest.test_case "source / pp" `Quick test_source_and_pp ] );
+      ( "collapse",
+        [ Alcotest.test_case "shrinks" `Quick test_collapse_shrinks;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+          q collapse_equivalence_qcheck;
+          q collapse_covers_universe_qcheck ] ) ]

@@ -1,0 +1,246 @@
+(* Tests for the core optimizer: the objective and its derivatives,
+   NORMALIZE's bounds, MINIMIZE's convex search, the OPTIMIZE loop, the
+   section-5.3 partitioning, and the baselines. *)
+
+module Objective = Rt_optprob.Objective
+module Normalize = Rt_optprob.Normalize
+module Minimize = Rt_optprob.Minimize
+module Optimize = Rt_optprob.Optimize
+module Partition = Rt_optprob.Partition
+module Baselines = Rt_optprob.Baselines
+module Detect = Rt_testability.Detect
+module Generators = Rt_circuit.Generators
+
+let check = Alcotest.check
+
+(* --- Objective ---------------------------------------------------------------- *)
+
+let test_objective_value () =
+  (* J_N = sum exp(-N p). *)
+  let j = Objective.value ~n:10.0 [| 0.1; 0.2 |] in
+  let expect = Float.exp (-1.0) +. Float.exp (-2.0) in
+  check (Alcotest.float 1e-12) "value" expect j
+
+let test_objective_confidence_consistency () =
+  (* exp(-J) approximates eq (1) well once every escape probability
+     (1-p)^N is small — the regime NORMALIZE targets. *)
+  let pfs = [| 0.001; 0.003 |] in
+  let n = 5000.0 in
+  let approx = Objective.confidence ~n pfs in
+  let exact = Rt_util.Prob.detection_confidence ~n pfs in
+  if Float.abs (approx -. exact) > 0.01 then
+    Alcotest.failf "approx %.4f vs exact %.4f" approx exact
+
+let derivatives_qcheck =
+  QCheck.Test.make ~name:"analytic derivatives match finite differences" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 8) (pair (float_range 0.0 0.5) (float_range 0.0 0.5)))
+        (float_range 10.0 1000.0) (float_range 0.1 0.9))
+    (fun (pairs, n, y) ->
+      QCheck.assume (pairs <> []);
+      let p0 = Array.of_list (List.map fst pairs) in
+      let p1 = Array.of_list (List.map snd pairs) in
+      let h = 1e-5 in
+      let j y = Objective.value_along ~n ~p0 ~p1 y in
+      let d1, d2 = Objective.derivatives_along ~n ~p0 ~p1 y in
+      let fd1 = (j (y +. h) -. j (y -. h)) /. (2.0 *. h) in
+      let fd2 = (j (y +. h) +. j (y -. h) -. (2.0 *. j y)) /. (h *. h) in
+      let close a b scale = Float.abs (a -. b) <= (1e-3 *. scale) +. 1e-6 in
+      close d1 fd1 (1.0 +. Float.abs d1) && close d2 fd2 (1.0 +. Float.abs d2) && d2 >= 0.0)
+
+(* --- Normalize ------------------------------------------------------------------ *)
+
+let test_normalize_matches_direct () =
+  (* NORMALIZE's interval-section N equals the direct eq-(1)-style search
+     on the objective. *)
+  let pfs = [| 0.001; 0.01; 0.05; 0.3; 0.3; 0.4 |] in
+  let norm = Normalize.run ~confidence:0.95 pfs in
+  let q = -.Float.log 0.95 in
+  let j n = Objective.value ~n pfs in
+  check Alcotest.bool "J(N) <= Q" true (j norm.Normalize.n <= q +. 1e-9);
+  check Alcotest.bool "J(N-2) > Q" true (j (norm.Normalize.n -. 2.0) > q)
+
+let test_normalize_excludes_zeros () =
+  let pfs = [| 0.0; 0.5; 0.0; 0.1 |] in
+  let norm = Normalize.run pfs in
+  check Alcotest.(array int) "undetectable" [| 0; 2 |] norm.Normalize.undetectable;
+  check Alcotest.bool "finite over the rest" true (Float.is_finite norm.Normalize.n)
+
+let test_normalize_all_zero () =
+  let norm = Normalize.run [| 0.0; 0.0 |] in
+  check Alcotest.bool "infinite" false (Float.is_finite norm.Normalize.n)
+
+let test_normalize_hard_prefix () =
+  (* The nf-prefix contains the smallest probabilities. *)
+  let pfs = [| 0.5; 1e-6; 0.4; 2e-6; 0.3 |] in
+  let norm = Normalize.run ~nf_min:2 pfs in
+  let hard = Normalize.hard_indices norm in
+  check Alcotest.bool "hardest first" true (hard.(0) = 1 && hard.(1) = 3)
+
+let normalize_sorted_qcheck =
+  QCheck.Test.make ~name:"normalize sorted_idx ascending in probability" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 30) (float_range 1e-6 1.0))
+    (fun ps ->
+      let pfs = Array.of_list ps in
+      let norm = Normalize.run pfs in
+      let sorted = norm.Normalize.sorted_idx in
+      let ok = ref true in
+      for i = 0 to Array.length sorted - 2 do
+        if pfs.(sorted.(i)) > pfs.(sorted.(i + 1)) then ok := false
+      done;
+      !ok)
+
+(* --- Minimize ------------------------------------------------------------------- *)
+
+let minimize_qcheck =
+  QCheck.Test.make ~name:"newton finds the strictly convex minimum" ~count:150
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 6) (pair (float_range 0.0 0.3) (float_range 0.0 0.3)))
+        (float_range 50.0 5000.0))
+    (fun (pairs, n) ->
+      QCheck.assume (pairs <> []);
+      let p0 = Array.of_list (List.map fst pairs) in
+      let p1 = Array.of_list (List.map snd pairs) in
+      let r = Minimize.newton ~n ~p0 ~p1 0.5 in
+      (* Compare with a fine grid scan. *)
+      let best = ref Float.infinity and best_y = ref 0.5 in
+      for k = 0 to 980 do
+        let y = 0.01 +. (0.001 *. Float.of_int k) in
+        let j = Objective.value_along ~n ~p0 ~p1 y in
+        if j < !best then begin
+          best := j;
+          best_y := y
+        end
+      done;
+      ignore !best_y;
+      r.Minimize.objective <= !best +. (1e-6 *. (1.0 +. !best)))
+
+let test_minimize_boundary () =
+  (* A fault that only wants y high: optimum at the hi boundary. *)
+  let r = Minimize.newton ~lo:0.05 ~hi:0.95 ~n:100.0 ~p0:[| 0.0 |] ~p1:[| 0.5 |] 0.5 in
+  check (Alcotest.float 1e-9) "pegged at hi" 0.95 r.Minimize.y
+
+(* --- Optimize / Partition / Baselines ---------------------------------------------- *)
+
+let test_optimize_improves_wide_and () =
+  let c = Generators.wide_and 12 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make (Detect.Bdd_exact { node_limit = 100_000 }) c faults in
+  let r = Optimize.run oracle in
+  check Alcotest.bool "improves by > 100x" true (Optimize.improvement r > 100.0);
+  (* Theory: optimal weight for an n-input AND is about n/(n+1) ~ 0.92. *)
+  Array.iter
+    (fun w -> if w < 0.75 then Alcotest.failf "weight %.2f too low for wide AND" w)
+    r.Optimize.weights
+
+let test_optimize_s1_order_of_magnitude () =
+  let c = Generators.s1_comparator () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make (Detect.Bdd_exact { node_limit = 2_000_000 }) c faults in
+  let r = Optimize.run oracle in
+  (* Paper: 5.6e8 -> 3.5e4 (factor ~1.6e4).  Require at least 10^3. *)
+  check Alcotest.bool "n_initial large" true (r.Optimize.n_initial > 1e7);
+  check Alcotest.bool "n_final small" true (r.Optimize.n_final < 1e5);
+  check Alcotest.bool "weights on 0.05 grid" true
+    (Array.for_all
+       (fun w ->
+         let k = w /. 0.05 in
+         Float.abs (k -. Float.round k) < 1e-9)
+       r.Optimize.weights)
+
+let test_optimize_respects_start () =
+  let c = Generators.wide_and 8 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make Detect.Cop c faults in
+  let options = { Optimize.default_options with Optimize.start = Some (Array.make 8 0.3) } in
+  let r = Optimize.run ~options oracle in
+  check Alcotest.bool "still improves from a bad start" true (Optimize.improvement r > 10.0)
+
+let test_optimize_rejects_bad_start () =
+  let c = Generators.wide_and 8 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make Detect.Cop c faults in
+  let options = { Optimize.default_options with Optimize.start = Some [| 0.5 |] } in
+  Alcotest.check_raises "width mismatch" (Invalid_argument "Optimize.run: start vector width")
+    (fun () -> ignore (Optimize.run ~options oracle))
+
+let test_partition_antagonist () =
+  let c = Generators.antagonist ~k:10 () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make (Detect.Bdd_exact { node_limit = 100_000 }) c faults in
+  let sp = Partition.split oracle in
+  check Alcotest.int "two parts" 2 (Array.length sp.Partition.groups);
+  check Alcotest.bool "partitioning wins big" true (sp.Partition.n_total *. 5.0 < sp.Partition.n_single);
+  (* The two distributions must pull opposite ways. *)
+  let w0 = sp.Partition.weights.(0).(0) and w1 = sp.Partition.weights.(1).(0) in
+  check Alcotest.bool "opposite extremes" true ((w0 > 0.7 && w1 < 0.3) || (w0 < 0.3 && w1 > 0.7))
+
+let test_cube_distance () =
+  (* On the antagonist circuit, the AND-output s-a-0 needs all ones and
+     the NOR-output s-a-0 needs all zeros: distance = k. *)
+  let k = 8 in
+  let c = Generators.antagonist ~k () in
+  let faults = Rt_fault.Fault.universe c in
+  let find name stuck =
+    Array.to_list faults
+    |> List.find (fun f ->
+           match f.Rt_fault.Fault.site with
+           | Rt_fault.Fault.Stem n ->
+             Rt_circuit.Netlist.name c n = name && f.Rt_fault.Fault.stuck = stuck
+           | Rt_fault.Fault.Branch _ -> false)
+  in
+  let f_and = find "all_ones" false in
+  let f_nor = find "all_zeros" false in
+  (match Partition.cube_distance c f_and f_nor with
+   | Some d -> check Alcotest.int "maximal hamming distance" k d
+   | None -> Alcotest.fail "both faults are testable");
+  (* The pair search must single these two out among the hard faults. *)
+  (match Partition.most_antagonistic_pair c [| f_and; f_nor |] with
+   | Some (0, 1, d) -> check Alcotest.int "pair distance" k d
+   | Some _ | None -> Alcotest.fail "expected the (0,1) pair")
+
+let test_antagonism_measure () =
+  let v = [| 1.0; -2.0; 0.5 |] in
+  let neg = Array.map (fun x -> -.x) v in
+  check (Alcotest.float 1e-9) "self" (-1.0) (Partition.antagonism v v);
+  check (Alcotest.float 1e-9) "negated" 1.0 (Partition.antagonism v neg)
+
+let test_baselines_ordering () =
+  (* On the wide AND: lieberherr nearly matches full optimization, both
+     beat equiprobable. *)
+  let c = Generators.wide_and 10 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make (Detect.Bdd_exact { node_limit = 100_000 }) c faults in
+  let n_eq = Baselines.equiprobable oracle ~confidence:0.95 in
+  let _, n_lieb = Baselines.lieberherr oracle ~confidence:0.95 in
+  check Alcotest.bool "lieberherr beats equiprobable here" true (n_lieb < n_eq /. 10.0);
+  let w = Baselines.max_output_entropy c in
+  check Alcotest.int "entropy weight width" 10 (Array.length w)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "rt_optprob"
+    [ ( "objective",
+        [ Alcotest.test_case "value" `Quick test_objective_value;
+          Alcotest.test_case "confidence consistency" `Quick test_objective_confidence_consistency;
+          q derivatives_qcheck ] );
+      ( "normalize",
+        [ Alcotest.test_case "matches direct search" `Quick test_normalize_matches_direct;
+          Alcotest.test_case "excludes zeros" `Quick test_normalize_excludes_zeros;
+          Alcotest.test_case "all zero" `Quick test_normalize_all_zero;
+          Alcotest.test_case "hard prefix" `Quick test_normalize_hard_prefix;
+          q normalize_sorted_qcheck ] );
+      ( "minimize",
+        [ q minimize_qcheck; Alcotest.test_case "boundary optimum" `Quick test_minimize_boundary ] );
+      ( "optimize",
+        [ Alcotest.test_case "wide AND" `Quick test_optimize_improves_wide_and;
+          Alcotest.test_case "s1 order of magnitude" `Slow test_optimize_s1_order_of_magnitude;
+          Alcotest.test_case "respects start" `Quick test_optimize_respects_start;
+          Alcotest.test_case "rejects bad start" `Quick test_optimize_rejects_bad_start ] );
+      ( "partition",
+        [ Alcotest.test_case "antagonist" `Quick test_partition_antagonist;
+          Alcotest.test_case "antagonism measure" `Quick test_antagonism_measure;
+          Alcotest.test_case "cube distance (paper's criterion)" `Quick test_cube_distance ] );
+      ("baselines", [ Alcotest.test_case "ordering" `Quick test_baselines_ordering ]) ]

@@ -1,0 +1,206 @@
+(* Tests for Rt_scan: the sequential netlist model, cycle simulation, the
+   scan-chain/combinational-core equivalence, and the sequential
+   generators' functional correctness. *)
+
+module Seq = Rt_scan.Seq_netlist
+module Scan = Rt_scan.Scan_chain
+module Gen = Rt_scan.Seq_generators
+module Netlist = Rt_circuit.Netlist
+
+let check = Alcotest.check
+
+let bits_of_int w v = Array.init w (fun i -> (v lsr i) land 1 = 1)
+let int_of_bits bs =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) bs;
+  !v
+
+let test_builder_requires_connected_flops () =
+  let sb = Seq.builder () in
+  let _x = Seq.input sb "x" in
+  let _q = Seq.flop sb "q" in
+  match Seq.finalize sb with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unconnected flop must be rejected"
+
+let test_toggle_flop () =
+  (* q' = not q: a divide-by-two toggle. *)
+  let sb = Seq.builder () in
+  let q = Seq.flop sb "q" in
+  let nq = Seq.gate sb Rt_circuit.Gate.Not [ q ] in
+  Seq.connect sb q ~d:nq;
+  Seq.output sb ~name:"out" q;
+  let s = Seq.finalize sb in
+  check Alcotest.int "no real inputs" 0 (Seq.n_inputs s);
+  check Alcotest.int "one flop" 1 (Seq.n_flops s);
+  let st = Seq.initial_state s in
+  let o1, st = Seq.step s st [||] in
+  let o2, st = Seq.step s st [||] in
+  let o3, _ = Seq.step s st [||] in
+  check Alcotest.(array bool) "cycle 1" [| false |] o1;
+  check Alcotest.(array bool) "cycle 2" [| true |] o2;
+  check Alcotest.(array bool) "cycle 3" [| false |] o3
+
+let test_core_input_order () =
+  (* Core inputs must be real PIs then flop Qs, regardless of declaration
+     interleaving. *)
+  let sb = Seq.builder () in
+  let q0 = Seq.flop sb "q0" in
+  let x = Seq.input sb "x" in
+  let q1 = Seq.flop sb "q1" in
+  let y = Seq.input sb "y" in
+  Seq.connect sb q0 ~d:(Seq.gate sb Rt_circuit.Gate.And [ x; y ]);
+  Seq.connect sb q1 ~d:(Seq.gate sb Rt_circuit.Gate.Or [ q0; x ]);
+  Seq.output sb ~name:"o" (Seq.gate sb Rt_circuit.Gate.Xor [ q0; q1 ]);
+  let s = Seq.finalize sb in
+  let core = Seq.core s in
+  let names = Array.map (Netlist.name core) (Netlist.inputs core) in
+  check Alcotest.(array string) "pi first, flops after" [| "x"; "y"; "q0"; "q1" |] names;
+  (* Output order: real outputs then flop Ds. *)
+  let onames = Array.map (Netlist.name core) (Netlist.outputs core) in
+  check Alcotest.(array string) "outputs then Ds" [| "o"; "q0_D"; "q1_D" |] onames
+
+let test_mac_accumulates () =
+  let width = 4 in
+  let m = Gen.mac ~width () in
+  let st = ref (Seq.initial_state m) in
+  let expect = ref 0 in
+  let rng = Rt_util.Rng.create 11 in
+  for _ = 1 to 50 do
+    let a = Rt_util.Rng.int rng (1 lsl width) in
+    let b = Rt_util.Rng.int rng (1 lsl width) in
+    let outs, st' = Seq.step m !st (Array.append (bits_of_int width a) (bits_of_int width b)) in
+    (* outputs show the PREVIOUS accumulator value *)
+    let shown = int_of_bits (Array.sub outs 0 (2 * width)) in
+    check Alcotest.int "acc visible" (!expect land ((1 lsl (2 * width)) - 1)) shown;
+    expect := !expect + (a * b);
+    st := st'
+  done
+
+let test_decade_counter () =
+  let c = Gen.decade_counter () in
+  let st = ref (Seq.initial_state c) in
+  (* count with enable=1, clear=0 for 25 cycles: value cycles mod 10. *)
+  for cycle = 0 to 24 do
+    let outs, st' = Seq.step c !st [| true; false |] in
+    let v = int_of_bits (Array.sub outs 0 4) in
+    check Alcotest.int (Printf.sprintf "cycle %d" cycle) (cycle mod 10) v;
+    let carry = outs.(4) in
+    check Alcotest.bool "carry at 9" (cycle mod 10 = 9) carry;
+    st := st'
+  done;
+  (* clear dominates *)
+  let outs, st' = Seq.step c !st [| true; true |] in
+  ignore outs;
+  let outs2, _ = Seq.step c st' [| false; false |] in
+  check Alcotest.int "cleared" 0 (int_of_bits (Array.sub outs2 0 4))
+
+let test_scan_session_beats_unweighted () =
+  (* The paper's deployment story end-to-end: sequential MAC, full scan,
+     weights optimized over the core input vector (scan bits included),
+     test-per-scan BIST. *)
+  let m = Gen.mac ~width:4 () in
+  let chain = Scan.insert m in
+  let core = Seq.core m in
+  let faults = Rt_fault.Collapse.collapsed_universe core in
+  let oracle =
+    Rt_testability.Detect.make
+      (Rt_testability.Detect.Bdd_exact { node_limit = 400_000 })
+      core faults
+  in
+  let options =
+    { Rt_optprob.Optimize.default_options with
+      Rt_optprob.Optimize.quantize = Rt_optprob.Optimize.Dyadic 4;
+      max_sweeps = 6 }
+  in
+  let report = Rt_optprob.Optimize.run ~options oracle in
+  let n_core_inputs = Array.length (Netlist.inputs core) in
+  let session weights =
+    let cfg = { (Scan.default_config chain ~weights) with Scan.n_tests = 1024 } in
+    (Scan.run chain faults cfg).Scan.coverage
+  in
+  let unweighted = session (Array.make n_core_inputs 0.5) in
+  let weighted = session report.Rt_optprob.Optimize.weights in
+  check Alcotest.bool "weighted scan BIST at least as good" true (weighted >= unweighted -. 0.01);
+  check Alcotest.bool "weighted scan BIST strong" true (weighted > 0.95)
+
+let test_scan_chain_order () =
+  let m = Gen.mac ~width:3 () in
+  let chain = Scan.insert m in
+  check Alcotest.int "chain covers all flops" (Seq.n_flops m) (Scan.chain_length chain);
+  (* core_weights routes scan weights through the chain order. *)
+  let rev = Array.init (Seq.n_flops m) (fun i -> Seq.n_flops m - 1 - i) in
+  let chain_rev = Scan.insert ~order:rev m in
+  let scan_w = Array.init (Seq.n_flops m) (fun i -> Float.of_int i /. 100.0) in
+  let pi_w = Array.make (Seq.n_inputs m) 0.5 in
+  let w = Scan.core_weights chain_rev ~pi:pi_w ~scan:scan_w in
+  (* chain position 0 loads flop (n-1): its weight is scan_w.(0). *)
+  check (Alcotest.float 1e-9) "routed" scan_w.(0)
+    w.(Seq.n_inputs m + Seq.n_flops m - 1)
+
+let test_scan_mode_equivalence () =
+  (* The physical scan view must agree with the abstract model: shift a
+     state in serially, capture one functional clock, shift the result
+     out — and compare against Seq_netlist.step on the original. *)
+  let m = Gen.mac ~width:3 () in
+  let chain = Scan.insert m in
+  let sm = Scan.scan_mode chain in
+  let n_pi = Seq.n_inputs m in
+  let n_flops = Seq.n_flops m in
+  check Alcotest.int "scan view adds two inputs" (n_pi + 2) (Seq.n_inputs sm);
+  check Alcotest.int "scan view adds one output" (Seq.n_outputs m + 1) (Seq.n_outputs sm);
+  let rng = Rt_util.Rng.create 21 in
+  for _ = 1 to 20 do
+    let target = Array.init n_flops (fun _ -> Rt_util.Rng.bool rng) in
+    let pis = Array.init n_pi (fun _ -> Rt_util.Rng.bool rng) in
+    let expect_out, expect_next = Seq.step m target pis in
+    (* Shift the target state in: the bit for the last chain position goes
+       first.  Chain order here is the default identity permutation. *)
+    let st = ref (Seq.initial_state sm) in
+    for t = 0 to n_flops - 1 do
+      let bit = target.(n_flops - 1 - t) in
+      let inputs = Array.concat [ pis; [| true; bit |] ] in
+      let _, st' = Seq.step sm !st inputs in
+      st := st'
+    done;
+    check Alcotest.(array bool) "state loaded" target !st;
+    (* One functional capture. *)
+    let out, st' = Seq.step sm !st (Array.concat [ pis; [| false; false |] ]) in
+    check Alcotest.(array bool) "captured state" expect_next st';
+    check Alcotest.(array bool) "primary outputs"
+      expect_out
+      (Array.sub out 0 (Seq.n_outputs m));
+    (* Shift out and observe the captured state on scan_out (last output). *)
+    st := st';
+    for t = 0 to n_flops - 1 do
+      let out, st2 = Seq.step sm !st (Array.concat [ pis; [| true; false |] ]) in
+      let scan_out = out.(Seq.n_outputs m) in
+      check Alcotest.bool (Printf.sprintf "scan_out bit %d" t)
+        expect_next.(n_flops - 1 - t) scan_out;
+      st := st2
+    done
+  done
+
+let test_golden_deterministic () =
+  let m = Gen.decade_counter () in
+  let chain = Scan.insert m in
+  let n = Array.length (Netlist.inputs (Seq.core m)) in
+  let cfg = { (Scan.default_config chain ~weights:(Array.make n 0.5)) with Scan.n_tests = 128 } in
+  check Alcotest.int64 "reproducible" (Scan.golden_signature chain cfg)
+    (Scan.golden_signature chain cfg)
+
+let () =
+  Alcotest.run "rt_scan"
+    [ ( "seq-netlist",
+        [ Alcotest.test_case "unconnected flop rejected" `Quick
+            test_builder_requires_connected_flops;
+          Alcotest.test_case "toggle flop" `Quick test_toggle_flop;
+          Alcotest.test_case "core input order" `Quick test_core_input_order ] );
+      ( "generators",
+        [ Alcotest.test_case "mac accumulates" `Quick test_mac_accumulates;
+          Alcotest.test_case "decade counter" `Quick test_decade_counter ] );
+      ( "scan-chain",
+        [ Alcotest.test_case "chain order" `Quick test_scan_chain_order;
+          Alcotest.test_case "scan-mode netlist equivalence" `Quick test_scan_mode_equivalence;
+          Alcotest.test_case "golden deterministic" `Quick test_golden_deterministic;
+          Alcotest.test_case "weighted session" `Slow test_scan_session_beats_unweighted ] ) ]

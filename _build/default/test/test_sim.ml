@@ -1,0 +1,213 @@
+(* Tests for Rt_sim: pattern batches/sources, the 64-way logic simulator,
+   PPSFP fault simulation against the single-pattern reference, coverage
+   accounting, and the response-difference stream used by signature
+   analysis. *)
+
+module Pattern = Rt_sim.Pattern
+module Logic_sim = Rt_sim.Logic_sim
+module Fault_sim = Rt_sim.Fault_sim
+module Detect_mc = Rt_sim.Detect_mc
+module Netlist = Rt_circuit.Netlist
+module Generators = Rt_circuit.Generators
+
+let check = Alcotest.check
+
+let bits_of_int w v = Array.init w (fun i -> (v lsr i) land 1 = 1)
+
+(* --- Pattern ------------------------------------------------------------------ *)
+
+let test_of_vectors_roundtrip () =
+  let vectors = Array.init 100 (fun i -> bits_of_int 9 (i * 37)) in
+  let batches = Pattern.of_vectors vectors in
+  check Alcotest.int "two batches" 2 (List.length batches);
+  let flat =
+    List.concat_map
+      (fun b -> List.init b.Pattern.n_patterns (fun l -> Pattern.pattern b l))
+      batches
+  in
+  List.iteri
+    (fun i v ->
+      if v <> vectors.(i) then Alcotest.failf "pattern %d corrupted by packing" i)
+    flat
+
+let test_lane_mask () =
+  let b = List.hd (Pattern.of_vectors (Array.init 5 (fun i -> bits_of_int 3 i))) in
+  check Alcotest.int64 "5 lanes" 0x1FL (Pattern.lane_mask b)
+
+let test_take_exact () =
+  let rng = Rt_util.Rng.create 3 in
+  let src = Pattern.equiprobable rng ~n_inputs:4 in
+  let batches = Pattern.take src 130 in
+  let total = List.fold_left (fun acc b -> acc + b.Pattern.n_patterns) 0 batches in
+  check Alcotest.int "exactly 130 patterns" 130 total
+
+let test_weighted_statistics () =
+  let weights = [| 0.1; 0.5; 0.9 |] in
+  let rng = Rt_util.Rng.create 17 in
+  let src = Pattern.weighted rng weights in
+  let counts = Array.make 3 0 in
+  let n_batches = 400 in
+  for _ = 1 to n_batches do
+    let b = src () in
+    Array.iteri
+      (fun i w ->
+        let rec pop x acc = if Int64.equal x 0L then acc else pop (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+        counts.(i) <- counts.(i) + pop w 0)
+      b.Pattern.bits
+  done;
+  Array.iteri
+    (fun i c ->
+      let measured = Float.of_int c /. Float.of_int (64 * n_batches) in
+      if Float.abs (measured -. weights.(i)) > 0.015 then
+        Alcotest.failf "weight %d measured %.3f wanted %.2f" i measured weights.(i))
+    counts
+
+(* --- Logic_sim ------------------------------------------------------------------ *)
+
+let logic_sim_vs_eval_qcheck =
+  QCheck.Test.make ~name:"word simulation equals scalar evaluation" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:8 ~gates:50 ~seed in
+      let sim = Logic_sim.create c in
+      let vectors = Array.init 64 (fun i -> bits_of_int 8 ((i * 2654435761) land 255)) in
+      let batch = List.hd (Pattern.of_vectors vectors) in
+      Logic_sim.run sim batch;
+      let ok = ref true in
+      for lane = 0 to 63 do
+        let vals = Netlist.eval c vectors.(lane) in
+        for n = 0 to Netlist.size c - 1 do
+          let got = Int64.logand (Int64.shift_right_logical (Logic_sim.value sim n) lane) 1L <> 0L in
+          if got <> vals.(n) then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Fault_sim ------------------------------------------------------------------- *)
+
+let ppsfp_vs_reference_qcheck =
+  QCheck.Test.make ~name:"ppsfp equals single-pattern reference" ~count:12
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:8 ~gates:40 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let rng = Rt_util.Rng.create (seed + 1) in
+      let vectors = Array.init 100 (fun _ -> Array.init 8 (fun _ -> Rt_util.Rng.bool rng)) in
+      let batches = ref (Pattern.of_vectors vectors) in
+      let source () =
+        match !batches with
+        | [] -> Alcotest.fail "source exhausted"
+        | b :: rest ->
+          batches := rest;
+          b
+      in
+      let stats = Fault_sim.simulate ~drop:false c faults ~source ~n_patterns:100 in
+      let ok = ref true in
+      Array.iteri
+        (fun fi f ->
+          let count =
+            Array.fold_left (fun acc v -> if Fault_sim.detects c f v then acc + 1 else acc) 0 vectors
+          in
+          let first = ref (-1) in
+          Array.iteri (fun i v -> if !first < 0 && Fault_sim.detects c f v then first := i) vectors;
+          if count <> stats.Fault_sim.detect_count.(fi) then ok := false;
+          if !first <> stats.Fault_sim.first_detect.(fi) then ok := false)
+        faults;
+      !ok)
+
+let test_drop_consistency () =
+  (* With dropping, first_detect must be identical to the no-drop run. *)
+  let c = Generators.c432ish () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let run drop =
+    let rng = Rt_util.Rng.create 5 in
+    let source = Pattern.equiprobable rng ~n_inputs:36 in
+    Fault_sim.simulate ~drop c faults ~source ~n_patterns:512
+  in
+  let a = run true and b = run false in
+  check Alcotest.(array int) "first_detect equal" b.Fault_sim.first_detect a.Fault_sim.first_detect
+
+let test_coverage_monotone () =
+  let c = Generators.c880ish () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let rng = Rt_util.Rng.create 5 in
+  let source = Pattern.equiprobable rng ~n_inputs:22 in
+  let stats = Fault_sim.simulate c faults ~source ~n_patterns:1024 in
+  let curve = Fault_sim.coverage_curve stats ~points:[ 16; 64; 256; 1024 ] in
+  let rec mono = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-12 && mono rest
+    | _ -> true
+  in
+  check Alcotest.bool "coverage non-decreasing" true (mono curve);
+  check (Alcotest.float 1e-9) "coverage_at total equals coverage"
+    (Fault_sim.coverage stats)
+    (Fault_sim.coverage_at stats 1024);
+  check Alcotest.int "undetected + detected = total" (Array.length faults)
+    (Array.length (Fault_sim.undetected stats)
+    + Array.fold_left (fun a fd -> if fd >= 0 then a + 1 else a) 0 stats.Fault_sim.first_detect)
+
+let responses_qcheck =
+  QCheck.Test.make ~name:"response stream consistent with detection" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let mk_source () =
+        let rng = Rt_util.Rng.create 42 in
+        Pattern.equiprobable rng ~n_inputs:7
+      in
+      let stats, responses =
+        Fault_sim.simulate_with_responses c faults ~source:(mk_source ()) ~n_patterns:128
+      in
+      let plain = Fault_sim.simulate ~drop:false c faults ~source:(mk_source ()) ~n_patterns:128 in
+      let ok = ref true in
+      Array.iteri
+        (fun fi diffs ->
+          (* diff count equals detect count; every diff word nonzero;
+             indices ascending; first index equals first_detect. *)
+          if List.length diffs <> plain.Fault_sim.detect_count.(fi) then ok := false;
+          if List.exists (fun (_, d) -> Int64.equal d 0L) diffs then ok := false;
+          let idxs = List.map fst diffs in
+          if List.sort compare idxs <> idxs then ok := false;
+          (match idxs with
+           | [] -> if stats.Fault_sim.first_detect.(fi) >= 0 then ok := false
+           | first :: _ -> if first <> stats.Fault_sim.first_detect.(fi) then ok := false))
+        responses;
+      !ok)
+
+(* --- Detect_mc --------------------------------------------------------------------- *)
+
+let test_mc_estimates () =
+  (* On a 2-input AND, output s-a-0 is detected by the single pattern 11:
+     p = 0.25 under equiprobable patterns. *)
+  let b = Rt_circuit.Builder.create () in
+  let x = Rt_circuit.Builder.input b "x" in
+  let y = Rt_circuit.Builder.input b "y" in
+  let g = Rt_circuit.Builder.and2 b x y in
+  Rt_circuit.Builder.output b ~name:"z" g;
+  let c = Rt_circuit.Builder.finalize b in
+  let f = [| { Rt_fault.Fault.site = Rt_fault.Fault.Stem g; stuck = false } |] in
+  let est = Detect_mc.detection_probs c f ~weights:[| 0.5; 0.5 |] ~n_patterns:20_000 ~seed:3 in
+  if Float.abs (est.(0) -. 0.25) > 0.02 then Alcotest.failf "mc estimate %.3f far from 0.25" est.(0)
+
+let test_confidence_halfwidth () =
+  let hw = Detect_mc.confidence_halfwidth ~p:0.5 ~n:10_000 in
+  check Alcotest.bool "halfwidth sane" true (hw > 0.009 && hw < 0.011)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "rt_sim"
+    [ ( "pattern",
+        [ Alcotest.test_case "of_vectors roundtrip" `Quick test_of_vectors_roundtrip;
+          Alcotest.test_case "lane mask" `Quick test_lane_mask;
+          Alcotest.test_case "take exact" `Quick test_take_exact;
+          Alcotest.test_case "weighted statistics" `Quick test_weighted_statistics ] );
+      ("logic-sim", [ q logic_sim_vs_eval_qcheck ]);
+      ( "fault-sim",
+        [ q ppsfp_vs_reference_qcheck;
+          Alcotest.test_case "drop keeps first_detect" `Quick test_drop_consistency;
+          Alcotest.test_case "coverage accounting" `Quick test_coverage_monotone;
+          q responses_qcheck ] );
+      ( "monte-carlo",
+        [ Alcotest.test_case "estimates p" `Quick test_mc_estimates;
+          Alcotest.test_case "confidence halfwidth" `Quick test_confidence_halfwidth ] ) ]

@@ -1,0 +1,280 @@
+(* Tests for Rt_testability: signal probability engines, the cutting
+   algorithm's bounds, observability, STAFAN, the detection-probability
+   oracles, and test-length computation. *)
+
+module Signal_prob = Rt_testability.Signal_prob
+module Cutting = Rt_testability.Cutting
+module Observability = Rt_testability.Observability
+module Stafan = Rt_testability.Stafan
+module Detect = Rt_testability.Detect
+module Test_length = Rt_testability.Test_length
+module Netlist = Rt_circuit.Netlist
+module Generators = Rt_circuit.Generators
+module Builder = Rt_circuit.Builder
+
+let check = Alcotest.check
+
+(* A fanout-free tree: independence propagation is exact there. *)
+let tree_circuit () =
+  let b = Builder.create () in
+  let x = Builder.inputs b "x" 6 in
+  let a1 = Builder.and2 b x.(0) x.(1) in
+  let o1 = Builder.or2 b x.(2) x.(3) in
+  let x1 = Builder.xor2 b x.(4) x.(5) in
+  let top = Builder.orn b [ a1; o1 ] in
+  Builder.output b ~name:"t" (Builder.and2 b top x1);
+  Builder.finalize b
+
+let test_independence_exact_on_trees () =
+  let c = tree_circuit () in
+  let x = [| 0.3; 0.7; 0.2; 0.9; 0.5; 0.4 |] in
+  let est = Signal_prob.independence c x in
+  match Signal_prob.exact c x with
+  | None -> Alcotest.fail "tiny circuit must fit"
+  | Some ex ->
+    Array.iteri
+      (fun i e ->
+        if Float.abs (e -. est.(i)) > 1e-9 then
+          Alcotest.failf "node %d: exact %.6f vs independence %.6f" i e est.(i))
+      ex
+
+let test_max_error_positive_on_reconvergent () =
+  (* y = x AND x through two paths: independence gets 0.25, truth is 0.5. *)
+  let b = Builder.create ~fold:false () in
+  let x = Builder.input b "x" in
+  let p1 = Builder.buf b x in
+  let p2 = Builder.buf b x in
+  Builder.output b ~name:"y" (Builder.and2 b p1 p2);
+  let c = Builder.finalize b in
+  match Signal_prob.max_error c [| 0.5 |] with
+  | None -> Alcotest.fail "must fit"
+  | Some err -> check (Alcotest.float 1e-9) "error is 0.25" 0.25 err
+
+let test_cutting_xor_reconvergence () =
+  (* Regression: XOR of two copies of the same signal is identically 0;
+     naive interval-corner propagation claims [0.5, 0.5] at p = 0.5.  The
+     support-aware Frechet rule must keep 0 inside the interval. *)
+  let b = Builder.create ~fold:false () in
+  let x = Builder.input b "x" in
+  let p1 = Builder.buf b x in
+  let p2 = Builder.buf b x in
+  let g = Builder.xor2 b p1 p2 in
+  Builder.output b ~name:"y" g;
+  let c = Builder.finalize b in
+  let iv = Cutting.bounds c [| 0.5 |] in
+  let lo, hi = iv.(g) in
+  check Alcotest.bool "zero inside" true (lo <= 1e-9 && hi >= 0.0);
+  (* And the AND case: AND of complementary copies is identically 0. *)
+  let b = Builder.create ~fold:false () in
+  let x = Builder.input b "x" in
+  let nx = Builder.not_ b x in
+  let g = Builder.and2 b x nx in
+  Builder.output b ~name:"y" g;
+  let c = Builder.finalize b in
+  let iv = Cutting.bounds c [| 0.5 |] in
+  let lo, _hi = iv.(g) in
+  check Alcotest.bool "and of complements contains 0" true (lo <= 1e-9)
+
+let test_conditioned_exact_when_covering () =
+  (* y = x AND x via two buffers: conditioning on x (its fanout is 2) makes
+     the estimate exact where independence got 0.25. *)
+  let b = Builder.create ~fold:false () in
+  let x = Builder.input b "x" in
+  let p1 = Builder.buf b x in
+  let p2 = Builder.buf b x in
+  let g = Builder.and2 b p1 p2 in
+  Builder.output b ~name:"y" g;
+  let c = Builder.finalize b in
+  let est = Signal_prob.conditioned c [| 0.5 |] in
+  check (Alcotest.float 1e-9) "exact after conditioning" 0.5 est.(g)
+
+let conditioned_improves_qcheck =
+  (* Across random circuits the conditioned estimator's mean absolute
+     error against the exact probabilities must not exceed plain
+     independence's. *)
+  QCheck.Test.make ~name:"conditioning never hurts on average" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:35 ~seed in
+      let x = Array.make 7 0.5 in
+      match Signal_prob.exact c x with
+      | None -> QCheck.assume_fail ()
+      | Some ex ->
+        let err est =
+          let s = ref 0.0 in
+          Array.iteri (fun i p -> s := !s +. Float.abs (p -. est.(i))) ex;
+          !s
+        in
+        err (Signal_prob.conditioned c x) <= err (Signal_prob.independence c x) +. 1e-9)
+
+let cutting_qcheck =
+  QCheck.Test.make ~name:"cutting bounds contain exact probabilities" ~count:40
+    QCheck.(pair (int_range 0 10_000) (float_range 0.1 0.9))
+    (fun (seed, p) ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let x = Array.make 7 p in
+      match Signal_prob.exact c x with
+      | None -> QCheck.assume_fail ()
+      | Some exact -> Cutting.contains (Cutting.bounds c x) exact)
+
+let cutting_contains_independence_qcheck =
+  QCheck.Test.make ~name:"cutting bounds contain the independence estimate" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let x = Array.make 7 0.5 in
+      Cutting.contains (Cutting.bounds c x) (Signal_prob.independence c x))
+
+let test_observability_range_and_outputs () =
+  let c = Generators.c880ish () in
+  let x = Array.make 22 0.5 in
+  let sp = Signal_prob.independence c x in
+  let obs = Observability.cop c ~node_probs:sp in
+  Array.iter
+    (fun o ->
+      if o < -1e-12 || o > 1.0 +. 1e-12 then Alcotest.failf "observability %f out of range" o)
+    obs;
+  Array.iter
+    (fun o -> if obs.(o) < 1.0 -. 1e-12 then Alcotest.fail "primary output must have obs 1")
+    (Netlist.outputs c)
+
+let test_pin_sensitization () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let g = Builder.and2 b x y in
+  Builder.output b g;
+  let c = Builder.finalize b in
+  let sp = Signal_prob.independence c [| 0.3; 0.8 |] in
+  (* Sensitisation of pin 0 (x) through the AND = P(y = 1) = 0.8. *)
+  check (Alcotest.float 1e-9) "and pin sens" 0.8 (Observability.pin_sensitization c ~node_probs:sp g 0)
+
+let test_cop_exact_on_single_and () =
+  (* For z = AND(x, y), fault z s-a-0: COP predicts p(x=1)p(y=1). *)
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let g = Builder.and2 b x y in
+  Builder.output b g;
+  let c = Builder.finalize b in
+  let f = [| { Rt_fault.Fault.site = Rt_fault.Fault.Stem g; stuck = false } |] in
+  let o = Detect.make Detect.Cop c f in
+  let pf = Detect.probs o [| 0.4; 0.7 |] in
+  check (Alcotest.float 1e-9) "cop exact here" (0.4 *. 0.7) pf.(0)
+
+let oracle_agreement_qcheck =
+  (* All four engines agree within Monte-Carlo tolerance on small circuits
+     (COP only roughly: factor ~4 or absolute 0.12 — it is an estimator). *)
+  QCheck.Test.make ~name:"bdd oracle equals mc oracle within noise" ~count:8
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let bdd = Detect.make (Detect.Bdd_exact { node_limit = 500_000 }) c faults in
+      let mc = Detect.make (Detect.Monte_carlo { n_patterns = 8_000; seed = 5 }) c faults in
+      let x = Array.make 7 0.5 in
+      let pb = Detect.probs bdd x in
+      let pm = Detect.probs mc x in
+      let exact = Detect.exact_mask bdd in
+      let ok = ref true in
+      Array.iteri
+        (fun i p ->
+          if exact.(i) then begin
+            let tol = (3.0 *. Rt_sim.Detect_mc.confidence_halfwidth ~p ~n:8_000) +. 0.01 in
+            if Float.abs (p -. pm.(i)) > tol then ok := false
+          end)
+        pb;
+      !ok)
+
+let test_stafan_close_to_exact_on_tree () =
+  let c = tree_circuit () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let stafan = Detect.make (Detect.Stafan { n_patterns = 20_000; seed = 3 }) c faults in
+  let bdd = Detect.make (Detect.Bdd_exact { node_limit = 100_000 }) c faults in
+  let x = Array.make 6 0.5 in
+  let ps = Detect.probs stafan x in
+  let pb = Detect.probs bdd x in
+  Array.iteri
+    (fun i p ->
+      (* trees have no reconvergence: STAFAN's independence assumptions are
+         close to exact; activation x observability still ignores their
+         correlation, so allow a loose band. *)
+      if Float.abs (p -. pb.(i)) > 0.15 then
+        Alcotest.failf "fault %d: stafan %.3f vs exact %.3f" i p pb.(i))
+    ps
+
+let test_proven_redundant () =
+  let b = Builder.create ~fold:false ~prune:false () in
+  let x = Builder.input b "x" in
+  let nx = Builder.not_ b x in
+  let zero = Builder.and2 b x nx in
+  Builder.output b ~name:"y" (Builder.or2 b zero x);
+  let c = Builder.finalize b in
+  let faults = Rt_fault.Fault.universe c in
+  let o = Detect.make (Detect.Bdd_exact { node_limit = 100_000 }) c faults in
+  let red = Detect.proven_redundant o in
+  let n_red = Array.fold_left (fun a b -> if b then a + 1 else a) 0 red in
+  check Alcotest.bool "found redundancies" true (n_red > 0);
+  (* A redundant fault's reported probability is 0 at any X. *)
+  let pf = Detect.probs o [| 0.3 |] in
+  Array.iteri (fun i r -> if r && pf.(i) <> 0.0 then Alcotest.fail "redundant with p > 0") red
+
+(* --- Test_length ------------------------------------------------------------------ *)
+
+let test_required_single_fault () =
+  (* One fault with p: N = ln(1-c)/ln(1-p). *)
+  let n = Test_length.required ~confidence:0.95 [| 0.01 |] in
+  let expect = Float.log 0.05 /. Float.log 0.99 in
+  if Float.abs (n -. expect) > 2.0 then Alcotest.failf "N = %.1f expected %.1f" n expect
+
+let test_required_confidence_inverse () =
+  let pfs = [| 0.001; 0.01; 0.3 |] in
+  let n = Test_length.required ~confidence:0.9 pfs in
+  let c_at = Test_length.confidence ~n pfs in
+  check Alcotest.bool "confidence met at N" true (c_at >= 0.9);
+  let c_before = Test_length.confidence ~n:(n -. 10.0) pfs in
+  check Alcotest.bool "not met just before N" true (c_before < 0.9)
+
+let test_required_infinite () =
+  check Alcotest.bool "undetectable fault" true
+    (Float.is_finite (Test_length.required [| 0.0; 0.5 |]) = false)
+
+let test_savir_bardell_upper_bound () =
+  let pfs = [| 0.001; 0.002; 0.5; 0.9 |] in
+  let exact = Test_length.required ~confidence:0.95 pfs in
+  let bound = Test_length.savir_bardell_bound ~confidence:0.95 pfs in
+  check Alcotest.bool "bound dominates" true (bound >= exact -. 1.0)
+
+let test_hardest () =
+  let pfs = [| 0.5; 0.001; 0.3; 0.0001 |] in
+  check Alcotest.(array int) "two hardest" [| 3; 1 |] (Test_length.hardest pfs ~k:2)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "rt_testability"
+    [ ( "signal-prob",
+        [ Alcotest.test_case "independence exact on trees" `Quick test_independence_exact_on_trees;
+          Alcotest.test_case "reconvergence error measured" `Quick
+            test_max_error_positive_on_reconvergent;
+          Alcotest.test_case "conditioning recovers exactness" `Quick
+            test_conditioned_exact_when_covering;
+          q conditioned_improves_qcheck ] );
+      ( "cutting",
+        [ Alcotest.test_case "xor reconvergence regression" `Quick
+            test_cutting_xor_reconvergence;
+          q cutting_qcheck;
+          q cutting_contains_independence_qcheck ] );
+      ( "observability",
+        [ Alcotest.test_case "range and outputs" `Quick test_observability_range_and_outputs;
+          Alcotest.test_case "pin sensitization" `Quick test_pin_sensitization ] );
+      ( "detect-oracles",
+        [ Alcotest.test_case "cop exact on single AND" `Quick test_cop_exact_on_single_and;
+          q oracle_agreement_qcheck;
+          Alcotest.test_case "stafan close on trees" `Quick test_stafan_close_to_exact_on_tree;
+          Alcotest.test_case "proven redundant" `Quick test_proven_redundant ] );
+      ( "test-length",
+        [ Alcotest.test_case "single fault" `Quick test_required_single_fault;
+          Alcotest.test_case "confidence inverse" `Quick test_required_confidence_inverse;
+          Alcotest.test_case "infinite" `Quick test_required_infinite;
+          Alcotest.test_case "savir-bardell bound" `Quick test_savir_bardell_upper_bound;
+          Alcotest.test_case "hardest" `Quick test_hardest ] ) ]

@@ -1,0 +1,251 @@
+(* Unit and property tests for Rt_util: Rng, Bitvec, Prob, Stats, Int_heap. *)
+
+module Rng = Rt_util.Rng
+module Bitvec = Rt_util.Bitvec
+module Prob = Rt_util.Prob
+module Stats = Rt_util.Stats
+module Int_heap = Rt_util.Int_heap
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* --- Rng ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_rng_copy_independent () =
+  (* A copy replays the same stream, and draws from one side do not
+     advance the other. *)
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  let a1 = Rng.bits64 a in
+  let a2 = Rng.bits64 a in
+  let b1 = Rng.bits64 b in
+  let b2 = Rng.bits64 b in
+  check Alcotest.int64 "first draw equal" a1 b1;
+  check Alcotest.int64 "second draw equal" a2 b2
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "int out of range"
+  done
+
+let test_rng_int_uniform () =
+  let r = Rng.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let x = Rng.int r 10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let p = Float.of_int c /. Float.of_int n in
+      if Float.abs (p -. 0.1) > 0.01 then Alcotest.failf "bucket prob %.3f far from 0.1" p)
+    counts
+
+let test_rng_float_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_biased_word_statistics () =
+  let r = Rng.create 9 in
+  List.iter
+    (fun p ->
+      let ones = ref 0 in
+      let words = 4000 in
+      for _ = 1 to words do
+        let w = Rng.biased_word r p in
+        let rec pop x acc = if Int64.equal x 0L then acc else pop (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+        ones := !ones + pop w 0
+      done;
+      let measured = Float.of_int !ones /. Float.of_int (64 * words) in
+      if Float.abs (measured -. p) > 0.01 then
+        Alcotest.failf "biased_word(%.2f) measured %.4f" p measured)
+    [ 0.05; 0.25; 0.5; 0.75; 0.9375 ]
+
+let test_biased_word_extremes () =
+  let r = Rng.create 1 in
+  check Alcotest.int64 "p=0" 0L (Rng.biased_word r 0.0);
+  check Alcotest.int64 "p=1" (-1L) (Rng.biased_word r 1.0)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 17 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Bitvec ----------------------------------------------------------------- *)
+
+let test_bitvec_get_set () =
+  let v = Bitvec.create 130 in
+  Bitvec.set v 0 true;
+  Bitvec.set v 64 true;
+  Bitvec.set v 129 true;
+  check Alcotest.bool "bit 0" true (Bitvec.get v 0);
+  check Alcotest.bool "bit 1" false (Bitvec.get v 1);
+  check Alcotest.bool "bit 64" true (Bitvec.get v 64);
+  check Alcotest.bool "bit 129" true (Bitvec.get v 129);
+  check Alcotest.int "popcount" 3 (Bitvec.popcount v)
+
+let test_bitvec_bounds () =
+  let v = Bitvec.create 10 in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Bitvec.get") (fun () ->
+      ignore (Bitvec.get v 10));
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Bitvec.set") (fun () ->
+      Bitvec.set v (-1) true)
+
+let bitvec_qcheck =
+  [ QCheck.Test.make ~name:"bitvec to/of_string roundtrip" ~count:200
+      QCheck.(list_of_size Gen.(1 -- 200) bool)
+      (fun bits ->
+        let s = String.concat "" (List.map (fun b -> if b then "1" else "0") bits) in
+        Bitvec.to_string (Bitvec.of_string s) = s);
+    QCheck.Test.make ~name:"bitvec popcount matches naive" ~count:200
+      QCheck.(list_of_size Gen.(1 -- 200) bool)
+      (fun bits ->
+        let v = Bitvec.create (List.length bits) in
+        List.iteri (fun i b -> Bitvec.set v i b) bits;
+        Bitvec.popcount v = List.length (List.filter Fun.id bits));
+    QCheck.Test.make ~name:"bitvec iter_ones visits exactly the ones" ~count:200
+      QCheck.(list_of_size Gen.(1 -- 200) bool)
+      (fun bits ->
+        let v = Bitvec.create (List.length bits) in
+        List.iteri (fun i b -> Bitvec.set v i b) bits;
+        let seen = ref [] in
+        Bitvec.iter_ones v (fun i -> seen := i :: !seen);
+        let expect = List.filteri (fun i _ -> List.nth bits i) (List.mapi (fun i _ -> i) bits) in
+        List.rev !seen = expect);
+    QCheck.Test.make ~name:"bitvec fill_random(1.0) sets exactly width bits" ~count:50
+      QCheck.(pair (int_range 1 150) (int_range 0 1000))
+      (fun (n, seed) ->
+        let v = Bitvec.create n in
+        Bitvec.fill_random (Rng.create seed) 1.0 v;
+        Bitvec.popcount v = n) ]
+
+(* --- Prob ------------------------------------------------------------------- *)
+
+let test_clamp () =
+  checkf "below" 0.0 (Prob.clamp (-0.5));
+  checkf "above" 1.0 (Prob.clamp 1.5);
+  checkf "inside" 0.3 (Prob.clamp 0.3);
+  checkf "interior" 0.05 (Prob.interior 0.05 0.0)
+
+let test_quantize () =
+  checkf "grid 0.05" 0.35 (Prob.quantize ~grid:0.05 0.37);
+  checkf "grid floor" 0.05 (Prob.quantize ~grid:0.05 0.0);
+  checkf "grid ceil" 0.95 (Prob.quantize ~grid:0.05 1.0);
+  checkf "dyadic" 0.25 (Prob.quantize_dyadic ~bits:4 0.26);
+  checkf "dyadic floor" (1.0 /. 16.0) (Prob.quantize_dyadic ~bits:4 0.0)
+
+let test_complement_product () =
+  checkf "single" 0.3 (Prob.complement_product [| 0.3 |]);
+  checkf "two independent" 0.75 (Prob.complement_product [| 0.5; 0.5 |]);
+  checkf "with zero" 0.5 (Prob.complement_product [| 0.5; 0.0 |])
+
+let test_detection_confidence () =
+  (* One fault with p = 0.5 and n = 1: confidence 0.5. *)
+  checkf "simple" 0.5 (Prob.detection_confidence ~n:1.0 [| 0.5 |]);
+  (* Undetectable fault: confidence 0. *)
+  checkf "undetectable" 0.0 (Prob.detection_confidence ~n:1e9 [| 0.0; 0.5 |]);
+  (* Large n: confidence approaches 1. *)
+  let c = Prob.detection_confidence ~n:1e6 [| 0.01; 0.02 |] in
+  check Alcotest.bool "large n near 1" true (c > 0.999999)
+
+let prob_qcheck =
+  [ QCheck.Test.make ~name:"confidence is within [0,1] and monotone in n" ~count:300
+      QCheck.(pair (list_of_size Gen.(1 -- 10) (float_range 0.0001 1.0)) (float_range 1.0 1e5))
+      (fun (ps, n) ->
+        let ps = Array.of_list ps in
+        let c1 = Prob.detection_confidence ~n ps in
+        let c2 = Prob.detection_confidence ~n:(2.0 *. n) ps in
+        c1 >= 0.0 && c1 <= 1.0 && c2 >= c1 -. 1e-12);
+    QCheck.Test.make ~name:"quantize lands on grid" ~count:300
+      QCheck.(float_range 0.0 1.0)
+      (fun x ->
+        let q = Prob.quantize ~grid:0.05 x in
+        let k = q /. 0.05 in
+        Float.abs (k -. Float.round k) < 1e-9) ]
+
+(* --- Stats / Int_heap --------------------------------------------------------- *)
+
+let test_stats_mean_var () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "variance" 1.0 (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  checkf "empty mean" 0.0 (Stats.mean [||])
+
+let test_stats_quantile () =
+  let a = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  checkf "median" 3.0 (Stats.quantile 0.5 a);
+  checkf "min" 1.0 (Stats.quantile 0.0 a);
+  checkf "max" 5.0 (Stats.quantile 1.0 a)
+
+let test_geometric_steps () =
+  let steps = Stats.geometric_steps ~lo:10 ~hi:1000 ~per_decade:2 in
+  check Alcotest.int "first" 10 (List.hd steps);
+  check Alcotest.int "last" 1000 (List.nth steps (List.length steps - 1));
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "strictly increasing" true (increasing steps)
+
+let heap_qcheck =
+  [ QCheck.Test.make ~name:"int heap pops in sorted order" ~count:300
+      QCheck.(list (int_range 0 10_000))
+      (fun xs ->
+        let h = Int_heap.create () in
+        List.iter (Int_heap.push h) xs;
+        let out = ref [] in
+        while not (Int_heap.is_empty h) do
+          out := Int_heap.pop h :: !out
+        done;
+        List.rev !out = List.sort compare xs) ]
+
+let () =
+  let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests) in
+  Alcotest.run "rt_util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "biased word statistics" `Quick test_biased_word_statistics;
+          Alcotest.test_case "biased word extremes" `Quick test_biased_word_extremes;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation ] );
+      ( "bitvec",
+        [ Alcotest.test_case "get/set/popcount" `Quick test_bitvec_get_set;
+          Alcotest.test_case "bounds checks" `Quick test_bitvec_bounds ] );
+      qsuite "bitvec-properties" bitvec_qcheck;
+      ( "prob",
+        [ Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "quantize" `Quick test_quantize;
+          Alcotest.test_case "complement product" `Quick test_complement_product;
+          Alcotest.test_case "detection confidence" `Quick test_detection_confidence ] );
+      qsuite "prob-properties" prob_qcheck;
+      ( "stats",
+        [ Alcotest.test_case "mean/variance" `Quick test_stats_mean_var;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "geometric steps" `Quick test_geometric_steps ] );
+      qsuite "heap-properties" heap_qcheck ]
