@@ -1,0 +1,21 @@
+# Convenience targets; `make check` is the pre-commit gate.
+
+.PHONY: all check test bench bench-json clean
+
+all:
+	dune build
+
+check:
+	dune build && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-json:
+	dune exec bench/main.exe -- --json
+
+clean:
+	dune clean

@@ -7,12 +7,16 @@
      dune exec bench/main.exe                 quick reproduction + kernels
      dune exec bench/main.exe -- --full       paper-scale reproduction
      dune exec bench/main.exe -- --only t3,f2 selected experiments
-     dune exec bench/main.exe -- --no-perf    skip the Bechamel section *)
+     dune exec bench/main.exe -- --no-perf    skip the Bechamel section
+     dune exec bench/main.exe -- --json       also write BENCH_optprob.json
+                                              (kernel ns/run + per-experiment
+                                              wall-clock, machine readable) *)
 
 let parse_args () =
   let full = ref (Sys.getenv_opt "OPTPROB_BENCH_FULL" = Some "1") in
   let only = ref None in
   let perf = ref true in
+  let json = ref false in
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -21,29 +25,38 @@ let parse_args () =
     | "--no-perf" :: rest ->
       perf := false;
       go rest
+    | "--json" :: rest ->
+      json := true;
+      go rest
     | "--only" :: ids :: rest ->
       only := Some (String.split_on_char ',' ids);
       go rest
     | _ :: rest -> go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!full, !only, !perf)
+  (!full, !only, !perf, !json)
 
+(* Runs each experiment individually (so its wall-clock is attributable),
+   prints its table, and returns [(id, title, seconds)] in run order. *)
 let run_experiments ~full ~only =
-  let tables =
+  let ids =
     match only with
-    | None -> Rt_repro.Experiments.all ~full ()
-    | Some ids ->
-      List.filter_map
-        (fun id ->
-          match Rt_repro.Experiments.by_id id with
-          | Some f -> Some (f ~full ())
-          | None ->
-            Format.eprintf "unknown experiment id: %s@." id;
-            None)
-        ids
+    | None -> Rt_repro.Experiments.ids
+    | Some ids -> ids
   in
-  List.iter (Rt_repro.Experiments.print_table Format.std_formatter) tables
+  List.filter_map
+    (fun id ->
+      match Rt_repro.Experiments.by_id id with
+      | None ->
+        Format.eprintf "unknown experiment id: %s@." id;
+        None
+      | Some f ->
+        let t0 = Rt_util.Stats.timer_start () in
+        let table = f ~full () in
+        let seconds = Rt_util.Stats.timer_elapsed t0 in
+        Rt_repro.Experiments.print_table Format.std_formatter table;
+        Some (table.Rt_repro.Experiments.id, table.Rt_repro.Experiments.title, seconds))
+    ids
 
 (* --- Bechamel kernels ----------------------------------------------------- *)
 
@@ -69,20 +82,55 @@ let kernel_tests () =
   let mult_source =
     Rt_sim.Pattern.equiprobable mult_rng ~n_inputs:(Array.length (Rt_circuit.Netlist.inputs mult))
   in
+  (* The PREPARE workload of one optimizer coordinate step: the two
+     cofactor queries at x_0, restricted to the hard-fault prefix that the
+     NORMALIZE bound search certifies (the paper's z; ~32 of s1's 534
+     faults) — full-universe query + gather vs the subset-aware oracle. *)
+  let cond = Rt_testability.Detect.make (Rt_testability.Detect.Conditioned { max_vars = 4 }) c faults in
+  let norm = Rt_optprob.Normalize.run ~confidence:0.95 (Rt_testability.Detect.probs cond x) in
+  let hard = Rt_optprob.Normalize.hard_indices norm in
+  let sweep_full () =
+    let gather pf = Array.map (fun i -> pf.(i)) hard in
+    x.(0) <- 0.0;
+    let pf0 = gather (Rt_testability.Detect.probs cond x) in
+    x.(0) <- 1.0;
+    let pf1 = gather (Rt_testability.Detect.probs cond x) in
+    x.(0) <- 0.5;
+    ignore (Sys.opaque_identity (pf0, pf1))
+  in
+  let sweep_subset () =
+    x.(0) <- 0.0;
+    let pf0 = Rt_testability.Detect.probs_subset cond hard x in
+    x.(0) <- 1.0;
+    let pf1 = Rt_testability.Detect.probs_subset cond hard x in
+    x.(0) <- 0.5;
+    ignore (Sys.opaque_identity (pf0, pf1))
+  in
   [ Test.make ~name:"cop analysis (s1, 534 faults)"
       (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs cop x)));
     Test.make ~name:"exact bdd analysis (s1, 534 faults)"
       (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs bdd x)));
+    Test.make ~name:"optimize sweep (conditioned, s1) full-query"
+      (Staged.stage sweep_full);
+    Test.make ~name:"optimize sweep (conditioned, s1) subset-query"
+      (Staged.stage sweep_subset);
     Test.make ~name:"logic sim 64 patterns (s1)"
       (Staged.stage (fun () -> Rt_sim.Logic_sim.run sim (source ())));
-    Test.make ~name:"ppsfp 256 patterns (8x8 multiplier)"
+    Test.make ~name:"ppsfp 256 patterns (8x8 multiplier) jobs=1"
       (Staged.stage (fun () ->
            ignore
-             (Rt_sim.Fault_sim.simulate ~drop:true mult mult_faults ~source:mult_source
+             (Rt_sim.Fault_sim.simulate ~jobs:1 ~drop:true mult mult_faults ~source:mult_source
+                ~n_patterns:256)));
+    Test.make ~name:"ppsfp 256 patterns (8x8 multiplier) jobs=4"
+      (Staged.stage (fun () ->
+           ignore
+             (Rt_sim.Fault_sim.simulate ~jobs:4 ~drop:true mult mult_faults ~source:mult_source
                 ~n_patterns:256)));
     Test.make ~name:"lfsr 64-bit word"
       (Staged.stage (fun () -> ignore (Rt_bist.Lfsr.step_word lfsr 64))) ]
 
+(* Runs the Bechamel section, prints it, and returns [(name, ns/run)]
+   sorted by name. *)
 let run_perf () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -92,22 +140,76 @@ let run_perf () =
   let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
   let results = Analyze.merge ols instances results in
   Format.printf "@.== PERF: kernel timings (Bechamel, ns/run) ==@.";
+  let collected = ref [] in
   Hashtbl.iter
     (fun _instance tbl ->
       let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) tbl [] in
       List.iter
         (fun (test_name, ols_result) ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Format.printf "%-55s %12.0f ns/run@." test_name est
+          | Some [ est ] ->
+            Format.printf "%-55s %12.0f ns/run@." test_name est;
+            collected := (test_name, est) :: !collected
           | Some _ | None -> Format.printf "%-55s (no estimate)@." test_name)
         (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
-    results
+    results;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !collected
+
+(* --- JSON output ----------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~mode ~experiments ~kernels ~total_seconds =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"optprob-bench/1\",\n";
+  p "  \"mode\": \"%s\",\n" (json_escape mode);
+  p "  \"jobs_env\": %d,\n" (Rt_util.Parallel.default_jobs ());
+  p "  \"total_seconds\": %.3f,\n" total_seconds;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, title, seconds) ->
+      p "    {\"id\": \"%s\", \"title\": \"%s\", \"seconds\": %.3f}%s\n" (json_escape id)
+        (json_escape title) seconds
+        (if i = List.length experiments - 1 then "" else ","))
+    experiments;
+  p "  ],\n";
+  p "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n" (json_escape name) ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
 
 let () =
-  let full, only, perf = parse_args () in
+  let full, only, perf, json = parse_args () in
   Format.printf "optprob reproduction harness (%s mode)@."
     (if full then "full paper-scale" else "quick");
   let t0 = Rt_util.Stats.timer_start () in
-  run_experiments ~full ~only;
+  let experiments = run_experiments ~full ~only in
   Format.printf "@.experiments completed in %.1fs@." (Rt_util.Stats.timer_elapsed t0);
-  if perf then run_perf ()
+  let kernels = if perf then run_perf () else [] in
+  if json then begin
+    let path = "BENCH_optprob.json" in
+    write_json ~path
+      ~mode:(if full then "full" else "quick")
+      ~experiments ~kernels
+      ~total_seconds:(Rt_util.Stats.timer_elapsed t0);
+    Format.printf "@.wrote %s@." path
+  end

@@ -50,6 +50,11 @@ let weights_arg =
 
 let seed_arg = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"J"
+         ~doc:"Worker domains for the parallel kernels (default: $(b,OPTPROB_JOBS) or 1). \
+               Results are independent of J.")
+
 let exits = Cmd.Exit.defaults
 
 let wrap f = try `Ok (f ()) with Failure msg -> `Error (false, msg)
@@ -90,10 +95,10 @@ let generate_cmd =
 (* --- analyze --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run circuit engine confidence weights () =
+  let run circuit engine confidence weights jobs () =
     let c = load_circuit circuit in
     let faults = Rt_fault.Collapse.collapsed_universe c in
-    let oracle = Rt_testability.Detect.make (parse_engine engine) c faults in
+    let oracle = Rt_testability.Detect.make ?jobs (parse_engine engine) c faults in
     let x =
       match weights with
       | Some path -> Rt_repro.Weights_io.load path c
@@ -137,8 +142,8 @@ let analyze_cmd =
        ~exits)
     Term.(
       ret
-        (const (fun c e conf w () -> wrap (run c e conf w))
-        $ circuit_arg $ engine_arg $ confidence_arg $ weights_arg $ const ()))
+        (const (fun c e conf w j () -> wrap (run c e conf w j))
+        $ circuit_arg $ engine_arg $ confidence_arg $ weights_arg $ jobs_arg $ const ()))
 
 (* --- optimize -------------------------------------------------------------- *)
 
@@ -162,10 +167,10 @@ let optimize_cmd =
     Arg.(value & flag & info [ "partition" ]
            ~doc:"Also try the section-5.3 fault-set partitioning (2 distributions).")
   in
-  let run circuit engine confidence grid dyadic sweeps out partition () =
+  let run circuit engine confidence grid dyadic sweeps out partition jobs () =
     let c = load_circuit circuit in
     let faults = Rt_fault.Collapse.collapsed_universe c in
-    let oracle = Rt_testability.Detect.make (parse_engine engine) c faults in
+    let oracle = Rt_testability.Detect.make ?jobs (parse_engine engine) c faults in
     let quantize =
       match (dyadic, grid) with
       | Some bits, _ -> Rt_optprob.Optimize.Dyadic bits
@@ -209,9 +214,9 @@ let optimize_cmd =
        ~exits)
     Term.(
       ret
-        (const (fun c e conf g d s o p () -> wrap (run c e conf g d s o p))
+        (const (fun c e conf g d s o p j () -> wrap (run c e conf g d s o p j))
         $ circuit_arg $ engine_arg $ confidence_arg $ grid $ dyadic $ sweeps $ out $ partition
-        $ const ()))
+        $ jobs_arg $ const ()))
 
 (* --- simulate -------------------------------------------------------------- *)
 
@@ -223,7 +228,7 @@ let simulate_cmd =
   let curve =
     Arg.(value & flag & info [ "curve" ] ~doc:"Print the coverage-vs-pattern-count curve.")
   in
-  let run circuit weights patterns seed curve () =
+  let run circuit weights patterns seed curve jobs () =
     let c = load_circuit circuit in
     let faults = Rt_fault.Collapse.collapsed_universe c in
     let x =
@@ -233,7 +238,7 @@ let simulate_cmd =
     in
     let rng = Rt_util.Rng.create seed in
     let source = Rt_sim.Pattern.weighted rng x in
-    let stats = Rt_sim.Fault_sim.simulate ~drop:true c faults ~source ~n_patterns:patterns in
+    let stats = Rt_sim.Fault_sim.simulate ?jobs ~drop:true c faults ~source ~n_patterns:patterns in
     Format.printf "patterns: %d  faults: %d  coverage: %.2f%%@." patterns (Array.length faults)
       (100.0 *. Rt_sim.Fault_sim.coverage stats);
     if curve then begin
@@ -253,8 +258,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Fault-simulate random patterns and report coverage." ~exits)
     Term.(
       ret
-        (const (fun c w n s cv () -> wrap (run c w n s cv))
-        $ circuit_arg $ weights_arg $ patterns $ seed_arg $ curve $ const ()))
+        (const (fun c w n s cv j () -> wrap (run c w n s cv j))
+        $ circuit_arg $ weights_arg $ patterns $ seed_arg $ curve $ jobs_arg $ const ()))
 
 (* --- atpg ------------------------------------------------------------------ *)
 

@@ -1,7 +1,9 @@
 (* Fig. 2 of the paper as an ASCII chart: fault coverage vs pattern count
    on S1, conventional vs optimized random patterns.
 
-   Run with: dune exec examples/coverage_curve.exe *)
+   Run with: dune exec examples/coverage_curve.exe
+   (set OPTPROB_JOBS to shard the fault simulation across domains —
+   the curves are identical for every job count) *)
 
 let bar width frac =
   let n = Float.to_int (Float.round (frac *. Float.of_int width)) in
@@ -17,10 +19,11 @@ let () =
   in
   let report = Rt_optprob.Optimize.run oracle in
   let n_patterns = 12_000 in
+  let jobs = Rt_util.Parallel.default_jobs () in
   let run weights =
     let rng = Rt_util.Rng.create 2024 in
     let source = Rt_sim.Pattern.weighted rng weights in
-    Rt_sim.Fault_sim.simulate ~drop:true c faults ~source ~n_patterns
+    Rt_sim.Fault_sim.simulate ~jobs ~drop:true c faults ~source ~n_patterns
   in
   let conv = run (Array.make 48 0.5) in
   let opt = run report.Rt_optprob.Optimize.weights in

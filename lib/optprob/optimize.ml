@@ -22,6 +22,11 @@ let default_options =
     max_sweeps = 12;
     w_min = 0.02;
     quantize = Grid 0.05;
+    (* Floor on the NORMALIZE prefix the sweep optimizes over.  The bound
+       search itself often needs only a few dozen faults, but optimizing
+       too small a prefix lets faults just outside it drift hard on larger
+       universes (c2670ish/c7552ish lose orders of magnitude with a floor
+       of 64), so keep a generous safety margin. *)
     nf_min = 256;
     start = None;
     start_jitter = 0.06 }
@@ -77,14 +82,16 @@ let run ?(options = default_options) ?progress oracle =
       let n = !norm.Normalize.n in
       if Float.is_finite n then n else 1e7
     in
+    (* PREPARE: the two cofactor queries only need the hardest faults, so
+       ask the oracle for exactly those — one [hard] array per sweep keeps
+       the oracle's per-subset cone plan cached across all 2n queries. *)
     let hard = Normalize.hard_indices !norm in
-    let gather pf = Array.map (fun i -> pf.(i)) hard in
     for i = 0 to n_inputs - 1 do
       let saved = x.(i) in
       x.(i) <- 0.0;
-      let pf0 = gather (Detect.probs oracle x) in
+      let pf0 = Detect.probs_subset oracle hard x in
       x.(i) <- 1.0;
-      let pf1 = gather (Detect.probs oracle x) in
+      let pf1 = Detect.probs_subset oracle hard x in
       x.(i) <- saved;
       let r =
         Minimize.newton ~lo:o.w_min ~hi:(1.0 -. o.w_min) ~n:n_for_sweep ~p0:pf0 ~p1:pf1 saved

@@ -560,6 +560,8 @@ let all ?(full = false) () =
     x5_quantization_ablation ~full ();
     x6_jitter_ablation ~full () ]
 
+let ids = [ "t1"; "t2"; "t3"; "t4"; "t5"; "f1"; "f2"; "a1"; "x2"; "x3"; "x4"; "x5"; "x6" ]
+
 let by_id id =
   match String.lowercase_ascii id with
   | "t1" -> Some t1_required_length_conventional

@@ -70,5 +70,10 @@ val x6_jitter_ablation : ?full:bool -> unit -> table
 
 val all : ?full:bool -> unit -> table list
 
+val ids : string list
+(** Canonical experiment ids in paper order — what {!all} runs; each
+    resolves through {!by_id} (the bench harness uses this to time
+    experiments individually). *)
+
 val by_id : string -> (?full:bool -> unit -> table) option
 (** Lookup by experiment id ("t1".."t5", "f1", "f2", "a1", "x2".."x6"). *)

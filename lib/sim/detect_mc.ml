@@ -1,7 +1,7 @@
-let detection_probs c faults ~weights ~n_patterns ~seed =
+let detection_probs ?jobs c faults ~weights ~n_patterns ~seed =
   let rng = Rt_util.Rng.create seed in
   let source = Pattern.weighted rng weights in
-  let stats = Fault_sim.simulate ~drop:false c faults ~source ~n_patterns in
+  let stats = Fault_sim.simulate ?jobs ~drop:false c faults ~source ~n_patterns in
   Array.map
     (fun count -> Float.of_int count /. Float.of_int stats.Fault_sim.patterns_run)
     stats.Fault_sim.detect_count

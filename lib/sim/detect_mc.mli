@@ -6,13 +6,16 @@
     as an ANALYSIS oracle for the optimizer. *)
 
 val detection_probs :
+  ?jobs:int ->
   Rt_circuit.Netlist.t ->
   Rt_fault.Fault.t array ->
   weights:float array ->
   n_patterns:int ->
   seed:int ->
   float array
-(** Estimated [p_f] per fault, in fault-array order. *)
+(** Estimated [p_f] per fault, in fault-array order.  [jobs] shards the
+    per-fault simulation across domains (see {!Fault_sim.simulate});
+    results are bit-identical for every [jobs] value. *)
 
 val confidence_halfwidth : p:float -> n:int -> float
 (** 95 % normal-approximation half-width of the estimate — tests use it to

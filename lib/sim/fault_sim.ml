@@ -9,10 +9,10 @@ type stats = {
   patterns_run : int;
 }
 
-(* Workspace reused across faults within a batch. *)
+(* Workspace reused across faults within a batch; one per domain when the
+   per-fault work is sharded with [jobs > 1]. *)
 type ws = {
   c : Netlist.t;
-  sim : Logic_sim.t;
   fval : int64 array;
   dirty : bool array;
   queued : bool array;
@@ -29,7 +29,6 @@ let make_ws c =
     !m
   in
   { c;
-    sim = Logic_sim.create c;
     fval = Array.make n 0L;
     dirty = Array.make n false;
     queued = Array.make n false;
@@ -77,9 +76,10 @@ let mark_dirty ws n v =
     if not ws.queued.(n) then ws.touched <- n :: ws.touched
   end
 
-(* Returns the 64-lane detection word for one fault on the current batch. *)
-let inject_and_propagate ws fault lanes =
-  let good = Logic_sim.values ws.sim in
+(* Returns the 64-lane detection word for one fault on the current batch.
+   [good] is the fault-free simulation of the batch, shared read-only
+   across domains. *)
+let inject_and_propagate ws ~good fault lanes =
   let c = ws.c in
   reset ws;
   let seeded =
@@ -137,11 +137,20 @@ let popcount_64 w =
   let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
   to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
-let simulate ?(drop = true) c faults ~source ~n_patterns =
+(* Per-fault detection words depend only on the fault and the batch — never
+   on other faults — so with [jobs > 1] the live set is sharded across
+   domains (each with its own workspace) into a per-fault word table, and
+   the bookkeeping (first_detect / detect_count / drop order) replays
+   serially from that table.  The stats are therefore bit-identical to the
+   serial path for every [jobs] value. *)
+let simulate ?jobs ?(drop = true) c faults ~source ~n_patterns =
+  let jobs = Rt_util.Parallel.resolve_jobs jobs in
   let nf = Array.length faults in
   let first_detect = Array.make nf (-1) in
   let detect_count = Array.make nf 0 in
-  let ws = make_ws c in
+  let sim = Logic_sim.create c in
+  let wss = Array.init jobs (fun _ -> make_ws c) in
+  let word_of = if jobs > 1 then Array.make nf 0L else [||] in
   let live = Array.init nf Fun.id in
   let n_live = ref nf in
   let base = ref 0 in
@@ -155,11 +164,21 @@ let simulate ?(drop = true) c faults ~source ~n_patterns =
       end
     in
     let lanes = Pattern.lane_mask batch in
-    Logic_sim.run ws.sim batch;
+    Logic_sim.run sim batch;
+    let good = Logic_sim.values sim in
+    if jobs > 1 then
+      Rt_util.Parallel.run_chunks ~min_per_chunk:32 ~jobs ~n:!n_live (fun ~chunk ~lo ~hi ->
+          let ws = wss.(chunk) in
+          for p = lo to hi - 1 do
+            let fi = live.(p) in
+            word_of.(fi) <- inject_and_propagate ws ~good faults.(fi) lanes
+          done);
     let i = ref 0 in
     while !i < !n_live do
       let fi = live.(!i) in
-      let detect = inject_and_propagate ws faults.(fi) lanes in
+      let detect =
+        if jobs > 1 then word_of.(fi) else inject_and_propagate wss.(0) ~good faults.(fi) lanes
+      in
       if Int64.equal detect 0L then incr i
       else begin
         if first_detect.(fi) < 0 then first_detect.(fi) <- !base + lowest_lane detect;
@@ -177,12 +196,16 @@ let simulate ?(drop = true) c faults ~source ~n_patterns =
   done;
   { faults; first_detect; detect_count; patterns_run = !base }
 
-let simulate_with_responses c faults ~source ~n_patterns =
+let simulate_with_responses ?jobs c faults ~source ~n_patterns =
+  let jobs = Rt_util.Parallel.resolve_jobs jobs in
   let nf = Array.length faults in
   let first_detect = Array.make nf (-1) in
   let detect_count = Array.make nf 0 in
   let responses = Array.make nf [] in
-  let ws = make_ws c in
+  let sim = Logic_sim.create c in
+  let wss = Array.init jobs (fun _ -> make_ws c) in
+  let words = if jobs > 1 then Array.make nf 0L else [||] in
+  let diffs = if jobs > 1 then Array.make nf [||] else [||] in
   let outputs = Netlist.outputs c in
   let n_out = min 64 (Array.length outputs) in
   let base = ref 0 in
@@ -193,33 +216,47 @@ let simulate_with_responses c faults ~source ~n_patterns =
       else { batch with Pattern.n_patterns = n_patterns - !base }
     in
     let lanes = Pattern.lane_mask batch in
-    Logic_sim.run ws.sim batch;
-    let good = Logic_sim.values ws.sim in
-    for fi = 0 to nf - 1 do
-      let detect = inject_and_propagate ws faults.(fi) lanes in
-      if not (Int64.equal detect 0L) then begin
-        if first_detect.(fi) < 0 then first_detect.(fi) <- !base + lowest_lane detect;
-        detect_count.(fi) <- detect_count.(fi) + popcount_64 detect;
-        (* Per detecting lane, build the output-difference word.  Note this
-           must run before the next fault's [reset], so capture now. *)
-        let out_diffs =
-          Array.init n_out (fun k ->
-              let o = outputs.(k) in
-              if ws.dirty.(o) then Int64.logand (Int64.logxor ws.fval.(o) good.(o)) lanes
-              else 0L)
-        in
-        for lane = 0 to batch.Pattern.n_patterns - 1 do
-          if Int64.logand (Int64.shift_right_logical detect lane) 1L <> 0L then begin
-            let d = ref 0L in
-            for k = 0 to n_out - 1 do
-              if Int64.logand (Int64.shift_right_logical out_diffs.(k) lane) 1L <> 0L then
-                d := Int64.logor !d (Int64.shift_left 1L k)
-            done;
-            responses.(fi) <- (!base + lane, !d) :: responses.(fi)
-          end
-        done
-      end
-    done;
+    Logic_sim.run sim batch;
+    let good = Logic_sim.values sim in
+    (* Per detecting lane the output-difference word must be captured
+       before the workspace is reset for the next fault. *)
+    let capture ws =
+      Array.init n_out (fun k ->
+          let o = outputs.(k) in
+          if ws.dirty.(o) then Int64.logand (Int64.logxor ws.fval.(o) good.(o)) lanes else 0L)
+    in
+    let record fi detect out_diffs =
+      if first_detect.(fi) < 0 then first_detect.(fi) <- !base + lowest_lane detect;
+      detect_count.(fi) <- detect_count.(fi) + popcount_64 detect;
+      for lane = 0 to batch.Pattern.n_patterns - 1 do
+        if Int64.logand (Int64.shift_right_logical detect lane) 1L <> 0L then begin
+          let d = ref 0L in
+          for k = 0 to n_out - 1 do
+            if Int64.logand (Int64.shift_right_logical out_diffs.(k) lane) 1L <> 0L then
+              d := Int64.logor !d (Int64.shift_left 1L k)
+          done;
+          responses.(fi) <- (!base + lane, !d) :: responses.(fi)
+        end
+      done
+    in
+    if jobs > 1 then begin
+      Rt_util.Parallel.run_chunks ~min_per_chunk:32 ~jobs ~n:nf (fun ~chunk ~lo ~hi ->
+          let ws = wss.(chunk) in
+          for fi = lo to hi - 1 do
+            let detect = inject_and_propagate ws ~good faults.(fi) lanes in
+            words.(fi) <- detect;
+            diffs.(fi) <- (if Int64.equal detect 0L then [||] else capture ws)
+          done);
+      for fi = 0 to nf - 1 do
+        if not (Int64.equal words.(fi) 0L) then record fi words.(fi) diffs.(fi)
+      done
+    end
+    else
+      for fi = 0 to nf - 1 do
+        let ws = wss.(0) in
+        let detect = inject_and_propagate ws ~good faults.(fi) lanes in
+        if not (Int64.equal detect 0L) then record fi detect (capture ws)
+      done;
     base := !base + batch.Pattern.n_patterns
   done;
   let responses = Array.map List.rev responses in

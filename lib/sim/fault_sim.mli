@@ -15,15 +15,25 @@ type stats = {
 }
 
 val simulate :
+  ?jobs:int ->
   ?drop:bool ->
   Rt_circuit.Netlist.t ->
   Rt_fault.Fault.t array ->
   source:Pattern.source ->
   n_patterns:int ->
   stats
-(** [drop] (default true) stops simulating a fault once detected. *)
+(** [drop] (default true) stops simulating a fault once detected.
+
+    [jobs] (default: the [OPTPROB_JOBS] environment variable, else 1)
+    shards the per-fault injection/propagation of each batch across that
+    many domains, each with its own workspace; detection bookkeeping is
+    replayed deterministically on the caller, so the returned [stats] are
+    bit-identical for every [jobs] value (the good-circuit simulation and
+    the pattern source always run on the calling domain, preserving the
+    RNG stream). *)
 
 val simulate_with_responses :
+  ?jobs:int ->
   Rt_circuit.Netlist.t ->
   Rt_fault.Fault.t array ->
   source:Pattern.source ->

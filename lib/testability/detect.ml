@@ -3,6 +3,7 @@ module Gate = Rt_circuit.Gate
 module Fault = Rt_fault.Fault
 module Bdd = Rt_bdd.Bdd
 module Bdd_circuit = Rt_bdd.Bdd_circuit
+module Parallel = Rt_util.Parallel
 
 type engine =
   | Cop
@@ -15,6 +16,7 @@ type oracle = {
   c : Netlist.t;
   fault_list : Fault.t array;
   run : float array -> float array;
+  run_subset : int array -> float array -> float array;
   label : string;
   exact : bool array;
   redundant : bool array;
@@ -25,32 +27,114 @@ let injection f =
   | Fault.Stem n -> Bdd_circuit.Stem (n, f.Fault.stuck)
   | Fault.Branch (g, k) -> Bdd_circuit.Pin (g, k, f.Fault.stuck)
 
-let cop_probs c faults x =
+(* --- Subset plans ---------------------------------------------------------
+
+   PREPARE (paper §4) only ever asks for the detection probabilities of the
+   [nf] hardest faults, so every engine gets a [run_subset] that restricts
+   its work to those faults' cones.  The node masks are derived once per
+   subset and cached keyed on the physical identity of the index array —
+   OPTIMIZE passes the same [hard_indices] array for the whole sweep. *)
+
+type plan = {
+  key : int array;  (* compared with ==, never dereferenced for content *)
+  sel : Fault.t array;
+  obs_mask : bool array;
+      (* union of the selected faults' transitive fanout cones: the nodes
+         whose observability the COP/STAFAN estimate needs (fanout-closed
+         because ids are topological). *)
+  sp_mask : bool array;
+      (* fanin closure of the masked nodes and their side pins: the nodes
+         whose signal probability those observabilities (plus the
+         activation terms) read. *)
+}
+
+let make_plan c faults subset =
+  let n = Netlist.size c in
+  let nf = Array.length faults in
+  let sel =
+    Array.map
+      (fun i ->
+        if i < 0 || i >= nf then invalid_arg "Detect.probs_subset: fault index out of range";
+        faults.(i))
+      subset
+  in
+  let obs_mask = Array.make n false in
+  Array.iter
+    (fun f ->
+      let site = match f.Fault.site with Fault.Stem s -> s | Fault.Branch (g, _) -> g in
+      obs_mask.(site) <- true)
+    sel;
+  (* Fanout closure in one ascending sweep (fanin ids are smaller). *)
+  for i = 0 to n - 1 do
+    if not obs_mask.(i) then
+      if Array.exists (fun j -> obs_mask.(j)) (Netlist.fanin c i) then obs_mask.(i) <- true
+  done;
+  let sp_mask = Array.make n false in
+  for i = 0 to n - 1 do
+    if obs_mask.(i) then begin
+      sp_mask.(i) <- true;
+      Array.iter (fun j -> sp_mask.(j) <- true) (Netlist.fanin c i)
+    end
+  done;
+  (* Fanin closure in one descending sweep. *)
+  for i = n - 1 downto 0 do
+    if sp_mask.(i) then Array.iter (fun j -> sp_mask.(j) <- true) (Netlist.fanin c i)
+  done;
+  { key = subset; sel; obs_mask; sp_mask }
+
+let plan_cache () : plan option ref = ref None
+
+let get_plan cache c faults subset =
+  match !cache with
+  | Some p when p.key == subset -> p
+  | Some _ | None ->
+    let p = make_plan c faults subset in
+    cache := Some p;
+    p
+
+(* --- COP ------------------------------------------------------------------ *)
+
+let cop_fault_prob c ~sp ~obs f =
+  let src = Fault.source f c in
+  let act = if f.Fault.stuck then 1.0 -. sp.(src) else sp.(src) in
+  match f.Fault.site with
+  | Fault.Stem n -> act *. obs.(n)
+  | Fault.Branch (g, k) -> act *. Observability.pin_observability c ~node_probs:sp ~obs g k
+
+let cop_fill ~jobs c ~sp ~obs faults out =
+  let nf = Array.length faults in
+  Parallel.run_chunks ~min_per_chunk:256 ~jobs ~n:nf (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- cop_fault_prob c ~sp ~obs faults.(i)
+      done)
+
+let cop_probs ?(jobs = 1) c faults x =
   let sp = Signal_prob.independence c x in
   let obs = Observability.cop c ~node_probs:sp in
-  Array.map
-    (fun f ->
-      let src = Fault.source f c in
-      let act = if f.Fault.stuck then 1.0 -. sp.(src) else sp.(src) in
-      match f.Fault.site with
-      | Fault.Stem n -> act *. obs.(n)
-      | Fault.Branch (g, k) ->
-        act *. Observability.pin_observability c ~node_probs:sp ~obs g k)
-    faults
+  let out = Array.make (Array.length faults) 0.0 in
+  cop_fill ~jobs c ~sp ~obs faults out;
+  out
+
+let cop_probs_subset ?(jobs = 1) c plan x =
+  let sp = Signal_prob.independence_subset c ~mask:plan.sp_mask x in
+  let obs = Observability.cop_subset c ~mask:plan.obs_mask ~node_probs:sp in
+  let out = Array.make (Array.length plan.sel) 0.0 in
+  cop_fill ~jobs c ~sp ~obs plan.sel out;
+  out
 
 (* PREDICT-style (ABS86): Shannon-expand the COP estimate over the
    highest-fanout inputs — activation and observability are conditionally
    estimated per assignment, which removes the input-level correlations
-   plain COP ignores. *)
-let conditioned_probs ~max_vars c faults x =
-  let set = Signal_prob.conditioning_set ~max_vars c in
-  if Array.length set = 0 then cop_probs c faults x
-  else begin
-    let k = Array.length set in
-    let positions = Array.map (fun i -> Netlist.input_index c i) set in
-    let acc = Array.make (Array.length faults) 0.0 in
+   plain COP ignores.  The assignments are independent, so with [jobs > 1]
+   they are sharded across domains (per-domain accumulators merged in
+   chunk order; [jobs = 1] keeps the exact serial summation order). *)
+let conditioned_expand ~jobs ~positions ~nf x eval_assignment =
+  let k = Array.length positions in
+  let n_assign = 1 lsl k in
+  let accumulate ~lo ~hi =
+    let acc = Array.make nf 0.0 in
     let x' = Array.copy x in
-    for a = 0 to (1 lsl k) - 1 do
+    for a = lo to hi - 1 do
       let weight = ref 1.0 in
       Array.iteri
         (fun j pos ->
@@ -64,26 +148,58 @@ let conditioned_probs ~max_vars c faults x =
           end)
         positions;
       if !weight > 0.0 then begin
-        let pf = cop_probs c faults x' in
-        Array.iteri (fun n v -> acc.(n) <- acc.(n) +. (!weight *. v)) pf
+        let pf = eval_assignment x' in
+        Array.iteri (fun i v -> acc.(i) <- acc.(i) +. (!weight *. v)) pf
       end
     done;
     acc
+  in
+  if jobs <= 1 then accumulate ~lo:0 ~hi:n_assign
+  else begin
+    let partials = Parallel.map_chunks ~jobs ~n:n_assign (fun ~lo ~hi -> accumulate ~lo ~hi) in
+    match partials with
+    | [] -> Array.make nf 0.0
+    | first :: rest ->
+      List.iter (fun p -> Array.iteri (fun i v -> first.(i) <- first.(i) +. v) p) rest;
+      first
   end
 
-let make_conditioned ~max_vars c faults =
+let conditioned_probs ?(jobs = 1) ~max_vars c faults x =
+  let set = Signal_prob.conditioning_set ~max_vars c in
+  if Array.length set = 0 then cop_probs ~jobs c faults x
+  else begin
+    let positions = Array.map (fun i -> Netlist.input_index c i) set in
+    conditioned_expand ~jobs ~positions ~nf:(Array.length faults) x (fun x' ->
+        cop_probs c faults x')
+  end
+
+let conditioned_probs_subset ?(jobs = 1) ~max_vars c plan x =
+  let set = Signal_prob.conditioning_set ~max_vars c in
+  if Array.length set = 0 then cop_probs_subset ~jobs c plan x
+  else begin
+    let positions = Array.map (fun i -> Netlist.input_index c i) set in
+    conditioned_expand ~jobs ~positions ~nf:(Array.length plan.sel) x (fun x' ->
+        cop_probs_subset c plan x')
+  end
+
+let make_cop ?(jobs = 1) c faults =
+  let cache = plan_cache () in
   { c;
     fault_list = faults;
-    run = (fun x -> conditioned_probs ~max_vars c faults x);
-    label = Printf.sprintf "conditioned(cop, %d vars)" (Array.length (Signal_prob.conditioning_set ~max_vars c));
+    run = (fun x -> cop_probs ~jobs c faults x);
+    run_subset = (fun subset x -> cop_probs_subset ~jobs c (get_plan cache c faults subset) x);
+    label = "cop";
     exact = Array.make (Array.length faults) false;
     redundant = Array.make (Array.length faults) false }
 
-let make_cop c faults =
+let make_conditioned ?(jobs = 1) ~max_vars c faults =
+  let cache = plan_cache () in
   { c;
     fault_list = faults;
-    run = (fun x -> cop_probs c faults x);
-    label = "cop";
+    run = (fun x -> conditioned_probs ~jobs ~max_vars c faults x);
+    run_subset =
+      (fun subset x -> conditioned_probs_subset ~jobs ~max_vars c (get_plan cache c faults subset) x);
+    label = Printf.sprintf "conditioned(cop, %d vars)" (Array.length (Signal_prob.conditioning_set ~max_vars c));
     exact = Array.make (Array.length faults) false;
     redundant = Array.make (Array.length faults) false }
 
@@ -97,7 +213,7 @@ let make_cop c faults =
    COP estimate. *)
 let make_bdd ~node_limit ?(max_generations = 6) c faults =
   let nf = Array.length faults in
-  let fallback_probs = cop_probs c faults in
+  let cache = plan_cache () in
   let exact = Array.make nf false in
   let redundant = Array.make nf false in
   let order = Bdd_circuit.dfs_order c in
@@ -145,7 +261,9 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
   in
   (* detect_roots.(fi) = Some (generation, root). *)
   let detect_roots = Array.make nf None in
-  let generations = ref [] in
+  (* Built most-recent-first; reversed into an array once construction is
+     done (the former [!gens @ [gen]] append was quadratic in generations). *)
+  let generations_rev = ref [] in
   let total_nodes = ref 0 in
   (match new_generation () with
    | exception Bdd.Limit_exceeded -> ()
@@ -158,7 +276,7 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
         the per-fault BDDs are intrinsically large for this circuit;
         further generations would burn time for nothing. *)
      let min_yield = max 8 (nf / 20) in
-     generations := [ first_gen ];
+     generations_rev := [ first_gen ];
      let fi = ref 0 in
      while !fi < nf do
        let f = faults.(!fi) in
@@ -176,7 +294,7 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
             (* Too big even for an empty manager: estimate this fault. *)
             incr fi
           end
-          else if List.length !generations >= max_generations || !gen_yield < min_yield then
+          else if List.length !generations_rev >= max_generations || !gen_yield < min_yield then
             fi := nf
           else begin
             match new_generation () with
@@ -187,17 +305,20 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
               incr gen_idx;
               fresh := true;
               gen_yield := 0;
-              generations := !generations @ [ gen ]
+              generations_rev := gen :: !generations_rev
           end)
      done;
      let m, _ = !current in
      total_nodes := !total_nodes + Bdd.node_count m);
-  let generations = Array.of_list !generations in
+  let generations = Array.of_list (List.rev !generations_rev) in
+  let x_of_var_table x =
+    let t = Array.make (max 1 (Array.length order)) 0.5 in
+    Array.iteri (fun i v -> t.(v) <- x.(i)) order;
+    t
+  in
   let run x =
-    let x_of_var = Array.make (max 1 (Array.length order)) 0.5 in
-    Array.iteri (fun i v -> x_of_var.(v) <- x.(i)) order;
+    let x_of_var = x_of_var_table x in
     let out = Array.make nf 0.0 in
-    let need_fallback = ref false in
     (* Batch the prob evaluation per generation to share memo tables. *)
     Array.iteri
       (fun gi (m, _) ->
@@ -213,10 +334,40 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
         let vals = Bdd.prob_many m (Array.of_list !roots) (fun v -> x_of_var.(v)) in
         List.iteri (fun j fi -> out.(fi) <- vals.(j)) !idxs)
       generations;
-    Array.iteri (fun fi r -> if r = None then need_fallback := true else ignore fi) detect_roots;
-    if !need_fallback then begin
-      let fb = fallback_probs x in
+    if Array.exists (fun r -> r = None) detect_roots then begin
+      let fb = cop_probs c faults x in
       Array.iteri (fun fi r -> if r = None then out.(fi) <- fb.(fi)) detect_roots
+    end;
+    out
+  in
+  (* Subset queries evaluate only the selected detection roots; a
+     generation none of the selected faults landed in is not traversed at
+     all, and the COP fallback cone is restricted to the subset's plan. *)
+  let run_subset subset x =
+    let plan = get_plan cache c faults subset in
+    let x_of_var = x_of_var_table x in
+    let ns = Array.length subset in
+    let out = Array.make ns 0.0 in
+    Array.iteri
+      (fun gi (m, _) ->
+        let idxs = ref [] and roots = ref [] in
+        Array.iteri
+          (fun j fi ->
+            match detect_roots.(fi) with
+            | Some (g, root) when g = gi ->
+              idxs := j :: !idxs;
+              roots := root :: !roots
+            | Some _ | None -> ())
+          subset;
+        match !roots with
+        | [] -> ()
+        | rs ->
+          let vals = Bdd.prob_many m (Array.of_list rs) (fun v -> x_of_var.(v)) in
+          List.iteri (fun p j -> out.(j) <- vals.(p)) !idxs)
+      generations;
+    if Array.exists (fun fi -> detect_roots.(fi) = None) subset then begin
+      let fb = cop_probs_subset c plan x in
+      Array.iteri (fun j fi -> if detect_roots.(fi) = None then out.(j) <- fb.(j)) subset
     end;
     out
   in
@@ -224,6 +375,7 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
   { c;
     fault_list = faults;
     run;
+    run_subset;
     label =
       Printf.sprintf "bdd-exact(%d/%d exact, %d generations, %d nodes)" n_exact nf
         (Array.length generations) !total_nodes;
@@ -231,40 +383,57 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
     redundant }
 
 let make_stafan ~n_patterns ~seed c faults =
-  let run x =
+  let cache = plan_cache () in
+  let count x =
     let rng = Rt_util.Rng.create seed in
     let source = Rt_sim.Pattern.weighted rng x in
-    let counts = Stafan.count c ~source ~n_patterns in
-    Stafan.detection_probs c counts faults
+    Stafan.count c ~source ~n_patterns
   in
   { c;
     fault_list = faults;
-    run;
+    run = (fun x -> Stafan.detection_probs c (count x) faults);
+    run_subset =
+      (fun subset x ->
+        let plan = get_plan cache c faults subset in
+        Stafan.detection_probs_subset c ~mask:plan.obs_mask (count x) plan.sel);
     label = Printf.sprintf "stafan(%d patterns)" n_patterns;
     exact = Array.make (Array.length faults) false;
     redundant = Array.make (Array.length faults) false }
 
-let make_mc ~n_patterns ~seed c faults =
-  let run x = Rt_sim.Detect_mc.detection_probs c faults ~weights:x ~n_patterns ~seed in
+let make_mc ?(jobs = 1) ~n_patterns ~seed c faults =
+  let cache = plan_cache () in
   { c;
     fault_list = faults;
-    run;
+    run = (fun x -> Rt_sim.Detect_mc.detection_probs ~jobs c faults ~weights:x ~n_patterns ~seed);
+    run_subset =
+      (fun subset x ->
+        (* Without dropping, each fault's detection counts depend only on
+           the shared pattern stream, so simulating the selected faults
+           alone reproduces the full run's estimates exactly. *)
+        let plan = get_plan cache c faults subset in
+        Rt_sim.Detect_mc.detection_probs ~jobs c plan.sel ~weights:x ~n_patterns ~seed);
     label = Printf.sprintf "monte-carlo(%d patterns)" n_patterns;
     exact = Array.make (Array.length faults) false;
     redundant = Array.make (Array.length faults) false }
 
-let make engine c faults =
+let make ?jobs engine c faults =
+  let jobs = Parallel.resolve_jobs jobs in
   match engine with
-  | Cop -> make_cop c faults
-  | Conditioned { max_vars } -> make_conditioned ~max_vars c faults
+  | Cop -> make_cop ~jobs c faults
+  | Conditioned { max_vars } -> make_conditioned ~jobs ~max_vars c faults
   | Bdd_exact { node_limit } -> make_bdd ~node_limit c faults
   | Stafan { n_patterns; seed } -> make_stafan ~n_patterns ~seed c faults
-  | Monte_carlo { n_patterns; seed } -> make_mc ~n_patterns ~seed c faults
+  | Monte_carlo { n_patterns; seed } -> make_mc ~jobs ~n_patterns ~seed c faults
 
 let probs o x =
   if Array.length x <> Array.length (Netlist.inputs o.c) then
     invalid_arg "Detect.probs: weight vector width mismatch";
   o.run x
+
+let probs_subset o subset x =
+  if Array.length x <> Array.length (Netlist.inputs o.c) then
+    invalid_arg "Detect.probs_subset: weight vector width mismatch";
+  o.run_subset subset x
 
 let faults o = o.fault_list
 let circuit o = o.c

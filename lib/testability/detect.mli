@@ -27,12 +27,30 @@ type engine =
 
 type oracle
 
-val make : engine -> Rt_circuit.Netlist.t -> Rt_fault.Fault.t array -> oracle
+val make : ?jobs:int -> engine -> Rt_circuit.Netlist.t -> Rt_fault.Fault.t array -> oracle
 (** Performs all per-circuit precomputation (e.g. BDD construction) so that
-    repeated {!probs} calls are cheap. *)
+    repeated {!probs} calls are cheap.  [jobs] (default: the [OPTPROB_JOBS]
+    environment variable, else 1) shards per-fault and per-assignment work
+    across that many domains in the COP, conditioned and Monte-Carlo
+    engines; [jobs = 1] is bit-identical to the serial implementation. *)
 
 val probs : oracle -> float array -> float array
 (** [probs o x] is [p_f(X)] for each fault, in fault-array order. *)
+
+val probs_subset : oracle -> int array -> float array -> float array
+(** [probs_subset o subset x] is [p_f(X)] for [subset]'s faults only —
+    element [j] corresponds to fault index [subset.(j)] — and equals
+    gathering those entries from {!probs} while doing only the subset's
+    share of the work: COP/conditioned restrict their signal-probability
+    and observability sweeps to the union of the selected faults' cones,
+    the exact engine evaluates only the selected detection BDDs (skipping
+    whole generations none of them landed in), STAFAN restricts its
+    observability sweep, and Monte-Carlo simulates only the selected
+    faults.  This is the paper's PREPARE step: OPTIMIZE needs the two
+    cofactor probabilities of the [nf] {e hardest} faults, never the full
+    universe.  The per-subset cone masks are cached keyed on the physical
+    identity of [subset] — reuse one index array across calls (as
+    {!Rt_optprob.Optimize.run} does per sweep) to amortise planning. *)
 
 val faults : oracle -> Rt_fault.Fault.t array
 val circuit : oracle -> Rt_circuit.Netlist.t

@@ -24,25 +24,36 @@ let pin_sensitization c ~node_probs g k =
 let pin_observability c ~node_probs ~obs g k =
   pin_sensitization c ~node_probs g k *. obs.(g)
 
+let cop_node c ~stem_rule ~node_probs ~obs g =
+  let base = if Netlist.is_output c g then 1.0 else 0.0 in
+  let branch_obs = ref [] in
+  Array.iter
+    (fun reader ->
+      let fi = Netlist.fanin c reader in
+      Array.iteri
+        (fun k f ->
+          if f = g then
+            branch_obs := pin_observability c ~node_probs ~obs reader k :: !branch_obs)
+        fi)
+    (Netlist.fanout c g);
+  match stem_rule with
+  | Complement_product ->
+    1.0 -. List.fold_left (fun acc o -> acc *. (1.0 -. o)) (1.0 -. base) !branch_obs
+  | Maximum -> List.fold_left Float.max base !branch_obs
+
 let cop ?(stem_rule = Complement_product) c ~node_probs =
   let n = Netlist.size c in
   let obs = Array.make n 0.0 in
   for g = n - 1 downto 0 do
-    let base = if Netlist.is_output c g then 1.0 else 0.0 in
-    let branch_obs = ref [] in
-    Array.iter
-      (fun reader ->
-        let fi = Netlist.fanin c reader in
-        Array.iteri
-          (fun k f ->
-            if f = g then
-              branch_obs := pin_observability c ~node_probs ~obs reader k :: !branch_obs)
-          fi)
-      (Netlist.fanout c g);
-    obs.(g) <-
-      (match stem_rule with
-       | Complement_product ->
-         1.0 -. List.fold_left (fun acc o -> acc *. (1.0 -. o)) (1.0 -. base) !branch_obs
-       | Maximum -> List.fold_left Float.max base !branch_obs)
+    obs.(g) <- cop_node c ~stem_rule ~node_probs ~obs g
+  done;
+  obs
+
+let cop_subset ?(stem_rule = Complement_product) c ~mask ~node_probs =
+  let n = Netlist.size c in
+  if Array.length mask <> n then invalid_arg "Observability.cop_subset: mask size";
+  let obs = Array.make n 0.0 in
+  for g = n - 1 downto 0 do
+    if mask.(g) then obs.(g) <- cop_node c ~stem_rule ~node_probs ~obs g
   done;
   obs

@@ -23,6 +23,17 @@ val cop :
     {!Signal_prob.independence} or better).  Default rule:
     [Complement_product]. *)
 
+val cop_subset :
+  ?stem_rule:stem_rule ->
+  Rt_circuit.Netlist.t ->
+  mask:bool array ->
+  node_probs:float array ->
+  float array
+(** {!cop} restricted to the nodes where [mask] is true; other entries stay
+    0.  [mask] must be fanout-closed (every reader of a masked node is
+    masked) — e.g. a union of transitive fanout cones — so masked values
+    equal the full sweep's exactly. *)
+
 val pin_sensitization :
   Rt_circuit.Netlist.t -> node_probs:float array -> Rt_circuit.Netlist.node -> int -> float
 (** Probability that gate [g]'s output is sensitive to its pin [k] (all

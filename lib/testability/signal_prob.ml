@@ -15,6 +15,22 @@ let independence c x =
   done;
   p
 
+let independence_subset c ~mask x =
+  if Array.length x <> Array.length (Netlist.inputs c) then
+    invalid_arg "Signal_prob.independence_subset: weight vector width mismatch";
+  let n = Netlist.size c in
+  if Array.length mask <> n then invalid_arg "Signal_prob.independence_subset: mask size";
+  let p = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if mask.(i) then
+      match Netlist.kind c i with
+      | Gate.Input -> p.(i) <- x.(Netlist.input_index c i)
+      | k ->
+        let args = Array.map (fun j -> p.(j)) (Netlist.fanin c i) in
+        p.(i) <- Gate.prob k args
+  done;
+  p
+
 let conditioning_set ?(max_vars = 8) c =
   if max_vars < 0 || max_vars > 16 then invalid_arg "Signal_prob.conditioning_set";
   Netlist.inputs c |> Array.to_list

@@ -64,42 +64,59 @@ let count c ~source ~n_patterns =
 
 let controllability counts n = Float.of_int counts.ones.(n) /. Float.of_int counts.n_patterns
 
+let observability_node c counts ~stem_rule ~total ~obs g =
+  let base = if Netlist.is_output c g then 1.0 else 0.0 in
+  let branch_obs = ref [] in
+  Array.iter
+    (fun reader ->
+      Array.iteri
+        (fun k f ->
+          if f = g then begin
+            let sens_p = Float.of_int counts.sens.(reader).(k) /. total in
+            branch_obs := (sens_p *. obs.(reader)) :: !branch_obs
+          end)
+        (Netlist.fanin c reader))
+    (Netlist.fanout c g);
+  match stem_rule with
+  | Observability.Complement_product ->
+    1.0 -. List.fold_left (fun acc o -> acc *. (1.0 -. o)) (1.0 -. base) !branch_obs
+  | Observability.Maximum -> List.fold_left Float.max base !branch_obs
+
 let observability ?(stem_rule = Observability.Complement_product) c counts =
   let n = Netlist.size c in
   let total = Float.of_int counts.n_patterns in
   let obs = Array.make n 0.0 in
   for g = n - 1 downto 0 do
-    let base = if Netlist.is_output c g then 1.0 else 0.0 in
-    let branch_obs = ref [] in
-    Array.iter
-      (fun reader ->
-        Array.iteri
-          (fun k f ->
-            if f = g then begin
-              let sens_p = Float.of_int counts.sens.(reader).(k) /. total in
-              branch_obs := (sens_p *. obs.(reader)) :: !branch_obs
-            end)
-          (Netlist.fanin c reader))
-      (Netlist.fanout c g);
-    obs.(g) <-
-      (match stem_rule with
-       | Observability.Complement_product ->
-         1.0 -. List.fold_left (fun acc o -> acc *. (1.0 -. o)) (1.0 -. base) !branch_obs
-       | Observability.Maximum -> List.fold_left Float.max base !branch_obs)
+    obs.(g) <- observability_node c counts ~stem_rule ~total ~obs g
   done;
   obs
+
+let observability_subset ?(stem_rule = Observability.Complement_product) c ~mask counts =
+  let n = Netlist.size c in
+  if Array.length mask <> n then invalid_arg "Stafan.observability_subset: mask size";
+  let total = Float.of_int counts.n_patterns in
+  let obs = Array.make n 0.0 in
+  for g = n - 1 downto 0 do
+    if mask.(g) then obs.(g) <- observability_node c counts ~stem_rule ~total ~obs g
+  done;
+  obs
+
+let fault_prob c counts ~total ~obs f =
+  let src = Fault.source f c in
+  let c1 = controllability counts src in
+  let act = if f.Fault.stuck then 1.0 -. c1 else c1 in
+  match f.Fault.site with
+  | Fault.Stem n -> act *. obs.(n)
+  | Fault.Branch (g, k) ->
+    let sens_p = Float.of_int counts.sens.(g).(k) /. total in
+    act *. sens_p *. obs.(g)
 
 let detection_probs ?stem_rule c counts faults =
   let obs = observability ?stem_rule c counts in
   let total = Float.of_int counts.n_patterns in
-  Array.map
-    (fun f ->
-      let src = Fault.source f c in
-      let c1 = controllability counts src in
-      let act = if f.Fault.stuck then 1.0 -. c1 else c1 in
-      match f.Fault.site with
-      | Fault.Stem n -> act *. obs.(n)
-      | Fault.Branch (g, k) ->
-        let sens_p = Float.of_int counts.sens.(g).(k) /. total in
-        act *. sens_p *. obs.(g))
-    faults
+  Array.map (fault_prob c counts ~total ~obs) faults
+
+let detection_probs_subset ?stem_rule c ~mask counts faults =
+  let obs = observability_subset ?stem_rule c ~mask counts in
+  let total = Float.of_int counts.n_patterns in
+  Array.map (fault_prob c counts ~total ~obs) faults

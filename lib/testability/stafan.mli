@@ -24,6 +24,15 @@ val observability :
 (** Backward observability sweep driven by the measured sensitization
     ratios. *)
 
+val observability_subset :
+  ?stem_rule:Observability.stem_rule ->
+  Rt_circuit.Netlist.t ->
+  mask:bool array ->
+  counts ->
+  float array
+(** {!observability} restricted to a fanout-closed node mask (readers of
+    masked nodes are masked); masked values equal the full sweep's. *)
+
 val detection_probs :
   ?stem_rule:Observability.stem_rule ->
   Rt_circuit.Netlist.t ->
@@ -32,3 +41,14 @@ val detection_probs :
   float array
 (** Per-fault detection probability estimate: activation x observability,
     both from counts. *)
+
+val detection_probs_subset :
+  ?stem_rule:Observability.stem_rule ->
+  Rt_circuit.Netlist.t ->
+  mask:bool array ->
+  counts ->
+  Rt_fault.Fault.t array ->
+  float array
+(** As {!detection_probs} for an already-gathered fault subset, with the
+    observability sweep restricted to [mask] (the union of the subset's
+    fanout cones). *)

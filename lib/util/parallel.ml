@@ -1,0 +1,58 @@
+(* Chunked Domain-based parallelism.  No pool is kept alive: each parallel
+   region spawns [jobs - 1] domains and joins them before returning, so a
+   program can never hang on worker shutdown and [jobs = 1] stays on the
+   exact serial code path. *)
+
+let max_jobs = 64
+
+let default_jobs () =
+  match Sys.getenv_opt "OPTPROB_JOBS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some j when j >= 1 -> min j max_jobs
+     | Some _ | None -> 1)
+
+let resolve_jobs jobs =
+  match jobs with
+  | Some j when j >= 1 -> min j max_jobs
+  | Some _ -> 1
+  | None -> default_jobs ()
+
+(* Contiguous chunk [lo, hi) of [0, n) for chunk index k of [jobs]. *)
+let chunk_bounds ~jobs ~n k =
+  let base = n / jobs and rem = n mod jobs in
+  let lo = (k * base) + min k rem in
+  let hi = lo + base + (if k < rem then 1 else 0) in
+  (lo, hi)
+
+let run_chunks ?(min_per_chunk = 1) ~jobs ~n f =
+  if n < 0 then invalid_arg "Parallel.run_chunks: negative n";
+  let jobs = max 1 (min jobs (max 1 (n / max 1 min_per_chunk))) in
+  if jobs = 1 || n = 0 then (if n > 0 then f ~chunk:0 ~lo:0 ~hi:n)
+  else begin
+    let spawned =
+      Array.init (jobs - 1) (fun i ->
+          let k = i + 1 in
+          let lo, hi = chunk_bounds ~jobs ~n k in
+          Domain.spawn (fun () -> if hi > lo then f ~chunk:k ~lo ~hi))
+    in
+    let _, hi0 = chunk_bounds ~jobs ~n 0 in
+    let caller_exn = (try (if hi0 > 0 then f ~chunk:0 ~lo:0 ~hi:hi0); None with e -> Some e) in
+    (* Join everything before re-raising so no domain outlives the call. *)
+    let worker_exn = ref None in
+    Array.iter
+      (fun d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> if !worker_exn = None then worker_exn := Some e)
+      spawned;
+    match (caller_exn, !worker_exn) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let map_chunks ?min_per_chunk ~jobs ~n f =
+  let out = Array.make (max 1 jobs) None in
+  run_chunks ?min_per_chunk ~jobs ~n (fun ~chunk ~lo ~hi -> out.(chunk) <- Some (f ~lo ~hi));
+  Array.to_list out |> List.filter_map Fun.id

@@ -1,0 +1,32 @@
+(** Chunked multicore helpers on top of [Domain] (OCaml 5, no extra deps).
+
+    Work over an index range is split into [jobs] contiguous chunks; chunk 0
+    runs on the calling domain and the rest on freshly spawned domains that
+    are always joined before the call returns.  With [jobs = 1] the callback
+    runs inline on the caller — bit-identical to a serial loop — so every
+    [?jobs] parameter in the library defaults to the serial behaviour. *)
+
+val max_jobs : int
+
+val default_jobs : unit -> int
+(** The [OPTPROB_JOBS] environment variable clamped to [1 .. max_jobs];
+    1 when unset or unparsable. *)
+
+val resolve_jobs : int option -> int
+(** [resolve_jobs jobs] is [jobs] clamped to [1 .. max_jobs] when given,
+    {!default_jobs} otherwise — the policy behind every [?jobs] argument. *)
+
+val chunk_bounds : jobs:int -> n:int -> int -> int * int
+(** [chunk_bounds ~jobs ~n k] is the half-open range [(lo, hi)] of chunk
+    [k]: contiguous, ascending, sizes differing by at most one. *)
+
+val run_chunks :
+  ?min_per_chunk:int -> jobs:int -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+(** Run [f] over [0, n) split into chunks.  [min_per_chunk] (default 1)
+    caps the effective job count so tiny ranges stay serial.  Exceptions
+    from any chunk are re-raised after all domains have been joined. *)
+
+val map_chunks :
+  ?min_per_chunk:int -> jobs:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** As {!run_chunks} but each chunk returns a value; results are listed in
+    chunk order (deterministic merge order regardless of scheduling). *)

@@ -175,6 +175,48 @@ let responses_qcheck =
         responses;
       !ok)
 
+(* --- Multicore sharding ------------------------------------------------------------ *)
+
+let test_jobs_bit_identical () =
+  (* Sharding faults across domains must not change a single stat: the
+     per-fault detection words are independent and the bookkeeping replays
+     serially, so jobs=4 is bit-identical to jobs=1 on the same seed. *)
+  let c = Generators.c880ish () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let n_inputs = Array.length (Netlist.inputs c) in
+  let mk () =
+    let rng = Rt_util.Rng.create 11 in
+    Pattern.equiprobable rng ~n_inputs
+  in
+  List.iter
+    (fun drop ->
+      let s1 = Fault_sim.simulate ~jobs:1 ~drop c faults ~source:(mk ()) ~n_patterns:512 in
+      let s4 = Fault_sim.simulate ~jobs:4 ~drop c faults ~source:(mk ()) ~n_patterns:512 in
+      let tag = if drop then "drop" else "no-drop" in
+      check (Alcotest.array Alcotest.int) (tag ^ " first_detect") s1.Fault_sim.first_detect
+        s4.Fault_sim.first_detect;
+      check (Alcotest.array Alcotest.int) (tag ^ " detect_count") s1.Fault_sim.detect_count
+        s4.Fault_sim.detect_count;
+      check Alcotest.int (tag ^ " patterns_run") s1.Fault_sim.patterns_run
+        s4.Fault_sim.patterns_run)
+    [ true; false ]
+
+let test_jobs_responses_identical () =
+  let c = Generators.c880ish () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let n_inputs = Array.length (Netlist.inputs c) in
+  let mk () =
+    let rng = Rt_util.Rng.create 23 in
+    Pattern.equiprobable rng ~n_inputs
+  in
+  let st1, r1 = Fault_sim.simulate_with_responses ~jobs:1 c faults ~source:(mk ()) ~n_patterns:128 in
+  let st4, r4 = Fault_sim.simulate_with_responses ~jobs:4 c faults ~source:(mk ()) ~n_patterns:128 in
+  check (Alcotest.array Alcotest.int) "first_detect" st1.Fault_sim.first_detect
+    st4.Fault_sim.first_detect;
+  check (Alcotest.array Alcotest.int) "detect_count" st1.Fault_sim.detect_count
+    st4.Fault_sim.detect_count;
+  if r1 <> r4 then Alcotest.fail "response-difference streams differ across jobs"
+
 (* --- Detect_mc --------------------------------------------------------------------- *)
 
 let test_mc_estimates () =
@@ -208,6 +250,10 @@ let () =
           Alcotest.test_case "drop keeps first_detect" `Quick test_drop_consistency;
           Alcotest.test_case "coverage accounting" `Quick test_coverage_monotone;
           q responses_qcheck ] );
+      ( "multicore",
+        [ Alcotest.test_case "jobs=4 stats bit-identical" `Quick test_jobs_bit_identical;
+          Alcotest.test_case "jobs=4 responses bit-identical" `Quick
+            test_jobs_responses_identical ] );
       ( "monte-carlo",
         [ Alcotest.test_case "estimates p" `Quick test_mc_estimates;
           Alcotest.test_case "confidence halfwidth" `Quick test_confidence_halfwidth ] ) ]

@@ -203,6 +203,74 @@ let test_stafan_close_to_exact_on_tree () =
         Alcotest.failf "fault %d: stafan %.3f vs exact %.3f" i p pb.(i))
     ps
 
+let subset_matches_gather_qcheck =
+  (* The subset-aware PREPARE path must agree exactly with gathering from
+     the full sweep on every engine: the cone-restricted sweeps compute the
+     same arithmetic on the masked nodes, the BDD engine's per-root
+     probabilities are memo-independent, and MC/STAFAN counting is
+     per-fault independent. *)
+  QCheck.Test.make ~name:"probs_subset equals gathered full probs on every engine" ~count:10
+    QCheck.(pair (int_range 0 10_000) (int_range 0 1_000))
+    (fun (seed, wseed) ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let nf = Array.length faults in
+      if nf = 0 then QCheck.assume_fail ()
+      else begin
+        let rng = Rt_util.Rng.create wseed in
+        let x = Array.init 7 (fun _ -> 0.05 +. (0.9 *. Rt_util.Rng.float rng)) in
+        let subset =
+          let l = List.filter (fun _ -> Rt_util.Rng.float rng < 0.4) (List.init nf Fun.id) in
+          Array.of_list (match l with [] -> [ Rt_util.Rng.int rng nf ] | l -> l)
+        in
+        let engines =
+          [ Detect.Cop;
+            Detect.Conditioned { max_vars = 3 };
+            Detect.Bdd_exact { node_limit = 200_000 };
+            Detect.Stafan { n_patterns = 256; seed = 3 };
+            Detect.Monte_carlo { n_patterns = 256; seed = 5 } ]
+        in
+        List.for_all
+          (fun e ->
+            let o = Detect.make e c faults in
+            let full = Detect.probs o x in
+            let sub = Detect.probs_subset o subset x in
+            (* Query twice: the second call exercises the cached cone plan. *)
+            let sub2 = Detect.probs_subset o subset x in
+            let ok = ref (Array.length sub = Array.length subset) in
+            Array.iteri
+              (fun j fi ->
+                if Float.abs (sub.(j) -. full.(fi)) > 1e-12 then ok := false;
+                if sub2.(j) <> sub.(j) then ok := false)
+              subset;
+            !ok)
+          engines
+      end)
+
+let jobs_oracle_agreement_qcheck =
+  (* Sharded per-fault work must not change COP / Monte-Carlo results at
+     all (disjoint writes of identical expressions); the conditioned
+     engine's per-chunk accumulators may differ by summation order only. *)
+  QCheck.Test.make ~name:"oracle with jobs=3 matches jobs=1" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      if Array.length faults = 0 then QCheck.assume_fail ()
+      else begin
+        let x = Array.make 7 0.4 in
+        let agree ?(tol = 0.0) e =
+          let p1 = Detect.probs (Detect.make ~jobs:1 e c faults) x in
+          let p3 = Detect.probs (Detect.make ~jobs:3 e c faults) x in
+          let ok = ref true in
+          Array.iteri (fun i p -> if Float.abs (p -. p3.(i)) > tol then ok := false) p1;
+          !ok
+        in
+        agree Detect.Cop
+        && agree (Detect.Monte_carlo { n_patterns = 256; seed = 5 })
+        && agree ~tol:1e-9 (Detect.Conditioned { max_vars = 3 })
+      end)
+
 let test_proven_redundant () =
   let b = Builder.create ~fold:false ~prune:false () in
   let x = Builder.input b "x" in
@@ -270,6 +338,8 @@ let () =
       ( "detect-oracles",
         [ Alcotest.test_case "cop exact on single AND" `Quick test_cop_exact_on_single_and;
           q oracle_agreement_qcheck;
+          q subset_matches_gather_qcheck;
+          q jobs_oracle_agreement_qcheck;
           Alcotest.test_case "stafan close on trees" `Quick test_stafan_close_to_exact_on_tree;
           Alcotest.test_case "proven redundant" `Quick test_proven_redundant ] );
       ( "test-length",

@@ -5,6 +5,7 @@ module Bitvec = Rt_util.Bitvec
 module Prob = Rt_util.Prob
 module Stats = Rt_util.Stats
 module Int_heap = Rt_util.Int_heap
+module Parallel = Rt_util.Parallel
 
 let check = Alcotest.check
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
@@ -221,6 +222,59 @@ let heap_qcheck =
         done;
         List.rev !out = List.sort compare xs) ]
 
+(* --- Parallel ------------------------------------------------------------------ *)
+
+let test_parallel_chunk_bounds () =
+  List.iter
+    (fun (jobs, n) ->
+      let prev = ref 0 in
+      for k = 0 to jobs - 1 do
+        let lo, hi = Parallel.chunk_bounds ~jobs ~n k in
+        check Alcotest.int "contiguous" !prev lo;
+        let sz = hi - lo in
+        check Alcotest.bool "balanced" true (sz >= n / jobs && sz <= (n / jobs) + 1);
+        prev := hi
+      done;
+      check Alcotest.int "tiles the range" n !prev)
+    [ (1, 10); (3, 10); (4, 3); (7, 100); (5, 0) ]
+
+let test_parallel_covers_once () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  Parallel.run_chunks ~jobs:4 ~n (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Array.iteri (fun i h -> if h <> 1 then Alcotest.failf "index %d visited %d times" i h) hits
+
+let test_parallel_worker_exception () =
+  (* An exception in a spawned chunk must surface on the caller. *)
+  match
+    Parallel.run_chunks ~jobs:4 ~n:64 (fun ~chunk ~lo:_ ~hi:_ ->
+        if chunk = 3 then failwith "boom")
+  with
+  | () -> Alcotest.fail "expected the worker's exception"
+  | exception Failure msg -> check Alcotest.string "message" "boom" msg
+
+let test_parallel_resolve () =
+  check Alcotest.int "explicit wins" 5 (Parallel.resolve_jobs (Some 5));
+  check Alcotest.int "nonsense clamps to serial" 1 (Parallel.resolve_jobs (Some 0));
+  check Alcotest.int "cap" Parallel.max_jobs (Parallel.resolve_jobs (Some 10_000))
+
+let parallel_map_chunks_qcheck =
+  QCheck.Test.make ~name:"map_chunks sums match serial" ~count:50
+    QCheck.(pair (int_range 0 500) (int_range 1 8))
+    (fun (n, jobs) ->
+      let partials =
+        Parallel.map_chunks ~jobs ~n (fun ~lo ~hi ->
+            let s = ref 0 in
+            for i = lo to hi - 1 do
+              s := !s + i
+            done;
+            !s)
+      in
+      List.fold_left ( + ) 0 partials = n * (n - 1) / 2)
+
 let () =
   let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests) in
   Alcotest.run "rt_util"
@@ -248,4 +302,10 @@ let () =
         [ Alcotest.test_case "mean/variance" `Quick test_stats_mean_var;
           Alcotest.test_case "quantile" `Quick test_stats_quantile;
           Alcotest.test_case "geometric steps" `Quick test_geometric_steps ] );
-      qsuite "heap-properties" heap_qcheck ]
+      qsuite "heap-properties" heap_qcheck;
+      ( "parallel",
+        [ Alcotest.test_case "chunk bounds" `Quick test_parallel_chunk_bounds;
+          Alcotest.test_case "covers every index once" `Quick test_parallel_covers_once;
+          Alcotest.test_case "worker exception propagates" `Quick test_parallel_worker_exception;
+          Alcotest.test_case "resolve_jobs policy" `Quick test_parallel_resolve;
+          QCheck_alcotest.to_alcotest ~long:false parallel_map_chunks_qcheck ] ) ]
