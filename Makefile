@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: all check test bench bench-json clean
+.PHONY: all check test bench bench-json trace-demo clean
 
 all:
 	dune build
@@ -16,6 +16,19 @@ bench:
 
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# Sanity-check the observability surface end to end: run one optimize with
+# tracing on and make sure the trace is non-empty, valid JSON.
+trace-demo:
+	dune exec bin/main.exe -- optimize s1 --engine cond:8 --sweeps 2 \
+	  --trace /tmp/optprob-s1-trace.json -v
+	@test -s /tmp/optprob-s1-trace.json
+	@if command -v python3 >/dev/null 2>&1; then \
+	  python3 -m json.tool /tmp/optprob-s1-trace.json >/dev/null; \
+	else \
+	  grep -q '"traceEvents"' /tmp/optprob-s1-trace.json; \
+	fi
+	@echo "trace-demo: /tmp/optprob-s1-trace.json ok"
 
 clean:
 	dune clean

@@ -37,26 +37,40 @@ let parse_args () =
   (!full, !only, !perf, !json)
 
 (* Runs each experiment individually (so its wall-clock is attributable),
-   prints its table, and returns [(id, title, seconds)] in run order. *)
+   prints its table, and returns [(id, title, seconds, counters)] in run
+   order.  Rt_obs counters are cleared before and snapshotted after each
+   experiment, so the JSON records how much work (oracle queries, Newton
+   iterations, ppsfp batches, ...) each table cost — not just how long. *)
 let run_experiments ~full ~only =
   let ids =
     match only with
     | None -> Rt_repro.Experiments.ids
     | Some ids -> ids
   in
-  List.filter_map
-    (fun id ->
-      match Rt_repro.Experiments.by_id id with
-      | None ->
-        Format.eprintf "unknown experiment id: %s@." id;
-        None
-      | Some f ->
-        let t0 = Rt_util.Stats.timer_start () in
-        let table = f ~full () in
-        let seconds = Rt_util.Stats.timer_elapsed t0 in
-        Rt_repro.Experiments.print_table Format.std_formatter table;
-        Some (table.Rt_repro.Experiments.id, table.Rt_repro.Experiments.title, seconds))
-    ids
+  Rt_obs.set_enabled true;
+  let rows =
+    List.filter_map
+      (fun id ->
+        match Rt_repro.Experiments.by_id id with
+        | None ->
+          Format.eprintf "unknown experiment id: %s@." id;
+          None
+        | Some f ->
+          Rt_obs.clear ();
+          let t0 = Rt_util.Stats.timer_start () in
+          let table = f ~full () in
+          let seconds = Rt_util.Stats.timer_elapsed t0 in
+          let counters =
+            List.filter (fun (_, v) -> v <> 0) (Rt_obs.counters_snapshot ())
+          in
+          Rt_repro.Experiments.print_table Format.std_formatter table;
+          Some (table.Rt_repro.Experiments.id, table.Rt_repro.Experiments.title, seconds, counters))
+      ids
+  in
+  (* Kernels below measure the disabled path; don't leak telemetry state. *)
+  Rt_obs.set_enabled false;
+  Rt_obs.clear ();
+  rows
 
 (* --- Bechamel kernels ----------------------------------------------------- *)
 
@@ -106,6 +120,16 @@ let kernel_tests () =
     x.(0) <- 0.5;
     ignore (Sys.opaque_identity (pf0, pf1))
   in
+  (* Same workload with Rt_obs recording on: the gap between this and the
+     plain subset-query kernel bounds the telemetry overhead; the gap
+     between the plain kernel and the pre-instrumentation baseline bounds
+     the disabled-path cost (budget: <2%). *)
+  let sweep_subset_telemetry () =
+    Rt_obs.set_enabled true;
+    sweep_subset ();
+    Rt_obs.set_enabled false;
+    Rt_obs.clear ()
+  in
   [ Test.make ~name:"cop analysis (s1, 534 faults)"
       (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs cop x)));
     Test.make ~name:"exact bdd analysis (s1, 534 faults)"
@@ -114,6 +138,8 @@ let kernel_tests () =
       (Staged.stage sweep_full);
     Test.make ~name:"optimize sweep (conditioned, s1) subset-query"
       (Staged.stage sweep_subset);
+    Test.make ~name:"optimize sweep (conditioned, s1) subset-query telemetry=on"
+      (Staged.stage sweep_subset_telemetry);
     Test.make ~name:"logic sim 64 patterns (s1)"
       (Staged.stage (fun () -> Rt_sim.Logic_sim.run sim (source ())));
     Test.make ~name:"ppsfp 256 patterns (8x8 multiplier) jobs=1"
@@ -181,10 +207,14 @@ let write_json ~path ~mode ~experiments ~kernels ~total_seconds =
   p "  \"total_seconds\": %.3f,\n" total_seconds;
   p "  \"experiments\": [\n";
   List.iteri
-    (fun i (id, title, seconds) ->
-      p "    {\"id\": \"%s\", \"title\": \"%s\", \"seconds\": %.3f}%s\n" (json_escape id)
-        (json_escape title) seconds
-        (if i = List.length experiments - 1 then "" else ","))
+    (fun i (id, title, seconds, counters) ->
+      p "    {\"id\": \"%s\", \"title\": \"%s\", \"seconds\": %.3f, \"counters\": {"
+        (json_escape id) (json_escape title) seconds;
+      List.iteri
+        (fun j (name, v) ->
+          p "%s\"%s\": %d" (if j = 0 then "" else ", ") (json_escape name) v)
+        counters;
+      p "}}%s\n" (if i = List.length experiments - 1 then "" else ","))
     experiments;
   p "  ],\n";
   p "  \"kernels\": [\n";

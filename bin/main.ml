@@ -55,6 +55,46 @@ let jobs_arg =
          ~doc:"Worker domains for the parallel kernels (default: $(b,OPTPROB_JOBS) or 1). \
                Results are independent of J.")
 
+(* --- observability flags ---------------------------------------------------
+   Shared by the compute-heavy subcommands: --trace (Chrome trace_event
+   JSON, Perfetto-loadable), --metrics (counter/gauge snapshot JSON) and
+   -v (phase/counter summary on stderr).  Any of them enables Rt_obs
+   recording; the disabled default costs one branch per probe. *)
+
+type obs = { trace : string option; metrics : string option; verbose : bool }
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the span timeline as Chrome trace_event JSON to $(docv) \
+               (open in chrome://tracing or https://ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the counter/gauge snapshot as JSON to $(docv).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ]
+         ~doc:"Print the aggregated phase timings and counters to stderr.")
+
+let obs_arg = Term.(const (fun trace metrics verbose -> { trace; metrics; verbose })
+                    $ trace_arg $ metrics_arg $ verbose_arg)
+
+let obs_begin obs =
+  if obs.trace <> None || obs.metrics <> None || obs.verbose then Rt_obs.set_enabled true
+
+let obs_end obs =
+  (match obs.trace with
+   | Some path ->
+     Rt_obs.write_trace path;
+     Format.eprintf "wrote trace %s@." path
+   | None -> ());
+  (match obs.metrics with
+   | Some path ->
+     Rt_obs.write_metrics path;
+     Format.eprintf "wrote metrics %s@." path
+   | None -> ());
+  if obs.verbose then Rt_obs.pp_summary Format.err_formatter
+
 let exits = Cmd.Exit.defaults
 
 let wrap f = try `Ok (f ()) with Failure msg -> `Error (false, msg)
@@ -95,7 +135,8 @@ let generate_cmd =
 (* --- analyze --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run circuit engine confidence weights jobs () =
+  let run circuit engine confidence weights jobs obs () =
+    obs_begin obs;
     let c = load_circuit circuit in
     let faults = Rt_fault.Collapse.collapsed_universe c in
     let oracle = Rt_testability.Detect.make ?jobs (parse_engine engine) c faults in
@@ -135,15 +176,17 @@ let analyze_cmd =
       Format.printf "  %-30s p = %a@."
         (Rt_fault.Fault.to_string c faults.(fi))
         Rt_util.Prob.pp pf.(fi)
-    done
+    done;
+    obs_end obs
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Testability analysis: detection probabilities and test length."
        ~exits)
     Term.(
       ret
-        (const (fun c e conf w j () -> wrap (run c e conf w j))
-        $ circuit_arg $ engine_arg $ confidence_arg $ weights_arg $ jobs_arg $ const ()))
+        (const (fun c e conf w j obs () -> wrap (run c e conf w j obs))
+        $ circuit_arg $ engine_arg $ confidence_arg $ weights_arg $ jobs_arg $ obs_arg
+        $ const ()))
 
 (* --- optimize -------------------------------------------------------------- *)
 
@@ -167,7 +210,13 @@ let optimize_cmd =
     Arg.(value & flag & info [ "partition" ]
            ~doc:"Also try the section-5.3 fault-set partitioning (2 distributions).")
   in
-  let run circuit engine confidence grid dyadic sweeps out partition jobs () =
+  let convergence =
+    Arg.(value & opt (some string) None & info [ "convergence" ] ~docv:"FILE"
+           ~doc:"Record per-sweep J_N, required length N and input probabilities to $(docv) \
+                 (.json suffix: JSON, otherwise CSV).")
+  in
+  let run circuit engine confidence grid dyadic sweeps out partition jobs conv obs () =
+    obs_begin obs;
     let c = load_circuit circuit in
     let faults = Rt_fault.Collapse.collapsed_universe c in
     let oracle = Rt_testability.Detect.make ?jobs (parse_engine engine) c faults in
@@ -183,11 +232,17 @@ let optimize_cmd =
         max_sweeps = sweeps;
         quantize }
     in
+    let recorder = Option.map (fun _ -> Rt_obs.Convergence.create ()) conv in
     let report =
       Rt_optprob.Optimize.run ~options
         ~progress:(fun ~sweep ~n -> Format.printf "sweep %d: N = %.3e@." sweep n)
-        oracle
+        ?recorder oracle
     in
+    (match (conv, recorder) with
+     | Some path, Some rec_ ->
+       Rt_obs.Convergence.write rec_ path;
+       Format.printf "wrote convergence %s@." path
+     | _ -> ());
     Format.printf "@.engine:        %s@." (Rt_testability.Detect.describe oracle);
     Format.printf "N conventional: %.3e@." report.Rt_optprob.Optimize.n_initial;
     Format.printf "N optimized:    %.3e  (gain x%.0f)@." report.Rt_optprob.Optimize.n_final
@@ -207,16 +262,17 @@ let optimize_cmd =
         sp.Rt_optprob.Partition.n_parts;
       Format.printf "  total %.3e vs single %.3e@." sp.Rt_optprob.Partition.n_total
         sp.Rt_optprob.Partition.n_single
-    end
+    end;
+    obs_end obs
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Compute optimized input probabilities (the paper's procedure)."
        ~exits)
     Term.(
       ret
-        (const (fun c e conf g d s o p j () -> wrap (run c e conf g d s o p j))
+        (const (fun c e conf g d s o p j cv obs () -> wrap (run c e conf g d s o p j cv obs))
         $ circuit_arg $ engine_arg $ confidence_arg $ grid $ dyadic $ sweeps $ out $ partition
-        $ jobs_arg $ const ()))
+        $ jobs_arg $ convergence $ obs_arg $ const ()))
 
 (* --- simulate -------------------------------------------------------------- *)
 
@@ -228,7 +284,8 @@ let simulate_cmd =
   let curve =
     Arg.(value & flag & info [ "curve" ] ~doc:"Print the coverage-vs-pattern-count curve.")
   in
-  let run circuit weights patterns seed curve jobs () =
+  let run circuit weights patterns seed curve jobs obs () =
+    obs_begin obs;
     let c = load_circuit circuit in
     let faults = Rt_fault.Collapse.collapsed_universe c in
     let x =
@@ -253,13 +310,15 @@ let simulate_cmd =
       Array.iter (fun f -> Format.printf "  %s@." (Rt_fault.Fault.to_string c f)) undet
     end
     else if Array.length undet > 20 then
-      Format.printf "undetected: %d faults@." (Array.length undet)
+      Format.printf "undetected: %d faults@." (Array.length undet);
+    obs_end obs
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Fault-simulate random patterns and report coverage." ~exits)
     Term.(
       ret
-        (const (fun c w n s cv j () -> wrap (run c w n s cv j))
-        $ circuit_arg $ weights_arg $ patterns $ seed_arg $ curve $ jobs_arg $ const ()))
+        (const (fun c w n s cv j obs () -> wrap (run c w n s cv j obs))
+        $ circuit_arg $ weights_arg $ patterns $ seed_arg $ curve $ jobs_arg $ obs_arg
+        $ const ()))
 
 (* --- atpg ------------------------------------------------------------------ *)
 

@@ -1,0 +1,300 @@
+(* Global observability sink.  The enabled flag is the only thing the
+   disabled path ever touches: one atomic load, one branch, no allocation —
+   the overhead budget that lets the library's hot loops stay instrumented
+   permanently.  Recording itself takes a mutex (spans are emitted at
+   region/phase granularity, so contention is negligible next to the work
+   being timed) and counters are plain atomics. *)
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* --- spans ---------------------------------------------------------------- *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+}
+
+let lock = Mutex.create ()
+let events_rev : event list ref = ref []
+
+let record ev =
+  Mutex.lock lock;
+  events_rev := ev :: !events_rev;
+  Mutex.unlock lock
+
+let span_begin () = if Atomic.get on then now_us () else Float.neg_infinity
+
+let span_end ?(cat = "span") name t0 =
+  if t0 > Float.neg_infinity then begin
+    let dur = Float.max 0.0 (now_us () -. t0) in
+    record { name; cat; ts_us = t0; dur_us = dur; tid = (Domain.self () :> int) }
+  end
+
+let with_span ?cat name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now_us () in
+    match f () with
+    | v ->
+      span_end ?cat name t0;
+      v
+    | exception e ->
+      span_end ?cat name t0;
+      raise e
+  end
+
+let events () =
+  Mutex.lock lock;
+  let evs = !events_rev in
+  Mutex.unlock lock;
+  List.rev evs
+
+(* --- counters / gauges ----------------------------------------------------- *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let registered tbl make name =
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.add tbl name v;
+      v
+  in
+  Mutex.unlock lock;
+  v
+
+let counter name = registered counters (fun () -> Atomic.make 0) name
+let gauge name = registered gauges (fun () -> Atomic.make 0.0) name
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c 1)
+let add c k = if Atomic.get on then ignore (Atomic.fetch_and_add c k)
+let value c = Atomic.get c
+let gauge_set g v = if Atomic.get on then Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let snapshot tbl get =
+  Mutex.lock lock;
+  let xs = Hashtbl.fold (fun name v acc -> (name, get v) :: acc) tbl [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+let counters_snapshot () = snapshot counters Atomic.get
+let gauges_snapshot () = snapshot gauges Atomic.get
+
+let clear () =
+  Mutex.lock lock;
+  events_rev := [];
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g 0.0) gauges;
+  Mutex.unlock lock
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let trace_json () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+           (json_escape ev.name) (json_escape ev.cat) ev.ts_us ev.dur_us ev.tid))
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let metrics_json () =
+  let buf = Buffer.create 1024 in
+  let obj add xs =
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (Printf.sprintf "    \"%s\": " (json_escape name));
+        add v)
+      xs
+  in
+  Buffer.add_string buf "{\n  \"schema\": \"optprob-metrics/1\",\n  \"counters\": {\n";
+  obj (fun v -> Buffer.add_string buf (string_of_int v)) (counters_snapshot ());
+  Buffer.add_string buf "\n  },\n  \"gauges\": {\n";
+  obj (fun v -> Buffer.add_string buf (Printf.sprintf "%.17g" v)) (gauges_snapshot ());
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let write_trace path = write_file path (trace_json ())
+let write_metrics path = write_file path (metrics_json ())
+
+(* --- human-readable summary ------------------------------------------------ *)
+
+(* Rebuild span nesting per domain from the complete events: sort by start
+   (ties: longer first, i.e. parent before child) and keep a stack of open
+   ancestors; an event whose start falls inside the stack top is its child.
+   A 1 µs slack absorbs clock granularity at shared boundaries. *)
+type node = { ev : event; mutable children : node list }
+
+let forest evs =
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let cur = try Hashtbl.find by_tid e.tid with Not_found -> [] in
+      Hashtbl.replace by_tid e.tid (e :: cur))
+    evs;
+  let contains outer e =
+    e.ts_us >= outer.ts_us -. 1.0 && e.ts_us +. e.dur_us <= outer.ts_us +. outer.dur_us +. 1.0
+  in
+  let tids = List.sort compare (Hashtbl.fold (fun tid _ acc -> tid :: acc) by_tid []) in
+  List.concat_map
+    (fun tid ->
+      let es =
+        List.sort
+          (fun a b ->
+            match Float.compare a.ts_us b.ts_us with
+            | 0 -> Float.compare b.dur_us a.dur_us
+            | c -> c)
+          (Hashtbl.find by_tid tid)
+      in
+      let roots = ref [] in
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          let n = { ev = e; children = [] } in
+          while (match !stack with top :: _ -> not (contains top.ev e) | [] -> false) do
+            stack := List.tl !stack
+          done;
+          (match !stack with
+           | top :: _ -> top.children <- n :: top.children
+           | [] -> roots := n :: !roots);
+          stack := n :: !stack)
+        es;
+      List.rev !roots)
+    tids
+
+let pp_summary ppf =
+  let rec print indent nodes =
+    (* Aggregate siblings by (name, cat), preserving first-seen order. *)
+    let order = ref [] in
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        let key = (n.ev.name, n.ev.cat) in
+        (match Hashtbl.find_opt groups key with
+         | Some (cnt, tot, kids) -> Hashtbl.replace groups key (cnt + 1, tot +. n.ev.dur_us, n.children @ kids)
+         | None ->
+           order := key :: !order;
+           Hashtbl.replace groups key (1, n.ev.dur_us, n.children));
+        ())
+      nodes;
+    List.iter
+      (fun key ->
+        let name, _ = key in
+        let cnt, tot, kids = Hashtbl.find groups key in
+        let label = indent ^ name in
+        Format.fprintf ppf "  %-42s %8d x %12.2f ms@." label cnt (tot /. 1000.0);
+        print (indent ^ "  ") (List.rev kids))
+      (List.rev !order)
+  in
+  let evs = events () in
+  if evs <> [] then begin
+    Format.fprintf ppf "spans (aggregated by nesting):@.";
+    print "" (forest evs)
+  end;
+  let cs = List.filter (fun (_, v) -> v <> 0) (counters_snapshot ()) in
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-44s %12d@." name v) cs
+  end;
+  let gs = gauges_snapshot () in
+  if gs <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-44s %12.1f@." name v) gs
+  end
+
+(* --- convergence recorder --------------------------------------------------- *)
+
+module Convergence = struct
+  type row = {
+    stage : string;
+    sweep : int;
+    j : float;
+    n : float;
+    y : float array;
+  }
+
+  type t = { mutable rows_rev : row list }
+
+  let create () = { rows_rev = [] }
+
+  let record t ~stage ~sweep ~j ~n ~y =
+    t.rows_rev <- { stage; sweep; j; n; y = Array.copy y } :: t.rows_rev
+
+  let rows t = List.rev t.rows_rev
+
+  let to_csv t =
+    let rows = rows t in
+    let width = match rows with [] -> 0 | r :: _ -> Array.length r.y in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "stage,sweep,j_n,n";
+    for i = 0 to width - 1 do
+      Buffer.add_string buf (Printf.sprintf ",y%d" i)
+    done;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (Printf.sprintf "%s,%d,%.17g,%.17g" r.stage r.sweep r.j r.n);
+        Array.iter (fun y -> Buffer.add_string buf (Printf.sprintf ",%.17g" y)) r.y;
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.contents buf
+
+  let to_json t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"schema\": \"optprob-convergence/1\",\n  \"rows\": [\n";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf "    {\"stage\": \"%s\", \"sweep\": %d, \"j_n\": %.17g, \"n\": %.17g, \"y\": [%s]}"
+             (json_escape r.stage) r.sweep r.j r.n
+             (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.17g") r.y))))
+      )
+      (rows t);
+    Buffer.add_string buf "\n  ]\n}\n";
+    Buffer.contents buf
+
+  let write t path =
+    let is_json = Filename.check_suffix path ".json" in
+    write_file path (if is_json then to_json t else to_csv t)
+end

@@ -1,0 +1,129 @@
+(** Observability for the optimize pipeline: spans, counters/gauges, and a
+    convergence recorder.
+
+    Everything here is a global, process-wide sink.  Recording is gated on a
+    single enabled flag: when disabled (the default) every entry point costs
+    one atomic load and a branch and allocates nothing, so instrumented hot
+    paths stay as fast as uninstrumented ones.  All recording entry points
+    are safe to call concurrently from multiple domains.
+
+    Spans export as Chrome [trace_event] JSON (loadable in [chrome://tracing]
+    or {{:https://ui.perfetto.dev}Perfetto}) and as a human-readable
+    aggregated tree.  Counters and gauges snapshot to JSON.  The convergence
+    recorder is an explicit per-run object (see {!Convergence}) that works
+    independently of the global flag. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off globally.  Off by default. *)
+
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop all recorded spans and reset every registered counter and gauge to
+    zero (registrations themselves survive — instrumented modules keep their
+    handles). *)
+
+(** {1 Spans}
+
+    Nestable timed regions.  A span is recorded when it {e ends}; nesting is
+    reconstructed from the timestamps (per recording domain), which is also
+    how the Chrome trace viewer draws them. *)
+
+type event = {
+  name : string;
+  cat : string;  (** free-form category, e.g. ["phase"] or an engine name *)
+  ts_us : float;  (** start, microseconds since the epoch *)
+  dur_us : float;
+  tid : int;  (** id of the recording domain *)
+}
+
+val span_begin : unit -> float
+(** Timestamp for an explicit span; returns [neg_infinity] when disabled so
+    the matching {!span_end} is a no-op.  This is the allocation-free form
+    for hot paths (per-chunk timing). *)
+
+val span_end : ?cat:string -> string -> float -> unit
+(** [span_end ~cat name t0] records the span opened by [span_begin]. *)
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run a thunk inside a span.  When disabled this is just [f ()].  The span
+    is recorded even if [f] raises (the exception is re-raised). *)
+
+val events : unit -> event list
+(** Snapshot of all recorded spans, oldest first. *)
+
+val trace_json : unit -> string
+(** Chrome [trace_event] JSON: an object with a ["traceEvents"] array of
+    complete ("ph":"X") events, timestamps in microseconds. *)
+
+val write_trace : string -> unit
+(** Write {!trace_json} to a file. *)
+
+val pp_summary : Format.formatter -> unit
+(** Human-readable aggregated span tree (count and total wall-clock per
+    name, nested by containment) followed by the nonzero counters and all
+    gauges. *)
+
+(** {1 Counters and gauges}
+
+    Registered by name; the same name always returns the same handle, so
+    instrumented modules can register at init time and increment with one
+    atomic op.  Increments from concurrent domains are never lost.
+    Increments are dropped while disabled. *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+val gauge_set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val counters_snapshot : unit -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val gauges_snapshot : unit -> (string * float) list
+
+val metrics_json : unit -> string
+(** [{"schema":"optprob-metrics/1","counters":{...},"gauges":{...}}]. *)
+
+val write_metrics : string -> unit
+
+(** {1 Convergence recorder}
+
+    Captures the trajectory of one [Optimize.run]: per sweep the objective
+    value [J_N], the required test length [N], and the chosen per-input [y]
+    values.  Explicit opt-in (pass one to [Optimize.run ?recorder]); records
+    regardless of the global enabled flag.  Not domain-safe — one recorder
+    per run. *)
+
+module Convergence : sig
+  type row = {
+    stage : string;  (** ["initial"], ["sweep"] or ["final"] *)
+    sweep : int;  (** 0 for the initial row *)
+    j : float;  (** [J_N] at this point (detectable faults) *)
+    n : float;  (** required test length *)
+    y : float array;  (** the weight vector *)
+  }
+
+  type t
+
+  val create : unit -> t
+  val record : t -> stage:string -> sweep:int -> j:float -> n:float -> y:float array -> unit
+  val rows : t -> row list
+  (** Oldest first. *)
+
+  val to_csv : t -> string
+  (** Header [stage,sweep,j_n,n,y0,...]; floats printed with full
+      precision so the final [n] round-trips exactly. *)
+
+  val to_json : t -> string
+
+  val write : t -> string -> unit
+  (** Write {!to_json} if the path ends in [.json], else {!to_csv}. *)
+end

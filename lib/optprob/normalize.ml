@@ -7,9 +7,12 @@ type t = {
 
 let run ?(confidence = 0.95) ?(nf_min = 8) pfs =
   if confidence <= 0.0 || confidence >= 1.0 then invalid_arg "Normalize.run: confidence";
+  Rt_obs.with_span ~cat:"phase" "normalize" @@ fun () ->
   let all = Array.init (Array.length pfs) Fun.id in
   let undetectable = Array.of_list (List.filter (fun i -> pfs.(i) <= 0.0) (Array.to_list all)) in
+  (* The paper's SORT step: faults ascending by detection probability. *)
   let sorted_idx =
+    Rt_obs.with_span ~cat:"phase" "sort" @@ fun () ->
     Array.to_list all
     |> List.filter (fun i -> pfs.(i) > 0.0)
     |> List.sort (fun a b -> Float.compare pfs.(a) pfs.(b))

@@ -37,6 +37,7 @@ type report = {
   n_final : float;
   sweeps_run : int;
   history : float list;
+  j_history : float list;
   undetectable : int array;
 }
 
@@ -46,7 +47,16 @@ let apply_quantization q w =
   | Grid grid -> Array.map (fun v -> Rt_util.Prob.quantize ~grid v) w
   | Dyadic bits -> Array.map (fun v -> Rt_util.Prob.quantize_dyadic ~bits v) w
 
-let run ?(options = default_options) ?progress oracle =
+let c_newton_iters = Rt_obs.counter "minimize.newton_iterations"
+let c_sweeps = Rt_obs.counter "optimize.sweeps"
+
+(* J_N over the detectable faults (the population NORMALIZE computes N
+   from; p_f = 0 faults would only add a constant). *)
+let j_detectable ~n pfs =
+  Array.fold_left (fun acc p -> if p > 0.0 then acc +. Float.exp (-.n *. p) else acc) 0.0 pfs
+
+let run ?(options = default_options) ?progress ?recorder oracle =
+  Rt_obs.with_span ~cat:"phase" "optimize" @@ fun () ->
   let o = options in
   let n_inputs = Array.length (Rt_circuit.Netlist.inputs (Detect.circuit oracle)) in
   let x =
@@ -65,19 +75,34 @@ let run ?(options = default_options) ?progress oracle =
           let phase = Float.of_int ((i * 37) mod 17) /. 16.0 in
           0.5 +. (o.start_jitter *. ((2.0 *. phase) -. 1.0)))
   in
-  let analyse x = Normalize.run ~confidence:o.confidence ~nf_min:o.nf_min (Detect.probs oracle x) in
+  (* ANALYSIS + NORMALIZE; keeps the raw p_f vector so the convergence
+     trace can report J_N alongside N. *)
+  let analyse x =
+    let pf = Detect.probs oracle x in
+    (pf, Normalize.run ~confidence:o.confidence ~nf_min:o.nf_min pf)
+  in
+  let record ~stage ~sweep ~j ~n ~y =
+    match recorder with
+    | Some r -> Rt_obs.Convergence.record r ~stage ~sweep ~j ~n ~y
+    | None -> ()
+  in
   (* The reported starting point is the conventional test (exactly 0.5
      everywhere), even though the search starts from the jittered vector. *)
-  let n_initial = (analyse (Array.make n_inputs 0.5)).Normalize.n in
-  let norm0 = analyse x in
+  let n_initial = (snd (analyse (Array.make n_inputs 0.5))).Normalize.n in
+  let pf0v, norm0 = analyse x in
+  record ~stage:"initial" ~sweep:0 ~j:(j_detectable ~n:norm0.Normalize.n pf0v)
+    ~n:norm0.Normalize.n ~y:x;
   let best_x = ref (Array.copy x) in
   let best_n = ref n_initial in
   let history = ref [] in
+  let j_history = ref [] in
   let sweeps = ref 0 in
   let norm = ref norm0 in
   let continue = ref (o.max_sweeps > 0) in
   while !continue do
     incr sweeps;
+    Rt_obs.incr c_sweeps;
+    Rt_obs.with_span ~cat:"phase" "sweep" @@ fun () ->
     let n_for_sweep =
       let n = !norm.Normalize.n in
       if Float.is_finite n then n else 1e7
@@ -88,19 +113,30 @@ let run ?(options = default_options) ?progress oracle =
     let hard = Normalize.hard_indices !norm in
     for i = 0 to n_inputs - 1 do
       let saved = x.(i) in
-      x.(i) <- 0.0;
-      let pf0 = Detect.probs_subset oracle hard x in
-      x.(i) <- 1.0;
-      let pf1 = Detect.probs_subset oracle hard x in
-      x.(i) <- saved;
+      let pf0, pf1 =
+        Rt_obs.with_span ~cat:"phase" "prepare" @@ fun () ->
+        x.(i) <- 0.0;
+        let pf0 = Detect.probs_subset oracle hard x in
+        x.(i) <- 1.0;
+        let pf1 = Detect.probs_subset oracle hard x in
+        x.(i) <- saved;
+        (pf0, pf1)
+      in
       let r =
+        Rt_obs.with_span ~cat:"phase" "minimize" @@ fun () ->
         Minimize.newton ~lo:o.w_min ~hi:(1.0 -. o.w_min) ~n:n_for_sweep ~p0:pf0 ~p1:pf1 saved
       in
+      Rt_obs.add c_newton_iters r.Minimize.iterations;
       x.(i) <- r.Minimize.y
     done;
-    let norm' = analyse x in
+    let pf', norm' = analyse x in
     let n_new = norm'.Normalize.n in
     history := n_new :: !history;
+    (* The objective the sweep just minimised, evaluated where it ended:
+       J at the sweep's working length over the post-sweep probabilities. *)
+    let j_new = j_detectable ~n:n_for_sweep pf' in
+    j_history := j_new :: !j_history;
+    record ~stage:"sweep" ~sweep:!sweeps ~j:j_new ~n:n_new ~y:x;
     (match progress with Some f -> f ~sweep:!sweeps ~n:n_new | None -> ());
     if n_new < !best_n then begin
       best_n := n_new;
@@ -119,7 +155,10 @@ let run ?(options = default_options) ?progress oracle =
   done;
   (* Quantise the best weights seen and re-evaluate honestly. *)
   let final_x = apply_quantization o.quantize !best_x in
-  let final_norm = analyse final_x in
+  let pf_final, final_norm = analyse final_x in
+  record ~stage:"final" ~sweep:!sweeps
+    ~j:(j_detectable ~n:final_norm.Normalize.n pf_final)
+    ~n:final_norm.Normalize.n ~y:final_x;
   (* If quantisation degraded below the unquantised best, report the
      quantised figures anyway — that is what the hardware will do. *)
   { weights = final_x;
@@ -127,6 +166,7 @@ let run ?(options = default_options) ?progress oracle =
     n_final = final_norm.Normalize.n;
     sweeps_run = !sweeps;
     history = List.rev !history;
+    j_history = List.rev !j_history;
     undetectable = final_norm.Normalize.undetectable }
 
 let improvement r = r.n_initial /. Float.max 1.0 r.n_final

@@ -45,16 +45,27 @@ type report = {
   n_final : float;  (** required length at [weights] *)
   sweeps_run : int;
   history : float list;  (** required length after each sweep, oldest first *)
+  j_history : float list;
+      (** objective value after each sweep, oldest first, aligned with
+          [history]: [J_N] over the detectable faults at the sweep's
+          working test length (the [N] the sweep's MINIMIZE steps used) —
+          the quantity the sweep actually descended. *)
   undetectable : int array;  (** faults with [p_f = 0] at the final weights *)
 }
 
 val run :
   ?options:options ->
   ?progress:(sweep:int -> n:float -> unit) ->
+  ?recorder:Rt_obs.Convergence.t ->
   Rt_testability.Detect.oracle ->
   report
 (** Optimise the input probabilities for the oracle's circuit and fault
-    list.  Deterministic for deterministic oracles. *)
+    list.  Deterministic for deterministic oracles; telemetry ([Rt_obs]
+    spans/counters and the optional [recorder]) never affects the result.
+    The [recorder], when given, receives one row for the starting point
+    (stage ["initial"], the jittered start), one per sweep (in the same
+    order as [history]), and one for the quantised final weights (stage
+    ["final"], whose [n] equals [n_final]). *)
 
 val improvement : report -> float
 (** [n_initial / n_final] — the paper reports orders of magnitude here. *)

@@ -137,12 +137,22 @@ let popcount_64 w =
   let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
   to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
+let c_batches = Rt_obs.counter "ppsfp.batches"
+let c_patterns = Rt_obs.counter "ppsfp.patterns"
+let c_dropped = Rt_obs.counter "ppsfp.faults_dropped"
+
+(* Sub-millisecond batches are not worth domain spawns (Parallel.region
+   also clamps to the core count); at ~2-10 us per fault propagation this
+   threshold puts the crossover near half a millisecond of chunk work. *)
+let ppsfp_seq_below = 256
+
 (* Per-fault detection words depend only on the fault and the batch — never
    on other faults — so with [jobs > 1] the live set is sharded across
    domains (each with its own workspace) into a per-fault word table, and
    the bookkeeping (first_detect / detect_count / drop order) replays
    serially from that table.  The stats are therefore bit-identical to the
-   serial path for every [jobs] value. *)
+   serial path for every [jobs] value — including when [Parallel.region]
+   falls back to sequential execution on small live sets or few cores. *)
 let simulate ?jobs ?(drop = true) c faults ~source ~n_patterns =
   let jobs = Rt_util.Parallel.resolve_jobs jobs in
   let nf = Array.length faults in
@@ -154,7 +164,9 @@ let simulate ?jobs ?(drop = true) c faults ~source ~n_patterns =
   let live = Array.init nf Fun.id in
   let n_live = ref nf in
   let base = ref 0 in
+  Rt_obs.with_span ~cat:"sim" "fault_sim" @@ fun () ->
   while !base < n_patterns && (!n_live > 0 || not drop) do
+    let t_batch = Rt_obs.span_begin () in
     let batch = source () in
     let batch =
       if !base + batch.Pattern.n_patterns <= n_patterns then batch
@@ -167,12 +179,14 @@ let simulate ?jobs ?(drop = true) c faults ~source ~n_patterns =
     Logic_sim.run sim batch;
     let good = Logic_sim.values sim in
     if jobs > 1 then
-      Rt_util.Parallel.run_chunks ~min_per_chunk:32 ~jobs ~n:!n_live (fun ~chunk ~lo ~hi ->
+      Rt_util.Parallel.region ~label:"ppsfp" ~min_per_chunk:32 ~seq_below:ppsfp_seq_below ~jobs
+        ~n:!n_live (fun ~chunk ~lo ~hi ->
           let ws = wss.(chunk) in
           for p = lo to hi - 1 do
             let fi = live.(p) in
             word_of.(fi) <- inject_and_propagate ws ~good faults.(fi) lanes
           done);
+    let dropped_before = !n_live in
     let i = ref 0 in
     while !i < !n_live do
       let fi = live.(!i) in
@@ -192,6 +206,10 @@ let simulate ?jobs ?(drop = true) c faults ~source ~n_patterns =
         else incr i
       end
     done;
+    Rt_obs.incr c_batches;
+    Rt_obs.add c_patterns batch.Pattern.n_patterns;
+    Rt_obs.add c_dropped (dropped_before - !n_live);
+    Rt_obs.span_end ~cat:"sim" "ppsfp.batch" t_batch;
     base := !base + batch.Pattern.n_patterns
   done;
   { faults; first_detect; detect_count; patterns_run = !base }
@@ -240,7 +258,8 @@ let simulate_with_responses ?jobs c faults ~source ~n_patterns =
       done
     in
     if jobs > 1 then begin
-      Rt_util.Parallel.run_chunks ~min_per_chunk:32 ~jobs ~n:nf (fun ~chunk ~lo ~hi ->
+      Rt_util.Parallel.region ~label:"ppsfp.responses" ~min_per_chunk:32
+        ~seq_below:ppsfp_seq_below ~jobs ~n:nf (fun ~chunk ~lo ~hi ->
           let ws = wss.(chunk) in
           for fi = lo to hi - 1 do
             let detect = inject_and_propagate ws ~good faults.(fi) lanes in

@@ -84,11 +84,18 @@ let make_plan c faults subset =
 
 let plan_cache () : plan option ref = ref None
 
+let c_plan_hit = Rt_obs.counter "detect.plan.hit"
+let c_plan_miss = Rt_obs.counter "detect.plan.miss"
+let c_bdd_nodes = Rt_obs.counter "bdd.nodes_allocated"
+
 let get_plan cache c faults subset =
   match !cache with
-  | Some p when p.key == subset -> p
+  | Some p when p.key == subset ->
+    Rt_obs.incr c_plan_hit;
+    p
   | Some _ | None ->
-    let p = make_plan c faults subset in
+    Rt_obs.incr c_plan_miss;
+    let p = Rt_obs.with_span ~cat:"detect" "subset_plan" (fun () -> make_plan c faults subset) in
     cache := Some p;
     p
 
@@ -103,7 +110,10 @@ let cop_fault_prob c ~sp ~obs f =
 
 let cop_fill ~jobs c ~sp ~obs faults out =
   let nf = Array.length faults in
-  Parallel.run_chunks ~min_per_chunk:256 ~jobs ~n:nf (fun ~chunk:_ ~lo ~hi ->
+  (* The per-fault work is sub-microsecond: only worth domains on large
+     universes (and never more domains than cores — see Parallel.region). *)
+  Parallel.region ~label:"cop.fill" ~min_per_chunk:1024 ~seq_below:4096 ~jobs ~n:nf
+    (fun ~chunk:_ ~lo ~hi ->
       for i = lo to hi - 1 do
         out.(i) <- cop_fault_prob c ~sp ~obs faults.(i)
       done)
@@ -156,7 +166,12 @@ let conditioned_expand ~jobs ~positions ~nf x eval_assignment =
   in
   if jobs <= 1 then accumulate ~lo:0 ~hi:n_assign
   else begin
-    let partials = Parallel.map_chunks ~jobs ~n:n_assign (fun ~lo ~hi -> accumulate ~lo ~hi) in
+    (* Each assignment is a full COP sweep — heavy enough that any split
+       pays off, so only the hardware clamp applies. *)
+    let partials =
+      Parallel.map_region ~label:"conditioned.expand" ~jobs ~n:n_assign (fun ~lo ~hi ->
+          accumulate ~lo ~hi)
+    in
     match partials with
     | [] -> Array.make nf 0.0
     | first :: rest ->
@@ -265,6 +280,7 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
      done (the former [!gens @ [gen]] append was quadratic in generations). *)
   let generations_rev = ref [] in
   let total_nodes = ref 0 in
+  Rt_obs.with_span ~cat:"detect" "bdd.build" @@ fun () ->
   (match new_generation () with
    | exception Bdd.Limit_exceeded -> ()
    | first_gen ->
@@ -311,6 +327,7 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
      let m, _ = !current in
      total_nodes := !total_nodes + Bdd.node_count m);
   let generations = Array.of_list (List.rev !generations_rev) in
+  Rt_obs.add c_bdd_nodes !total_nodes;
   let x_of_var_table x =
     let t = Array.make (max 1 (Array.length order)) 0.5 in
     Array.iteri (fun i v -> t.(v) <- x.(i)) order;
@@ -416,14 +433,39 @@ let make_mc ?(jobs = 1) ~n_patterns ~seed c faults =
     exact = Array.make (Array.length faults) false;
     redundant = Array.make (Array.length faults) false }
 
+let engine_kind = function
+  | Cop -> "cop"
+  | Conditioned _ -> "conditioned"
+  | Bdd_exact _ -> "bdd"
+  | Stafan _ -> "stafan"
+  | Monte_carlo _ -> "mc"
+
+(* Every dispatch through the oracle is a span named "analysis" (the
+   paper's phase) categorised by engine, plus per-engine query counters —
+   full-vector and subset queries separately so the PREPARE savings are
+   visible in a metrics snapshot. *)
+let observe kind o =
+  let c_full = Rt_obs.counter ("oracle.queries." ^ kind) in
+  let c_sub = Rt_obs.counter ("oracle.subset_queries." ^ kind) in
+  { o with
+    run =
+      (fun x ->
+        Rt_obs.incr c_full;
+        Rt_obs.with_span ~cat:kind "analysis" (fun () -> o.run x));
+    run_subset =
+      (fun subset x ->
+        Rt_obs.incr c_sub;
+        Rt_obs.with_span ~cat:kind "analysis" (fun () -> o.run_subset subset x)) }
+
 let make ?jobs engine c faults =
   let jobs = Parallel.resolve_jobs jobs in
-  match engine with
-  | Cop -> make_cop ~jobs c faults
-  | Conditioned { max_vars } -> make_conditioned ~jobs ~max_vars c faults
-  | Bdd_exact { node_limit } -> make_bdd ~node_limit c faults
-  | Stafan { n_patterns; seed } -> make_stafan ~n_patterns ~seed c faults
-  | Monte_carlo { n_patterns; seed } -> make_mc ~jobs ~n_patterns ~seed c faults
+  observe (engine_kind engine)
+    (match engine with
+     | Cop -> make_cop ~jobs c faults
+     | Conditioned { max_vars } -> make_conditioned ~jobs ~max_vars c faults
+     | Bdd_exact { node_limit } -> make_bdd ~node_limit c faults
+     | Stafan { n_patterns; seed } -> make_stafan ~n_patterns ~seed c faults
+     | Monte_carlo { n_patterns; seed } -> make_mc ~jobs ~n_patterns ~seed c faults)
 
 let probs o x =
   if Array.length x <> Array.length (Netlist.inputs o.c) then

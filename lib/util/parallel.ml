@@ -1,7 +1,15 @@
 (* Chunked Domain-based parallelism.  No pool is kept alive: each parallel
    region spawns [jobs - 1] domains and joins them before returning, so a
    program can never hang on worker shutdown and [jobs = 1] stays on the
-   exact serial code path. *)
+   exact serial code path.
+
+   [run_chunks]/[map_chunks] honour the requested job count exactly (tests
+   rely on real domains being spawned); [region]/[map_region] are the
+   policy'd entry points the library's kernels use — they additionally clamp
+   to the machine's core count and fall back to sequential execution below a
+   work-size threshold, because spawning domains for sub-millisecond work
+   (or on a single-core host) only adds overhead.  Every chunk is timed as
+   an [Rt_obs] span on its executing domain. *)
 
 let max_jobs = 64
 
@@ -19,6 +27,8 @@ let resolve_jobs jobs =
   | Some _ -> 1
   | None -> default_jobs ()
 
+let hardware_jobs () = min max_jobs (Domain.recommended_domain_count ())
+
 (* Contiguous chunk [lo, hi) of [0, n) for chunk index k of [jobs]. *)
 let chunk_bounds ~jobs ~n k =
   let base = n / jobs and rem = n mod jobs in
@@ -26,19 +36,30 @@ let chunk_bounds ~jobs ~n k =
   let hi = lo + base + (if k < rem then 1 else 0) in
   (lo, hi)
 
-let run_chunks ?(min_per_chunk = 1) ~jobs ~n f =
+let c_chunks = Rt_obs.counter "parallel.chunks"
+let c_spawns = Rt_obs.counter "parallel.spawns"
+let c_seq_fallbacks = Rt_obs.counter "parallel.seq_fallbacks"
+
+let run_chunks ?(min_per_chunk = 1) ?(label = "parallel") ~jobs ~n f =
   if n < 0 then invalid_arg "Parallel.run_chunks: negative n";
   let jobs = max 1 (min jobs (max 1 (n / max 1 min_per_chunk))) in
-  if jobs = 1 || n = 0 then (if n > 0 then f ~chunk:0 ~lo:0 ~hi:n)
+  let timed ~chunk ~lo ~hi =
+    let t0 = Rt_obs.span_begin () in
+    Rt_obs.incr c_chunks;
+    f ~chunk ~lo ~hi;
+    Rt_obs.span_end ~cat:"parallel" (label ^ ".chunk") t0
+  in
+  if jobs = 1 || n = 0 then (if n > 0 then timed ~chunk:0 ~lo:0 ~hi:n)
   else begin
+    Rt_obs.add c_spawns (jobs - 1);
     let spawned =
       Array.init (jobs - 1) (fun i ->
           let k = i + 1 in
           let lo, hi = chunk_bounds ~jobs ~n k in
-          Domain.spawn (fun () -> if hi > lo then f ~chunk:k ~lo ~hi))
+          Domain.spawn (fun () -> if hi > lo then timed ~chunk:k ~lo ~hi))
     in
     let _, hi0 = chunk_bounds ~jobs ~n 0 in
-    let caller_exn = (try (if hi0 > 0 then f ~chunk:0 ~lo:0 ~hi:hi0); None with e -> Some e) in
+    let caller_exn = (try (if hi0 > 0 then timed ~chunk:0 ~lo:0 ~hi:hi0); None with e -> Some e) in
     (* Join everything before re-raising so no domain outlives the call. *)
     let worker_exn = ref None in
     Array.iter
@@ -52,7 +73,25 @@ let run_chunks ?(min_per_chunk = 1) ~jobs ~n f =
     | None, None -> ()
   end
 
-let map_chunks ?min_per_chunk ~jobs ~n f =
+let map_chunks ?min_per_chunk ?label ~jobs ~n f =
   let out = Array.make (max 1 jobs) None in
-  run_chunks ?min_per_chunk ~jobs ~n (fun ~chunk ~lo ~hi -> out.(chunk) <- Some (f ~lo ~hi));
+  run_chunks ?min_per_chunk ?label ~jobs ~n (fun ~chunk ~lo ~hi -> out.(chunk) <- Some (f ~lo ~hi));
   Array.to_list out |> List.filter_map Fun.id
+
+(* Effective job count for a policy'd region: never more domains than the
+   hardware offers, and strictly sequential below the work-size threshold —
+   per-call [Domain.spawn] costs far more than a small chunk's work (the
+   measured ppsfp-on-one-core case was 4x slower at jobs=4 than serial). *)
+let region_jobs ~seq_below ~jobs ~n =
+  let requested = max 1 jobs in
+  let eff = if n < seq_below then 1 else min requested (hardware_jobs ()) in
+  if requested > 1 && eff = 1 then Rt_obs.incr c_seq_fallbacks;
+  eff
+
+let region ?min_per_chunk ?(label = "parallel") ?(seq_below = 0) ~jobs ~n f =
+  let jobs = region_jobs ~seq_below ~jobs ~n in
+  Rt_obs.with_span ~cat:"parallel" label (fun () -> run_chunks ?min_per_chunk ~label ~jobs ~n f)
+
+let map_region ?min_per_chunk ?(label = "parallel") ?(seq_below = 0) ~jobs ~n f =
+  let jobs = region_jobs ~seq_below ~jobs ~n in
+  Rt_obs.with_span ~cat:"parallel" label (fun () -> map_chunks ?min_per_chunk ~label ~jobs ~n f)

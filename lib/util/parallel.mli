@@ -16,17 +16,51 @@ val resolve_jobs : int option -> int
 (** [resolve_jobs jobs] is [jobs] clamped to [1 .. max_jobs] when given,
     {!default_jobs} otherwise — the policy behind every [?jobs] argument. *)
 
+val hardware_jobs : unit -> int
+(** [Domain.recommended_domain_count] clamped to [max_jobs] — the most
+    domains that can actually run concurrently on this machine. *)
+
 val chunk_bounds : jobs:int -> n:int -> int -> int * int
 (** [chunk_bounds ~jobs ~n k] is the half-open range [(lo, hi)] of chunk
     [k]: contiguous, ascending, sizes differing by at most one. *)
 
 val run_chunks :
-  ?min_per_chunk:int -> jobs:int -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+  ?min_per_chunk:int ->
+  ?label:string ->
+  jobs:int -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
 (** Run [f] over [0, n) split into chunks.  [min_per_chunk] (default 1)
     caps the effective job count so tiny ranges stay serial.  Exceptions
-    from any chunk are re-raised after all domains have been joined. *)
+    from any chunk are re-raised after all domains have been joined.  Each
+    chunk is timed as an [Rt_obs] span named ["<label>.chunk"] on its
+    executing domain (default label ["parallel"]).  The requested job count
+    is honoured exactly (modulo [min_per_chunk]) — use {!region} for the
+    core-count-aware policy. *)
 
 val map_chunks :
-  ?min_per_chunk:int -> jobs:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+  ?min_per_chunk:int ->
+  ?label:string -> jobs:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
 (** As {!run_chunks} but each chunk returns a value; results are listed in
     chunk order (deterministic merge order regardless of scheduling). *)
+
+val region :
+  ?min_per_chunk:int ->
+  ?label:string ->
+  ?seq_below:int ->
+  jobs:int -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+(** The policy'd parallel entry point used by the library's kernels: as
+    {!run_chunks}, but the effective job count is additionally clamped to
+    {!hardware_jobs} (spawning more domains than cores only adds overhead),
+    and when [n < seq_below] (default 0) the work runs sequentially on the
+    caller — per-call [Domain.spawn] costs dwarf small workloads.  The whole
+    region is wrapped in an [Rt_obs] span named [label]; falls back to
+    sequential while [jobs > 1] increment the ["parallel.seq_fallbacks"]
+    counter.  Results never depend on the effective job count. *)
+
+val map_region :
+  ?min_per_chunk:int ->
+  ?label:string ->
+  ?seq_below:int -> jobs:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** As {!region} but collecting chunk results in chunk order.  Note the
+    chunking itself (hence the partial results) can differ from
+    {!map_chunks} with the same [jobs] — callers must merge in a way that is
+    chunking-independent (e.g. sum partial accumulators). *)

@@ -1,0 +1,429 @@
+(* Tests for Rt_obs: counter arithmetic, span recording and nesting,
+   trace/metrics JSON validity (parsed back by a small JSON reader), the
+   convergence recorder against Optimize's own report, domain-safety of
+   counters under real parallelism, and the guarantee that telemetry never
+   changes optimisation results. *)
+
+module Obs = Rt_obs
+module Parallel = Rt_util.Parallel
+module Optimize = Rt_optprob.Optimize
+module Detect = Rt_testability.Detect
+module Generators = Rt_circuit.Generators
+
+let check = Alcotest.check
+
+(* Every test starts from a clean, disabled sink; the suite is sequential
+   so the global state is not contended between tests. *)
+let with_obs f () =
+  Obs.set_enabled true;
+  Obs.clear ();
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.clear ())
+    f
+
+(* --- a minimal JSON reader (no JSON library in the test deps) -------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then s.[!pos] else '\x00' in
+  let advance () = incr pos in
+  let fail msg = Alcotest.failf "JSON parse error at %d: %s" !pos msg in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect ch =
+    if peek () <> ch then fail (Printf.sprintf "expected %c, got %c" ch (peek ()));
+    advance ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\x0c'
+         | 'u' ->
+           let hex = String.sub s (!pos + 1) 4 in
+           let code = int_of_string ("0x" ^ hex) in
+           (* control characters only, in our emitters *)
+           Buffer.add_char buf (Char.chr (code land 0xff));
+           pos := !pos + 4
+         | c -> fail (Printf.sprintf "bad escape \\%c" c));
+        advance ();
+        go ()
+      | '\x00' -> fail "unterminated string"
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while is_num_char (peek ()) do
+      advance ()
+    done;
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | c -> fail (Printf.sprintf "expected , or } in object, got %c" c)
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | c -> fail (Printf.sprintf "expected , or ] in array, got %c" c)
+        in
+        elements []
+      end
+    | '"' -> Str (string_body ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> number ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let member name = function
+  | Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> Alcotest.failf "missing JSON member %S" name)
+  | _ -> Alcotest.failf "not a JSON object (looking up %S)" name
+
+(* --- counters -------------------------------------------------------------- *)
+
+let test_counter_arithmetic =
+  with_obs @@ fun () ->
+  let c = Obs.counter "test.alpha" in
+  check Alcotest.int "starts at zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  check Alcotest.int "2 incr + add 40" 42 (Obs.value c);
+  check Alcotest.bool "same name, same handle" true (Obs.counter "test.alpha" == c);
+  let snapshot = Obs.counters_snapshot () in
+  check Alcotest.int "snapshot sees it" 42 (List.assoc "test.alpha" snapshot);
+  Obs.clear ();
+  check Alcotest.int "clear zeroes, keeps registration" 0 (Obs.value c);
+  let g = Obs.gauge "test.level" in
+  Obs.gauge_set g 2.5;
+  check (Alcotest.float 0.0) "gauge" 2.5 (Obs.gauge_value g);
+  check (Alcotest.float 0.0) "gauge snapshot" 2.5
+    (List.assoc "test.level" (Obs.gauges_snapshot ()))
+
+let test_counter_disabled_drops () =
+  Obs.set_enabled false;
+  Obs.clear ();
+  let c = Obs.counter "test.disabled" in
+  Obs.incr c;
+  Obs.add c 100;
+  check Alcotest.int "increments dropped while disabled" 0 (Obs.value c)
+
+(* Increments racing from real domains must all land.  run_chunks honours
+   the requested job count with actual Domain.spawn, so this exercises
+   cross-domain atomics even on a single-core host. *)
+let test_counter_concurrent =
+  with_obs @@ fun () ->
+  let c = Obs.counter "test.race" in
+  Parallel.run_chunks ~jobs:4 ~n:4000 (fun ~chunk:_ ~lo ~hi ->
+      for _ = lo to hi - 1 do
+        Obs.incr c
+      done);
+  check Alcotest.int "no lost increments across domains" 4000 (Obs.value c)
+
+(* --- spans ----------------------------------------------------------------- *)
+
+let test_span_nesting =
+  with_obs @@ fun () ->
+  let r =
+    Obs.with_span ~cat:"t" "outer" (fun () ->
+        Obs.with_span ~cat:"t" "inner" (fun () -> 7 * 6))
+  in
+  check Alcotest.int "thunk result" 42 r;
+  match Obs.events () with
+  | [ inner; outer ] ->
+    (* inner ends (and so records) first *)
+    check Alcotest.string "inner name" "inner" inner.Obs.name;
+    check Alcotest.string "outer name" "outer" outer.Obs.name;
+    check Alcotest.bool "inner starts after outer" true (inner.Obs.ts_us >= outer.Obs.ts_us);
+    check Alcotest.bool "inner contained" true
+      (inner.Obs.ts_us +. inner.Obs.dur_us <= outer.Obs.ts_us +. outer.Obs.dur_us +. 1.0);
+    check Alcotest.int "same domain" outer.Obs.tid inner.Obs.tid
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_disabled () =
+  Obs.set_enabled false;
+  Obs.clear ();
+  check (Alcotest.float 0.0) "span_begin sentinel" Float.neg_infinity (Obs.span_begin ());
+  Obs.span_end "ghost" (Obs.span_begin ());
+  ignore (Obs.with_span "ghost2" (fun () -> ()));
+  check Alcotest.int "nothing recorded" 0 (List.length (Obs.events ()))
+
+let test_span_records_on_raise =
+  with_obs @@ fun () ->
+  (try Obs.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  check Alcotest.int "span recorded despite raise" 1 (List.length (Obs.events ()))
+
+(* --- trace / metrics JSON -------------------------------------------------- *)
+
+let test_trace_json_valid =
+  with_obs @@ fun () ->
+  (* Name with every character class our escaper must handle. *)
+  let evil = "qu\"ote\\back\nnew\tline" in
+  Obs.with_span ~cat:"phase" evil (fun () -> Obs.with_span ~cat:"phase" "child" ignore);
+  let j = parse_json (Obs.trace_json ()) in
+  (match member "displayTimeUnit" j with
+   | Str "ms" -> ()
+   | _ -> Alcotest.fail "displayTimeUnit");
+  match member "traceEvents" j with
+  | List evs ->
+    check Alcotest.int "two events" 2 (List.length evs);
+    let names =
+      List.map (fun e -> match member "name" e with Str s -> s | _ -> Alcotest.fail "name") evs
+    in
+    check Alcotest.bool "evil name round-trips" true (List.mem evil names);
+    List.iter
+      (fun e ->
+        (match member "ph" e with
+         | Str "X" -> ()
+         | _ -> Alcotest.fail "ph must be X (complete event)");
+        (match member "ts" e with
+         | Num ts -> check Alcotest.bool "ts positive" true (ts > 0.0)
+         | _ -> Alcotest.fail "ts");
+        (match member "dur" e with
+         | Num d -> check Alcotest.bool "dur non-negative" true (d >= 0.0)
+         | _ -> Alcotest.fail "dur");
+        match (member "pid" e, member "tid" e) with
+        | Num _, Num _ -> ()
+        | _ -> Alcotest.fail "pid/tid")
+      evs
+  | _ -> Alcotest.fail "traceEvents not a list"
+
+let test_metrics_json_valid =
+  with_obs @@ fun () ->
+  Obs.add (Obs.counter "test.metrics\"quoted") 3;
+  Obs.gauge_set (Obs.gauge "test.g") 1.5;
+  let j = parse_json (Obs.metrics_json ()) in
+  (match member "schema" j with
+   | Str "optprob-metrics/1" -> ()
+   | _ -> Alcotest.fail "schema");
+  (match member "test.metrics\"quoted" (member "counters" j) with
+   | Num 3.0 -> ()
+   | _ -> Alcotest.fail "counter value");
+  match member "test.g" (member "gauges" j) with
+  | Num 1.5 -> ()
+  | _ -> Alcotest.fail "gauge value"
+
+(* --- Parallel.region policy ------------------------------------------------ *)
+
+let test_region_seq_below =
+  with_obs @@ fun () ->
+  let spawns = Obs.counter "parallel.spawns" in
+  let fallbacks = Obs.counter "parallel.seq_fallbacks" in
+  let before_spawns = Obs.value spawns and before_fb = Obs.value fallbacks in
+  let out = Array.make 100 0 in
+  Parallel.region ~jobs:4 ~seq_below:1000 ~n:100 (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- i * i
+      done);
+  check Alcotest.int "no domains spawned below threshold" before_spawns (Obs.value spawns);
+  check Alcotest.bool "fallback counted" true (Obs.value fallbacks > before_fb);
+  Array.iteri (fun i v -> check Alcotest.int "work done" (i * i) v) out;
+  let seq = Parallel.map_region ~jobs:1 ~n:100 (fun ~lo ~hi -> Array.init (hi - lo) (fun k -> lo + k)) in
+  let par = Parallel.map_region ~jobs:4 ~seq_below:0 ~n:100 (fun ~lo ~hi -> Array.init (hi - lo) (fun k -> lo + k)) in
+  check Alcotest.int "map_region merge order" (Array.concat seq |> Array.length)
+    (Array.concat par |> Array.length)
+
+(* --- convergence recorder vs the optimizer's report ------------------------ *)
+
+let test_convergence_matches_report () =
+  let c = Generators.wide_and 8 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make Detect.Cop c faults in
+  let recorder = Obs.Convergence.create () in
+  let options = { Optimize.default_options with Optimize.max_sweeps = 4 } in
+  let r = Optimize.run ~options ~recorder oracle in
+  let rows = Obs.Convergence.rows recorder in
+  (match rows with
+   | first :: _ ->
+     check Alcotest.string "first row is the start" "initial" first.Obs.Convergence.stage
+   | [] -> Alcotest.fail "no rows recorded");
+  let sweep_rows = List.filter (fun row -> row.Obs.Convergence.stage = "sweep") rows in
+  (* history is oldest-first: it must line up 1:1 with the recorder's
+     sweep rows, which are appended chronologically. *)
+  check Alcotest.int "one row per sweep" (List.length r.Optimize.history) (List.length sweep_rows);
+  List.iter2
+    (fun n_hist row -> check (Alcotest.float 0.0) "history N matches" n_hist row.Obs.Convergence.n)
+    r.Optimize.history sweep_rows;
+  List.iter2
+    (fun j_hist row -> check (Alcotest.float 0.0) "j_history matches" j_hist row.Obs.Convergence.j)
+    r.Optimize.j_history sweep_rows;
+  check Alcotest.bool "sweep numbers increase" true
+    (List.for_all2 (fun i row -> row.Obs.Convergence.sweep = i)
+       (List.init (List.length sweep_rows) (fun i -> i + 1))
+       sweep_rows);
+  match List.rev rows with
+  | last :: _ ->
+    check Alcotest.string "last row is final" "final" last.Obs.Convergence.stage;
+    check (Alcotest.float 0.0) "final N equals report" r.Optimize.n_final last.Obs.Convergence.n;
+    check Alcotest.bool "final weights equal report" true (last.Obs.Convergence.y = r.Optimize.weights);
+    (* The CSV must round-trip the final N exactly. *)
+    let csv = Obs.Convergence.to_csv recorder in
+    let last_line =
+      String.split_on_char '\n' (String.trim csv) |> List.rev |> List.hd
+    in
+    (match String.split_on_char ',' last_line with
+     | _stage :: _sweep :: _j :: n :: _ ->
+       check (Alcotest.float 0.0) "CSV final N round-trips" r.Optimize.n_final (float_of_string n)
+     | _ -> Alcotest.fail "CSV shape");
+    let cj = parse_json (Obs.Convergence.to_json recorder) in
+    (match member "rows" cj with
+     | List l -> check Alcotest.int "JSON rows" (List.length rows) (List.length l)
+     | _ -> Alcotest.fail "convergence JSON rows")
+  | [] -> Alcotest.fail "no rows"
+
+(* --- telemetry must never change results ----------------------------------- *)
+
+let telemetry_invariance_qcheck =
+  QCheck.Test.make ~name:"telemetry on/off: bit-identical optimize results" ~count:4
+    QCheck.(pair (int_range 1 3) (int_range 6 9))
+    (fun (sweeps, width) ->
+      let c = Generators.wide_and width in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let options = { Optimize.default_options with Optimize.max_sweeps = sweeps } in
+      let run_with obs =
+        Obs.set_enabled obs;
+        Obs.clear ();
+        let oracle = Detect.make Detect.Cop c faults in
+        let recorder = if obs then Some (Obs.Convergence.create ()) else None in
+        let r = Optimize.run ~options ?recorder oracle in
+        Obs.set_enabled false;
+        Obs.clear ();
+        r
+      in
+      let off = run_with false in
+      let on = run_with true in
+      off.Optimize.weights = on.Optimize.weights
+      && off.Optimize.n_final = on.Optimize.n_final
+      && off.Optimize.history = on.Optimize.history
+      && off.Optimize.j_history = on.Optimize.j_history)
+
+(* Parallel fault simulation with telemetry on from several domains must
+   also be invariant (and counters coherent). *)
+let test_fault_sim_invariant_under_telemetry () =
+  let c = Generators.wide_and 10 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let run obs jobs =
+    Obs.set_enabled obs;
+    Obs.clear ();
+    let rng = Rt_util.Rng.create 11 in
+    let source = Rt_sim.Pattern.equiprobable rng ~n_inputs:10 in
+    let stats = Rt_sim.Fault_sim.simulate ~jobs ~drop:true c faults ~source ~n_patterns:512 in
+    let cov = Rt_sim.Fault_sim.coverage stats in
+    Obs.set_enabled false;
+    Obs.clear ();
+    cov
+  in
+  let base = run false 1 in
+  check (Alcotest.float 0.0) "telemetry off/on, jobs=1" base (run true 1);
+  check (Alcotest.float 0.0) "telemetry on, jobs=4" base (run true 4)
+
+let () =
+  Alcotest.run "rt_obs"
+    [ ( "counters",
+        [ Alcotest.test_case "arithmetic and snapshots" `Quick test_counter_arithmetic;
+          Alcotest.test_case "disabled drops increments" `Quick test_counter_disabled_drops;
+          Alcotest.test_case "concurrent domains" `Quick test_counter_concurrent ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "disabled records nothing" `Quick test_span_disabled;
+          Alcotest.test_case "records on raise" `Quick test_span_records_on_raise ] );
+      ( "json",
+        [ Alcotest.test_case "trace_event output parses" `Quick test_trace_json_valid;
+          Alcotest.test_case "metrics output parses" `Quick test_metrics_json_valid ] );
+      ( "parallel",
+        [ Alcotest.test_case "region seq_below fallback" `Quick test_region_seq_below ] );
+      ( "convergence",
+        [ Alcotest.test_case "recorder matches report" `Quick test_convergence_matches_report ] );
+      ( "invariance",
+        [ QCheck_alcotest.to_alcotest telemetry_invariance_qcheck;
+          Alcotest.test_case "fault sim under telemetry" `Quick
+            test_fault_sim_invariant_under_telemetry ] ) ]
