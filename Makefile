@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: all check test bench bench-json trace-demo clean
+.PHONY: all check test bench bench-json bench-smoke trace-demo clean
 
 all:
 	dune build
@@ -16,6 +16,11 @@ bench:
 
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# Fast perf/correctness gate for the fused cofactor path: bit-identical to
+# two subset queries and no slower than 1.5x of them (it should be faster).
+bench-smoke:
+	dune exec bench/smoke.exe
 
 # Sanity-check the observability surface end to end: run one optimize with
 # tracing on and make sure the trace is non-empty, valid JSON.

@@ -130,6 +130,44 @@ let kernel_tests () =
     Rt_obs.set_enabled false;
     Rt_obs.clear ()
   in
+  (* One full PREPARE pass through the oracle protocol: a fused
+     [cofactor_pair] per input (incremental damage-cone re-evaluation from
+     a cached base point) vs the two independent subset sweeps per input
+     it replaces.  Sweeping every input is the honest unit — a single
+     input's damage cone can approach the whole masked region (s1's LSB
+     feeds all six slices), but the optimizer always visits all of them,
+     and the win comes from the average cone being small. *)
+  let cop_plan = Rt_testability.Oracle.plan cop hard in
+  let cond_plan = Rt_testability.Oracle.plan cond hard in
+  let cofactor_sweep oracle plan xv () =
+    for i = 0 to Array.length xv - 1 do
+      ignore (Sys.opaque_identity (Rt_testability.Oracle.cofactor_pair oracle plan ~input:i ~x:xv))
+    done
+  in
+  let two_subset_sweep oracle subset xv () =
+    for i = 0 to Array.length xv - 1 do
+      let x' = Array.copy xv in
+      x'.(i) <- 0.0;
+      let pf0 = Rt_testability.Detect.probs_subset oracle subset x' in
+      x'.(i) <- 1.0;
+      let pf1 = Rt_testability.Detect.probs_subset oracle subset x' in
+      ignore (Sys.opaque_identity (pf0, pf1))
+    done
+  in
+  let cofactor_pair_cond = cofactor_sweep cond cond_plan x in
+  let cofactor_pair_cop = cofactor_sweep cop cop_plan x in
+  let two_subsets_cop = two_subset_sweep cop hard x in
+  let big = Rt_circuit.Generators.c2670ish () in
+  let big_faults = Rt_fault.Collapse.collapsed_universe big in
+  let big_x = Array.make (Array.length (Rt_circuit.Netlist.inputs big)) 0.5 in
+  let big_cop = Rt_testability.Detect.make Rt_testability.Detect.Cop big big_faults in
+  let big_norm =
+    Rt_optprob.Normalize.run ~confidence:0.95 (Rt_testability.Detect.probs big_cop big_x)
+  in
+  let big_hard = Rt_optprob.Normalize.hard_indices big_norm in
+  let big_plan = Rt_testability.Oracle.plan big_cop big_hard in
+  let cofactor_pair_big = cofactor_sweep big_cop big_plan big_x in
+  let two_subsets_big = two_subset_sweep big_cop big_hard big_x in
   [ Test.make ~name:"cop analysis (s1, 534 faults)"
       (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs cop x)));
     Test.make ~name:"exact bdd analysis (s1, 534 faults)"
@@ -140,6 +178,12 @@ let kernel_tests () =
       (Staged.stage sweep_subset);
     Test.make ~name:"optimize sweep (conditioned, s1) subset-query telemetry=on"
       (Staged.stage sweep_subset_telemetry);
+    Test.make ~name:"cofactor sweep (cop, s1) fused" (Staged.stage cofactor_pair_cop);
+    Test.make ~name:"cofactor sweep (cop, s1) 2x subset-query" (Staged.stage two_subsets_cop);
+    Test.make ~name:"cofactor sweep (conditioned, s1) fused" (Staged.stage cofactor_pair_cond);
+    Test.make ~name:"cofactor sweep (cop, c2670ish) fused" (Staged.stage cofactor_pair_big);
+    Test.make ~name:"cofactor sweep (cop, c2670ish) 2x subset-query"
+      (Staged.stage two_subsets_big);
     Test.make ~name:"logic sim 64 patterns (s1)"
       (Staged.stage (fun () -> Rt_sim.Logic_sim.run sim (source ())));
     Test.make ~name:"ppsfp 256 patterns (8x8 multiplier) jobs=1"

@@ -1,0 +1,78 @@
+(* CI smoke benchmark for the oracle protocol's fused cofactor path.
+
+   Asserts two things on the s1 comparator with the COP engine:
+   1. [Oracle.cofactor_pair] is bit-identical to the two independent
+      subset queries it replaces;
+   2. the fused (incremental damage-cone) path is not slower than 1.5x
+      the two-query baseline (best-of-3 medians; in practice it wins
+      outright, the 1.5x band only absorbs CI timer noise).
+
+   Exits nonzero on any violation.  Run with: make bench-smoke *)
+
+module Detect = Rt_testability.Detect
+module Oracle = Rt_testability.Oracle
+module Normalize = Rt_optprob.Normalize
+
+let time_best_of ~rounds ~iters f =
+  let best = ref Float.infinity in
+  for _ = 1 to rounds do
+    let t0 = Rt_util.Stats.timer_start () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Rt_util.Stats.timer_elapsed t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let () =
+  let c = Rt_circuit.Generators.s1_comparator () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let n_inputs = Array.length (Rt_circuit.Netlist.inputs c) in
+  let x = Array.init n_inputs (fun i -> 0.3 +. (0.4 *. Float.of_int (i mod 2))) in
+  let oracle = Detect.make Detect.Cop c faults in
+  let norm = Normalize.run ~confidence:0.95 (Detect.probs oracle x) in
+  let hard = Normalize.hard_indices norm in
+  let plan = Oracle.plan oracle hard in
+  let fused input = Oracle.cofactor_pair oracle plan ~input ~x in
+  let baseline input =
+    let x' = Array.copy x in
+    x'.(input) <- 0.0;
+    let pf0 = Detect.probs_subset oracle hard x' in
+    x'.(input) <- 1.0;
+    let pf1 = Detect.probs_subset oracle hard x' in
+    (pf0, pf1)
+  in
+  (* Correctness first: every input's fused pair must equal the baseline
+     bit for bit. *)
+  let mismatches = ref 0 in
+  for i = 0 to n_inputs - 1 do
+    let f0, f1 = fused i in
+    let b0, b1 = baseline i in
+    if not (f0 = b0 && f1 = b1) then incr mismatches
+  done;
+  if !mismatches > 0 then begin
+    Printf.eprintf "bench-smoke FAIL: %d/%d inputs with non-identical cofactors\n" !mismatches
+      n_inputs;
+    exit 1
+  end;
+  (* Timing: sweep all inputs per iteration, like one PREPARE pass. *)
+  let sweep f () =
+    for i = 0 to n_inputs - 1 do
+      ignore (Sys.opaque_identity (f i))
+    done
+  in
+  ignore (Sys.opaque_identity (sweep fused ()));
+  ignore (Sys.opaque_identity (sweep baseline ()));
+  let t_fused = time_best_of ~rounds:3 ~iters:20 (sweep fused) in
+  let t_base = time_best_of ~rounds:3 ~iters:20 (sweep baseline) in
+  let ratio = t_fused /. t_base in
+  Printf.printf "bench-smoke (s1, cop, %d hard faults, %d inputs):\n" (Array.length hard) n_inputs;
+  Printf.printf "  fused cofactor_pair sweep:  %8.3f ms\n" (t_fused *. 1000.0 /. 20.0);
+  Printf.printf "  2x probs_subset sweep:      %8.3f ms\n" (t_base *. 1000.0 /. 20.0);
+  Printf.printf "  ratio (fused / baseline):   %8.3f\n" ratio;
+  if ratio > 1.5 then begin
+    Printf.eprintf "bench-smoke FAIL: fused path slower than 1.5x baseline (ratio %.3f)\n" ratio;
+    exit 1
+  end;
+  Printf.printf "bench-smoke OK\n"

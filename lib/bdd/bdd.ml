@@ -218,6 +218,61 @@ let prob_many m roots p =
   in
   Array.map go roots
 
+(* Both single-variable cofactor probabilities of every root in one
+   traversal.  A node ordered strictly below [var] cannot depend on it and
+   is evaluated once (scalar memo, shared by both components); a node on
+   [var] splits into its children's scalars; ancestors combine the pairs
+   componentwise.  Each component is bit-identical to [prob_many] with
+   [p var] forced to 0.0 / 1.0: at a [var] node the full evaluation
+   computes [1.0 *. go low +. 0.0 *. go high] (resp. the mirror), which is
+   exactly [go low] in IEEE arithmetic because every partial probability
+   here is finite and non-negative (so the dropped product is +0.0 and
+   the kept one is preserved by the multiplication by 1.0). *)
+let prob_pair_many m roots ~var p =
+  let scalar_memo = Hashtbl.create 1024 in
+  let rec scalar x =
+    if x = 0 then 0.0
+    else if x = 1 then 1.0
+    else begin
+      match Hashtbl.find_opt scalar_memo x with
+      | Some r -> r
+      | None ->
+        let pv = p m.vars.(x) in
+        let r = ((1.0 -. pv) *. scalar m.lows.(x)) +. (pv *. scalar m.highs.(x)) in
+        Hashtbl.add scalar_memo x r;
+        r
+    end
+  in
+  let pair_memo = Hashtbl.create 1024 in
+  let rec pair x =
+    if x = 0 then (0.0, 0.0)
+    else if x = 1 then (1.0, 1.0)
+    else begin
+      let v = m.vars.(x) in
+      if v > var then begin
+        let r = scalar x in
+        (r, r)
+      end
+      else begin
+        match Hashtbl.find_opt pair_memo x with
+        | Some r -> r
+        | None ->
+          let r =
+            if v = var then (scalar m.lows.(x), scalar m.highs.(x))
+            else begin
+              let l0, l1 = pair m.lows.(x) in
+              let h0, h1 = pair m.highs.(x) in
+              let pv = p v in
+              (((1.0 -. pv) *. l0) +. (pv *. h0), ((1.0 -. pv) *. l1) +. (pv *. h1))
+            end
+          in
+          Hashtbl.add pair_memo x r;
+          r
+      end
+    end
+  in
+  Array.map pair roots
+
 let sat_fraction m x = prob m x (fun _ -> 0.5)
 
 let any_sat m x =

@@ -62,6 +62,15 @@ val prob_many : manager -> t array -> (int -> float) -> float array
     per-fault detection BDDs of a whole fault list costs one pass over
     their shared subgraphs. *)
 
+val prob_pair_many : manager -> t array -> var:int -> (int -> float) -> (float * float) array
+(** [prob_pair_many m roots ~var p] is, per root, the pair of
+    probabilities with variable [var] forced to 0 and to 1 — both
+    single-variable cofactors from one traversal.  [p var] itself is never
+    read.  Each component is bit-identical to {!prob_many} evaluated with
+    [p] overridden to return 0.0 (resp. 1.0) at [var]; subgraphs ordered
+    below [var] are evaluated once and shared by both components.  This is
+    the exact engine's PREPARE kernel (paper §4, eq. 15). *)
+
 val sat_fraction : manager -> t -> float
 (** [sat_fraction m f] is the fraction of assignments satisfying [f]:
     {!prob} at the uniform distribution. *)

@@ -1,4 +1,5 @@
 module Detect = Rt_testability.Detect
+module Oracle = Rt_testability.Oracle
 
 type quantization =
   | No_quantization
@@ -108,19 +109,19 @@ let run ?(options = default_options) ?progress ?recorder oracle =
       if Float.is_finite n then n else 1e7
     in
     (* PREPARE: the two cofactor queries only need the hardest faults, so
-       ask the oracle for exactly those — one [hard] array per sweep keeps
-       the oracle's per-subset cone plan cached across all 2n queries. *)
+       ask the oracle for exactly those — one [hard] array (hence one
+       cached cone plan) per sweep, and both cofactors from a single
+       [cofactor_pair] dispatch.  Engines with a fused implementation
+       answer from an incremental base point that follows the sweep's
+       one-coordinate moves; [x] is never mutated, so an exception leaves
+       no torn weight vector behind. *)
     let hard = Normalize.hard_indices !norm in
+    let plan = Oracle.plan oracle hard in
     for i = 0 to n_inputs - 1 do
       let saved = x.(i) in
       let pf0, pf1 =
         Rt_obs.with_span ~cat:"phase" "prepare" @@ fun () ->
-        x.(i) <- 0.0;
-        let pf0 = Detect.probs_subset oracle hard x in
-        x.(i) <- 1.0;
-        let pf1 = Detect.probs_subset oracle hard x in
-        x.(i) <- saved;
-        (pf0, pf1)
+        Oracle.cofactor_pair oracle plan ~input:i ~x
       in
       let r =
         Rt_obs.with_span ~cat:"phase" "minimize" @@ fun () ->

@@ -1,4 +1,5 @@
 module Detect = Rt_testability.Detect
+module Oracle = Rt_testability.Oracle
 
 type split = {
   groups : int array array;
@@ -10,16 +11,14 @@ type split = {
 
 let preference_vectors oracle ~hard x =
   let n_inputs = Array.length (Rt_circuit.Netlist.inputs (Detect.circuit oracle)) in
-  let x = Array.copy x in
   let vectors = Array.map (fun _ -> Array.make n_inputs 0.0) hard in
+  (* Only the hard faults' cofactors are read, so query through a subset
+     plan and the fused cofactor path instead of 2n full-universe runs;
+     results index by position in [hard]. *)
+  let plan = Oracle.plan oracle hard in
   for i = 0 to n_inputs - 1 do
-    let saved = x.(i) in
-    x.(i) <- 0.0;
-    let pf0 = Detect.probs oracle x in
-    x.(i) <- 1.0;
-    let pf1 = Detect.probs oracle x in
-    x.(i) <- saved;
-    Array.iteri (fun h f -> vectors.(h).(i) <- pf1.(f) -. pf0.(f)) hard
+    let pf0, pf1 = Oracle.cofactor_pair oracle plan ~input:i ~x in
+    Array.iteri (fun h _ -> vectors.(h).(i) <- pf1.(h) -. pf0.(h)) hard
   done;
   vectors
 

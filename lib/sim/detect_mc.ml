@@ -1,10 +1,12 @@
-let detection_probs ?jobs c faults ~weights ~n_patterns ~seed =
-  let rng = Rt_util.Rng.create seed in
-  let source = Pattern.weighted rng weights in
+let detection_probs_source ?jobs c faults ~source ~n_patterns =
   let stats = Fault_sim.simulate ?jobs ~drop:false c faults ~source ~n_patterns in
   Array.map
     (fun count -> Float.of_int count /. Float.of_int stats.Fault_sim.patterns_run)
     stats.Fault_sim.detect_count
+
+let detection_probs ?jobs c faults ~weights ~n_patterns ~seed =
+  let rng = Rt_util.Rng.create seed in
+  detection_probs_source ?jobs c faults ~source:(Pattern.weighted rng weights) ~n_patterns
 
 let confidence_halfwidth ~p ~n =
   if n <= 0 then invalid_arg "Detect_mc.confidence_halfwidth";

@@ -17,6 +17,21 @@ val detection_probs :
     per-fault simulation across domains (see {!Fault_sim.simulate});
     results are bit-identical for every [jobs] value. *)
 
+val detection_probs_source :
+  ?jobs:int ->
+  Rt_circuit.Netlist.t ->
+  Rt_fault.Fault.t array ->
+  source:Pattern.source ->
+  n_patterns:int ->
+  float array
+(** As {!detection_probs} but drawing batches from an explicit pattern
+    source instead of a fresh weighted generator.  The oracle layer's
+    cofactor queries use this to replay a recorded pattern stream with one
+    input column patched, so both cofactors share one generation of
+    patterns.  The source is only ever pulled from the serial batch loop,
+    never from worker domains, so a stateful (recording / replaying)
+    source is safe at any [jobs]. *)
+
 val confidence_halfwidth : p:float -> n:int -> float
 (** 95 % normal-approximation half-width of the estimate — tests use it to
     set tolerances. *)

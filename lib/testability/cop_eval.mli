@@ -1,0 +1,60 @@
+(** COP detection-probability evaluation: full sweeps, plan-restricted
+    sweeps, and an incremental state for cofactor queries.
+
+    The incremental {!state} caches the signal probabilities and
+    observabilities of a base point [x] under a plan's masks.  A query at
+    [x] with input [i] flipped re-evaluates only the {e damage cone} of
+    [i]: the masked transitive fanout of the input node (signal side) and
+    the nodes whose readers' observability or side-pin sensitization that
+    touches (observability side).  Patches are undone after each query, so
+    the cache is always consistent with [base_x]; when the caller's [x]
+    itself moves by one coordinate — the optimizer's per-coordinate sweep —
+    the patch is committed instead of rebuilt.
+
+    Every result is bit-identical to the corresponding from-scratch
+    {!probs_subset} call: nodes outside the cone cannot depend on the
+    flipped input (the masks are closure-consistent), and nodes inside are
+    recomputed in the same order with the same arithmetic. *)
+
+val fault_prob :
+  Rt_circuit.Netlist.t ->
+  sp:float array ->
+  obs:float array ->
+  Rt_fault.Fault.t ->
+  float
+(** Activation x observability for one fault, given sweep results. *)
+
+val fill :
+  jobs:int ->
+  Rt_circuit.Netlist.t ->
+  sp:float array ->
+  obs:float array ->
+  Rt_fault.Fault.t array ->
+  float array ->
+  unit
+(** Fill [out.(i) <- fault_prob faults.(i)] for all faults, sharded across
+    [jobs] domains for large fault arrays.  Bit-identical for any [jobs]. *)
+
+val probs : ?jobs:int -> Rt_circuit.Netlist.t -> Rt_fault.Fault.t array -> float array -> float array
+(** Full-circuit COP estimate of [p_f(X)] per fault. *)
+
+val probs_subset : ?jobs:int -> Rt_circuit.Netlist.t -> Oracle.plan -> float array -> float array
+(** Plan-restricted sweep: masked signal-probability and observability
+    sweeps, then the selected faults only. *)
+
+type state
+(** Mutable incremental-evaluation state for one circuit.  Not
+    thread-safe; create one per oracle. *)
+
+val create : ?jobs:int -> Rt_circuit.Netlist.t -> state
+
+val eval : state -> Oracle.plan -> float array -> float array
+(** [eval st plan x]: the plan's selected detection probabilities at [x],
+    reusing the cached base point when [x] differs from it in at most one
+    coordinate (commit-patch) and rebuilding otherwise. *)
+
+val cofactor_pair :
+  state -> Oracle.plan -> input:int -> float array -> float array * float array
+(** [(p_f(X,0|input), p_f(X,1|input))] for the plan's faults: sync the base
+    point to [x], then patch the input's damage cone to 0.0 and 1.0 in
+    turn, restoring the cache after each.  Does not mutate [x]. *)

@@ -1,9 +1,30 @@
+(* Engine constructors for the oracle protocol, plus the original
+   [Detect.*] entry points as thin forwards to [Oracle].  The query
+   mechanics — subset plans, keyed plan cache, counters, spans, the
+   generic cofactor fallback — all live in [Oracle]; the COP sweep core
+   and the incremental damage-cone evaluator live in [Cop_eval].  What
+   remains here is one constructor per ANALYSIS engine, each registering
+   its fused [cofactor_pair] when it has one:
+
+   - COP: a shared incremental state re-evaluates only the flipped
+     input's cone (and commits the patch when the optimizer moves the
+     base point by one coordinate);
+   - conditioned COP: per-assignment incremental states under the
+     Shannon expansion (serial path only — the sharded path's partial
+     sums have their own association order);
+   - exact BDD: one paired traversal per generation returns both
+     cofactors of every selected detection root;
+   - STAFAN / Monte-Carlo: the weighted pattern batches drawn for the
+     x_i = 0 run are recorded and replayed with input column [i] forced
+     to all-ones, so both cofactors share one pattern generation. *)
+
 module Netlist = Rt_circuit.Netlist
 module Gate = Rt_circuit.Gate
 module Fault = Rt_fault.Fault
 module Bdd = Rt_bdd.Bdd
 module Bdd_circuit = Rt_bdd.Bdd_circuit
 module Parallel = Rt_util.Parallel
+module Pattern = Rt_sim.Pattern
 
 type engine =
   | Cop
@@ -12,125 +33,27 @@ type engine =
   | Stafan of { n_patterns : int; seed : int }
   | Monte_carlo of { n_patterns : int; seed : int }
 
-type oracle = {
-  c : Netlist.t;
-  fault_list : Fault.t array;
-  run : float array -> float array;
-  run_subset : int array -> float array -> float array;
-  label : string;
-  exact : bool array;
-  redundant : bool array;
-}
+type oracle = Oracle.t
 
 let injection f =
   match f.Fault.site with
   | Fault.Stem n -> Bdd_circuit.Stem (n, f.Fault.stuck)
   | Fault.Branch (g, k) -> Bdd_circuit.Pin (g, k, f.Fault.stuck)
 
-(* --- Subset plans ---------------------------------------------------------
-
-   PREPARE (paper §4) only ever asks for the detection probabilities of the
-   [nf] hardest faults, so every engine gets a [run_subset] that restricts
-   its work to those faults' cones.  The node masks are derived once per
-   subset and cached keyed on the physical identity of the index array —
-   OPTIMIZE passes the same [hard_indices] array for the whole sweep. *)
-
-type plan = {
-  key : int array;  (* compared with ==, never dereferenced for content *)
-  sel : Fault.t array;
-  obs_mask : bool array;
-      (* union of the selected faults' transitive fanout cones: the nodes
-         whose observability the COP/STAFAN estimate needs (fanout-closed
-         because ids are topological). *)
-  sp_mask : bool array;
-      (* fanin closure of the masked nodes and their side pins: the nodes
-         whose signal probability those observabilities (plus the
-         activation terms) read. *)
-}
-
-let make_plan c faults subset =
-  let n = Netlist.size c in
-  let nf = Array.length faults in
-  let sel =
-    Array.map
-      (fun i ->
-        if i < 0 || i >= nf then invalid_arg "Detect.probs_subset: fault index out of range";
-        faults.(i))
-      subset
-  in
-  let obs_mask = Array.make n false in
-  Array.iter
-    (fun f ->
-      let site = match f.Fault.site with Fault.Stem s -> s | Fault.Branch (g, _) -> g in
-      obs_mask.(site) <- true)
-    sel;
-  (* Fanout closure in one ascending sweep (fanin ids are smaller). *)
-  for i = 0 to n - 1 do
-    if not obs_mask.(i) then
-      if Array.exists (fun j -> obs_mask.(j)) (Netlist.fanin c i) then obs_mask.(i) <- true
-  done;
-  let sp_mask = Array.make n false in
-  for i = 0 to n - 1 do
-    if obs_mask.(i) then begin
-      sp_mask.(i) <- true;
-      Array.iter (fun j -> sp_mask.(j) <- true) (Netlist.fanin c i)
-    end
-  done;
-  (* Fanin closure in one descending sweep. *)
-  for i = n - 1 downto 0 do
-    if sp_mask.(i) then Array.iter (fun j -> sp_mask.(j) <- true) (Netlist.fanin c i)
-  done;
-  { key = subset; sel; obs_mask; sp_mask }
-
-let plan_cache () : plan option ref = ref None
-
-let c_plan_hit = Rt_obs.counter "detect.plan.hit"
-let c_plan_miss = Rt_obs.counter "detect.plan.miss"
 let c_bdd_nodes = Rt_obs.counter "bdd.nodes_allocated"
 
-let get_plan cache c faults subset =
-  match !cache with
-  | Some p when p.key == subset ->
-    Rt_obs.incr c_plan_hit;
-    p
-  | Some _ | None ->
-    Rt_obs.incr c_plan_miss;
-    let p = Rt_obs.with_span ~cat:"detect" "subset_plan" (fun () -> make_plan c faults subset) in
-    cache := Some p;
-    p
+let no_flags faults = Array.make (Array.length faults) false
 
 (* --- COP ------------------------------------------------------------------ *)
 
-let cop_fault_prob c ~sp ~obs f =
-  let src = Fault.source f c in
-  let act = if f.Fault.stuck then 1.0 -. sp.(src) else sp.(src) in
-  match f.Fault.site with
-  | Fault.Stem n -> act *. obs.(n)
-  | Fault.Branch (g, k) -> act *. Observability.pin_observability c ~node_probs:sp ~obs g k
-
-let cop_fill ~jobs c ~sp ~obs faults out =
-  let nf = Array.length faults in
-  (* The per-fault work is sub-microsecond: only worth domains on large
-     universes (and never more domains than cores — see Parallel.region). *)
-  Parallel.region ~label:"cop.fill" ~min_per_chunk:1024 ~seq_below:4096 ~jobs ~n:nf
-    (fun ~chunk:_ ~lo ~hi ->
-      for i = lo to hi - 1 do
-        out.(i) <- cop_fault_prob c ~sp ~obs faults.(i)
-      done)
-
-let cop_probs ?(jobs = 1) c faults x =
-  let sp = Signal_prob.independence c x in
-  let obs = Observability.cop c ~node_probs:sp in
-  let out = Array.make (Array.length faults) 0.0 in
-  cop_fill ~jobs c ~sp ~obs faults out;
-  out
-
-let cop_probs_subset ?(jobs = 1) c plan x =
-  let sp = Signal_prob.independence_subset c ~mask:plan.sp_mask x in
-  let obs = Observability.cop_subset c ~mask:plan.obs_mask ~node_probs:sp in
-  let out = Array.make (Array.length plan.sel) 0.0 in
-  cop_fill ~jobs c ~sp ~obs plan.sel out;
-  out
+let make_cop ~jobs c faults =
+  let st = Cop_eval.create ~jobs c in
+  Oracle.make ~kind:"cop" ~label:"cop" ~c ~faults ~exact:(no_flags faults)
+    ~redundant:(no_flags faults)
+    ~run:(fun x -> Cop_eval.probs ~jobs c faults x)
+    ~run_subset:(fun plan x -> Cop_eval.probs_subset ~jobs c plan x)
+    ~cofactor_pair:(fun plan ~input x -> Cop_eval.cofactor_pair st plan ~input x)
+    ()
 
 (* PREDICT-style (ABS86): Shannon-expand the COP estimate over the
    highest-fanout inputs — activation and observability are conditionally
@@ -181,42 +104,111 @@ let conditioned_expand ~jobs ~positions ~nf x eval_assignment =
 
 let conditioned_probs ?(jobs = 1) ~max_vars c faults x =
   let set = Signal_prob.conditioning_set ~max_vars c in
-  if Array.length set = 0 then cop_probs ~jobs c faults x
+  if Array.length set = 0 then Cop_eval.probs ~jobs c faults x
   else begin
     let positions = Array.map (fun i -> Netlist.input_index c i) set in
     conditioned_expand ~jobs ~positions ~nf:(Array.length faults) x (fun x' ->
-        cop_probs c faults x')
+        Cop_eval.probs c faults x')
   end
 
 let conditioned_probs_subset ?(jobs = 1) ~max_vars c plan x =
   let set = Signal_prob.conditioning_set ~max_vars c in
-  if Array.length set = 0 then cop_probs_subset ~jobs c plan x
+  if Array.length set = 0 then Cop_eval.probs_subset ~jobs c plan x
   else begin
     let positions = Array.map (fun i -> Netlist.input_index c i) set in
-    conditioned_expand ~jobs ~positions ~nf:(Array.length plan.sel) x (fun x' ->
-        cop_probs_subset c plan x')
+    conditioned_expand ~jobs ~positions ~nf:(Array.length (Oracle.selected plan)) x (fun x' ->
+        Cop_eval.probs_subset c plan x')
   end
 
-let make_cop ?(jobs = 1) c faults =
-  let cache = plan_cache () in
-  { c;
-    fault_list = faults;
-    run = (fun x -> cop_probs ~jobs c faults x);
-    run_subset = (fun subset x -> cop_probs_subset ~jobs c (get_plan cache c faults subset) x);
-    label = "cop";
-    exact = Array.make (Array.length faults) false;
-    redundant = Array.make (Array.length faults) false }
+(* Fused conditioned cofactors (serial expansion only): one incremental
+   COP state per live assignment.  When the flipped input is itself a
+   conditioning variable its value is fixed by the assignment, so one
+   evaluation serves both cofactors and only the Shannon weights differ
+   (the x_i factor becomes 0.0 or 1.0 — bit-identical to the reference
+   loop's [x''.(pos)] factor, since multiplying by 1.0 is exact and a
+   0.0 factor zeroes the product and skips the assignment).  Otherwise
+   the assignment's state answers both cofactors from one damage cone. *)
+let conditioned_cofactor ~positions c =
+  let n_assign = 1 lsl Array.length positions in
+  let states = Array.make n_assign None in
+  let state a =
+    match states.(a) with
+    | Some s -> s
+    | None ->
+      let s = Cop_eval.create ~jobs:1 c in
+      states.(a) <- Some s;
+      s
+  in
+  let input_conditioned input = Array.exists (fun p -> p = input) positions in
+  fun plan ~input x ->
+    let nf = Array.length (Oracle.selected plan) in
+    let acc0 = Array.make nf 0.0 and acc1 = Array.make nf 0.0 in
+    let fixed = input_conditioned input in
+    let x' = Array.copy x in
+    for a = 0 to n_assign - 1 do
+      let w0 = ref 1.0 and w1 = ref 1.0 in
+      Array.iteri
+        (fun j pos ->
+          let bit = (a lsr j) land 1 = 1 in
+          x'.(pos) <- (if bit then 1.0 else 0.0);
+          if pos = input then begin
+            (* factor = the cofactor's value of x_i, per branch *)
+            if bit then begin
+              w0 := !w0 *. 0.0;
+              w1 := !w1 *. 1.0
+            end
+            else begin
+              w0 := !w0 *. 1.0;
+              w1 := !w1 *. 0.0
+            end
+          end
+          else begin
+            let f = if bit then x.(pos) else 1.0 -. x.(pos) in
+            w0 := !w0 *. f;
+            w1 := !w1 *. f
+          end)
+        positions;
+      if !w0 > 0.0 || !w1 > 0.0 then begin
+        if fixed then begin
+          let pf = Cop_eval.eval (state a) plan x' in
+          if !w0 > 0.0 then Array.iteri (fun i v -> acc0.(i) <- acc0.(i) +. (!w0 *. v)) pf;
+          if !w1 > 0.0 then Array.iteri (fun i v -> acc1.(i) <- acc1.(i) +. (!w1 *. v)) pf
+        end
+        else begin
+          let pf0, pf1 = Cop_eval.cofactor_pair (state a) plan ~input x' in
+          Array.iteri (fun i v -> acc0.(i) <- acc0.(i) +. (!w0 *. v)) pf0;
+          Array.iteri (fun i v -> acc1.(i) <- acc1.(i) +. (!w1 *. v)) pf1
+        end
+      end
+    done;
+    (acc0, acc1)
 
-let make_conditioned ?(jobs = 1) ~max_vars c faults =
-  let cache = plan_cache () in
-  { c;
-    fault_list = faults;
-    run = (fun x -> conditioned_probs ~jobs ~max_vars c faults x);
-    run_subset =
-      (fun subset x -> conditioned_probs_subset ~jobs ~max_vars c (get_plan cache c faults subset) x);
-    label = Printf.sprintf "conditioned(cop, %d vars)" (Array.length (Signal_prob.conditioning_set ~max_vars c));
-    exact = Array.make (Array.length faults) false;
-    redundant = Array.make (Array.length faults) false }
+let make_conditioned ~jobs ~max_vars c faults =
+  let set = Signal_prob.conditioning_set ~max_vars c in
+  let k = Array.length set in
+  let cofactor =
+    if k = 0 then begin
+      (* No conditioning variables: the engine degenerates to plain COP,
+         so a plain incremental state is the fused path. *)
+      let st = Cop_eval.create ~jobs c in
+      Some (fun plan ~input x -> Cop_eval.cofactor_pair st plan ~input x)
+    end
+    else if jobs = 1 && k <= 8 then begin
+      let positions = Array.map (fun i -> Netlist.input_index c i) set in
+      Some (conditioned_cofactor ~positions c)
+    end
+    else
+      (* Sharded expansion sums per-chunk partials whose association
+         order the fused path cannot reproduce bit-exactly — let the
+         protocol fall back to two plain subset queries. *)
+      None
+  in
+  Oracle.make ~kind:"conditioned"
+    ~label:(Printf.sprintf "conditioned(cop, %d vars)" k)
+    ~c ~faults ~exact:(no_flags faults) ~redundant:(no_flags faults)
+    ~run:(fun x -> conditioned_probs ~jobs ~max_vars c faults x)
+    ~run_subset:(fun plan x -> conditioned_probs_subset ~jobs ~max_vars c plan x)
+    ?cofactor_pair:cofactor ()
 
 (* Exact engine.  Good-circuit BDDs are built once per "generation"; per
    fault only its transitive-fanout cone is rebuilt with the fault
@@ -228,7 +220,6 @@ let make_conditioned ?(jobs = 1) ~max_vars c faults =
    COP estimate. *)
 let make_bdd ~node_limit ?(max_generations = 6) c faults =
   let nf = Array.length faults in
-  let cache = plan_cache () in
   let exact = Array.make nf false in
   let redundant = Array.make nf false in
   let order = Bdd_circuit.dfs_order c in
@@ -280,58 +271,73 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
      done (the former [!gens @ [gen]] append was quadratic in generations). *)
   let generations_rev = ref [] in
   let total_nodes = ref 0 in
-  Rt_obs.with_span ~cat:"detect" "bdd.build" @@ fun () ->
-  (match new_generation () with
-   | exception Bdd.Limit_exceeded -> ()
-   | first_gen ->
-     let current = ref first_gen in
-     let gen_idx = ref 0 in
-     let fresh = ref true in
-     let gen_yield = ref 0 in
-     (* A generation that places almost no faults before overflowing means
-        the per-fault BDDs are intrinsically large for this circuit;
-        further generations would burn time for nothing. *)
-     let min_yield = max 8 (nf / 20) in
-     generations_rev := [ first_gen ];
-     let fi = ref 0 in
-     while !fi < nf do
-       let f = faults.(!fi) in
-       let m, good = !current in
-       (match build_fault m good f with
-        | detect ->
-          detect_roots.(!fi) <- Some (!gen_idx, detect);
-          exact.(!fi) <- true;
-          if Bdd.is_zero detect then redundant.(!fi) <- true;
-          fresh := false;
-          incr gen_yield;
-          incr fi
-        | exception Bdd.Limit_exceeded ->
-          if !fresh then begin
-            (* Too big even for an empty manager: estimate this fault. *)
-            incr fi
-          end
-          else if List.length !generations_rev >= max_generations || !gen_yield < min_yield then
-            fi := nf
-          else begin
-            match new_generation () with
-            | exception Bdd.Limit_exceeded -> fi := nf
-            | gen ->
-              total_nodes := !total_nodes + Bdd.node_count m;
-              current := gen;
-              incr gen_idx;
-              fresh := true;
-              gen_yield := 0;
-              generations_rev := gen :: !generations_rev
-          end)
-     done;
-     let m, _ = !current in
-     total_nodes := !total_nodes + Bdd.node_count m);
+  Rt_obs.with_span ~cat:"detect" "bdd.build" (fun () ->
+      match new_generation () with
+      | exception Bdd.Limit_exceeded -> ()
+      | first_gen ->
+        let current = ref first_gen in
+        let gen_idx = ref 0 in
+        let fresh = ref true in
+        let gen_yield = ref 0 in
+        (* A generation that places almost no faults before overflowing means
+           the per-fault BDDs are intrinsically large for this circuit;
+           further generations would burn time for nothing. *)
+        let min_yield = max 8 (nf / 20) in
+        generations_rev := [ first_gen ];
+        let fi = ref 0 in
+        while !fi < nf do
+          let f = faults.(!fi) in
+          let m, good = !current in
+          (match build_fault m good f with
+           | detect ->
+             detect_roots.(!fi) <- Some (!gen_idx, detect);
+             exact.(!fi) <- true;
+             if Bdd.is_zero detect then redundant.(!fi) <- true;
+             fresh := false;
+             incr gen_yield;
+             incr fi
+           | exception Bdd.Limit_exceeded ->
+             if !fresh then begin
+               (* Too big even for an empty manager: estimate this fault. *)
+               incr fi
+             end
+             else if List.length !generations_rev >= max_generations || !gen_yield < min_yield
+             then fi := nf
+             else begin
+               match new_generation () with
+               | exception Bdd.Limit_exceeded -> fi := nf
+               | gen ->
+                 total_nodes := !total_nodes + Bdd.node_count m;
+                 current := gen;
+                 incr gen_idx;
+                 fresh := true;
+                 gen_yield := 0;
+                 generations_rev := gen :: !generations_rev
+             end)
+        done;
+        let m, _ = !current in
+        total_nodes := !total_nodes + Bdd.node_count m);
   let generations = Array.of_list (List.rev !generations_rev) in
   Rt_obs.add c_bdd_nodes !total_nodes;
   let x_of_var_table x =
     let t = Array.make (max 1 (Array.length order)) 0.5 in
     Array.iteri (fun i v -> t.(v) <- x.(i)) order;
     t
+  in
+  (* Selected detection roots of one generation, as (position-in-subset,
+     root) lists — a generation none of the selected faults landed in is
+     not traversed at all. *)
+  let gen_roots subset gi =
+    let idxs = ref [] and roots = ref [] in
+    Array.iteri
+      (fun j fi ->
+        match detect_roots.(fi) with
+        | Some (g, root) when g = gi ->
+          idxs := j :: !idxs;
+          roots := root :: !roots
+        | Some _ | None -> ())
+      subset;
+    (!idxs, !roots)
   in
   let run x =
     let x_of_var = x_of_var_table x in
@@ -352,133 +358,187 @@ let make_bdd ~node_limit ?(max_generations = 6) c faults =
         List.iteri (fun j fi -> out.(fi) <- vals.(j)) !idxs)
       generations;
     if Array.exists (fun r -> r = None) detect_roots then begin
-      let fb = cop_probs c faults x in
+      let fb = Cop_eval.probs c faults x in
       Array.iteri (fun fi r -> if r = None then out.(fi) <- fb.(fi)) detect_roots
     end;
     out
   in
-  (* Subset queries evaluate only the selected detection roots; a
-     generation none of the selected faults landed in is not traversed at
-     all, and the COP fallback cone is restricted to the subset's plan. *)
-  let run_subset subset x =
-    let plan = get_plan cache c faults subset in
+  let run_subset plan x =
+    let subset = Oracle.subset plan in
     let x_of_var = x_of_var_table x in
-    let ns = Array.length subset in
-    let out = Array.make ns 0.0 in
+    let out = Array.make (Array.length subset) 0.0 in
     Array.iteri
       (fun gi (m, _) ->
-        let idxs = ref [] and roots = ref [] in
-        Array.iteri
-          (fun j fi ->
-            match detect_roots.(fi) with
-            | Some (g, root) when g = gi ->
-              idxs := j :: !idxs;
-              roots := root :: !roots
-            | Some _ | None -> ())
-          subset;
-        match !roots with
-        | [] -> ()
-        | rs ->
-          let vals = Bdd.prob_many m (Array.of_list rs) (fun v -> x_of_var.(v)) in
-          List.iteri (fun p j -> out.(j) <- vals.(p)) !idxs)
+        match gen_roots subset gi with
+        | _, [] -> ()
+        | idxs, roots ->
+          let vals = Bdd.prob_many m (Array.of_list roots) (fun v -> x_of_var.(v)) in
+          List.iteri (fun p j -> out.(j) <- vals.(p)) idxs)
       generations;
     if Array.exists (fun fi -> detect_roots.(fi) = None) subset then begin
-      let fb = cop_probs_subset c plan x in
+      let fb = Cop_eval.probs_subset c plan x in
       Array.iteri (fun j fi -> if detect_roots.(fi) = None then out.(j) <- fb.(j)) subset
     end;
     out
   in
+  (* Both cofactors of every selected root from one paired traversal per
+     generation.  The shared scalar sub-traversal above the cofactor
+     variable is what the two independent evaluations would each have
+     repeated.  Faults without a BDD (None roots) fall back to the same
+     two masked COP sweeps the generic path would run. *)
+  let cofactor plan ~input x =
+    let subset = Oracle.subset plan in
+    let x_of_var = x_of_var_table x in
+    let fvar = order.(input) in
+    let ns = Array.length subset in
+    let out0 = Array.make ns 0.0 and out1 = Array.make ns 0.0 in
+    Array.iteri
+      (fun gi (m, _) ->
+        match gen_roots subset gi with
+        | _, [] -> ()
+        | idxs, roots ->
+          let pairs =
+            Bdd.prob_pair_many m (Array.of_list roots) ~var:fvar (fun v -> x_of_var.(v))
+          in
+          List.iteri
+            (fun p j ->
+              let v0, v1 = pairs.(p) in
+              out0.(j) <- v0;
+              out1.(j) <- v1)
+            idxs)
+      generations;
+    if Array.exists (fun fi -> detect_roots.(fi) = None) subset then begin
+      let x' = Array.copy x in
+      x'.(input) <- 0.0;
+      let fb0 = Cop_eval.probs_subset c plan x' in
+      x'.(input) <- 1.0;
+      let fb1 = Cop_eval.probs_subset c plan x' in
+      Array.iteri
+        (fun j fi ->
+          if detect_roots.(fi) = None then begin
+            out0.(j) <- fb0.(j);
+            out1.(j) <- fb1.(j)
+          end)
+        subset
+    end;
+    (out0, out1)
+  in
   let n_exact = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 exact in
-  { c;
-    fault_list = faults;
-    run;
-    run_subset;
-    label =
-      Printf.sprintf "bdd-exact(%d/%d exact, %d generations, %d nodes)" n_exact nf
-        (Array.length generations) !total_nodes;
-    exact;
-    redundant }
+  Oracle.make ~kind:"bdd"
+    ~label:
+      (Printf.sprintf "bdd-exact(%d/%d exact, %d generations, %d nodes)" n_exact nf
+         (Array.length generations) !total_nodes)
+    ~c ~faults ~exact ~redundant ~run ~run_subset ~cofactor_pair:cofactor ()
+
+(* --- Pattern-counting engines ---------------------------------------------
+
+   STAFAN and Monte-Carlo share the cofactor trick: [Rng.biased_word]
+   consumes no randomness for a probability of exactly 0.0 or 1.0, so the
+   pattern streams for x with x_i := 0.0 and x_i := 1.0 are identical in
+   every column except [i] (all-zeros vs all-ones).  Recording the batches
+   of the x_i = 0 run and replaying them with column [i] forced to -1L
+   therefore reproduces the x_i = 1 run's batches bit-exactly while paying
+   for pattern generation once.  Both simulators pull the source only from
+   their serial batch loop, so the stateful sources are safe at any
+   [jobs]. *)
+
+let recording_source base =
+  let recorded = ref [] in
+  let source () =
+    let b = base () in
+    recorded := b :: !recorded;
+    b
+  in
+  (source, recorded)
+
+let replaying_source ~input base recorded =
+  let remaining = ref (List.rev !recorded) in
+  fun () ->
+    let b =
+      match !remaining with
+      | b :: rest ->
+        remaining := rest;
+        b
+      | [] -> base ()
+    in
+    let bits = Array.copy b.Pattern.bits in
+    bits.(input) <- -1L;
+    { b with Pattern.bits }
 
 let make_stafan ~n_patterns ~seed c faults =
-  let cache = plan_cache () in
   let count x =
     let rng = Rt_util.Rng.create seed in
-    let source = Rt_sim.Pattern.weighted rng x in
+    let source = Pattern.weighted rng x in
     Stafan.count c ~source ~n_patterns
   in
-  { c;
-    fault_list = faults;
-    run = (fun x -> Stafan.detection_probs c (count x) faults);
-    run_subset =
-      (fun subset x ->
-        let plan = get_plan cache c faults subset in
-        Stafan.detection_probs_subset c ~mask:plan.obs_mask (count x) plan.sel);
-    label = Printf.sprintf "stafan(%d patterns)" n_patterns;
-    exact = Array.make (Array.length faults) false;
-    redundant = Array.make (Array.length faults) false }
+  let cofactor plan ~input x =
+    let sel = Oracle.selected plan in
+    let mask = Oracle.obs_mask plan in
+    let x0 = Array.copy x in
+    x0.(input) <- 0.0;
+    let rng = Rt_util.Rng.create seed in
+    let base = Pattern.weighted rng x0 in
+    let record, recorded = recording_source base in
+    let counts0 = Stafan.count c ~source:record ~n_patterns in
+    let pf0 = Stafan.detection_probs_subset c ~mask counts0 sel in
+    let counts1 =
+      Stafan.count c ~source:(replaying_source ~input base recorded) ~n_patterns
+    in
+    let pf1 = Stafan.detection_probs_subset c ~mask counts1 sel in
+    (pf0, pf1)
+  in
+  Oracle.make ~kind:"stafan"
+    ~label:(Printf.sprintf "stafan(%d patterns)" n_patterns)
+    ~c ~faults ~exact:(no_flags faults) ~redundant:(no_flags faults)
+    ~run:(fun x -> Stafan.detection_probs c (count x) faults)
+    ~run_subset:
+      (fun plan x ->
+        Stafan.detection_probs_subset c ~mask:(Oracle.obs_mask plan) (count x)
+          (Oracle.selected plan))
+    ~cofactor_pair:cofactor ()
 
-let make_mc ?(jobs = 1) ~n_patterns ~seed c faults =
-  let cache = plan_cache () in
-  { c;
-    fault_list = faults;
-    run = (fun x -> Rt_sim.Detect_mc.detection_probs ~jobs c faults ~weights:x ~n_patterns ~seed);
-    run_subset =
-      (fun subset x ->
+let make_mc ~jobs ~n_patterns ~seed c faults =
+  let cofactor plan ~input x =
+    let sel = Oracle.selected plan in
+    let x0 = Array.copy x in
+    x0.(input) <- 0.0;
+    let rng = Rt_util.Rng.create seed in
+    let base = Pattern.weighted rng x0 in
+    let record, recorded = recording_source base in
+    let pf0 = Rt_sim.Detect_mc.detection_probs_source ~jobs c sel ~source:record ~n_patterns in
+    let pf1 =
+      Rt_sim.Detect_mc.detection_probs_source ~jobs c sel
+        ~source:(replaying_source ~input base recorded)
+        ~n_patterns
+    in
+    (pf0, pf1)
+  in
+  Oracle.make ~kind:"mc"
+    ~label:(Printf.sprintf "monte-carlo(%d patterns)" n_patterns)
+    ~c ~faults ~exact:(no_flags faults) ~redundant:(no_flags faults)
+    ~run:(fun x -> Rt_sim.Detect_mc.detection_probs ~jobs c faults ~weights:x ~n_patterns ~seed)
+    ~run_subset:
+      (fun plan x ->
         (* Without dropping, each fault's detection counts depend only on
            the shared pattern stream, so simulating the selected faults
            alone reproduces the full run's estimates exactly. *)
-        let plan = get_plan cache c faults subset in
-        Rt_sim.Detect_mc.detection_probs ~jobs c plan.sel ~weights:x ~n_patterns ~seed);
-    label = Printf.sprintf "monte-carlo(%d patterns)" n_patterns;
-    exact = Array.make (Array.length faults) false;
-    redundant = Array.make (Array.length faults) false }
-
-let engine_kind = function
-  | Cop -> "cop"
-  | Conditioned _ -> "conditioned"
-  | Bdd_exact _ -> "bdd"
-  | Stafan _ -> "stafan"
-  | Monte_carlo _ -> "mc"
-
-(* Every dispatch through the oracle is a span named "analysis" (the
-   paper's phase) categorised by engine, plus per-engine query counters —
-   full-vector and subset queries separately so the PREPARE savings are
-   visible in a metrics snapshot. *)
-let observe kind o =
-  let c_full = Rt_obs.counter ("oracle.queries." ^ kind) in
-  let c_sub = Rt_obs.counter ("oracle.subset_queries." ^ kind) in
-  { o with
-    run =
-      (fun x ->
-        Rt_obs.incr c_full;
-        Rt_obs.with_span ~cat:kind "analysis" (fun () -> o.run x));
-    run_subset =
-      (fun subset x ->
-        Rt_obs.incr c_sub;
-        Rt_obs.with_span ~cat:kind "analysis" (fun () -> o.run_subset subset x)) }
+        Rt_sim.Detect_mc.detection_probs ~jobs c (Oracle.selected plan) ~weights:x ~n_patterns
+          ~seed)
+    ~cofactor_pair:cofactor ()
 
 let make ?jobs engine c faults =
   let jobs = Parallel.resolve_jobs jobs in
-  observe (engine_kind engine)
-    (match engine with
-     | Cop -> make_cop ~jobs c faults
-     | Conditioned { max_vars } -> make_conditioned ~jobs ~max_vars c faults
-     | Bdd_exact { node_limit } -> make_bdd ~node_limit c faults
-     | Stafan { n_patterns; seed } -> make_stafan ~n_patterns ~seed c faults
-     | Monte_carlo { n_patterns; seed } -> make_mc ~jobs ~n_patterns ~seed c faults)
+  match engine with
+  | Cop -> make_cop ~jobs c faults
+  | Conditioned { max_vars } -> make_conditioned ~jobs ~max_vars c faults
+  | Bdd_exact { node_limit } -> make_bdd ~node_limit c faults
+  | Stafan { n_patterns; seed } -> make_stafan ~n_patterns ~seed c faults
+  | Monte_carlo { n_patterns; seed } -> make_mc ~jobs ~n_patterns ~seed c faults
 
-let probs o x =
-  if Array.length x <> Array.length (Netlist.inputs o.c) then
-    invalid_arg "Detect.probs: weight vector width mismatch";
-  o.run x
-
-let probs_subset o subset x =
-  if Array.length x <> Array.length (Netlist.inputs o.c) then
-    invalid_arg "Detect.probs_subset: weight vector width mismatch";
-  o.run_subset subset x
-
-let faults o = o.fault_list
-let circuit o = o.c
-let describe o = o.label
-let exact_mask o = Array.copy o.exact
-let proven_redundant o = Array.copy o.redundant
+let probs = Oracle.probs
+let probs_subset = Oracle.probs_subset
+let faults = Oracle.faults
+let circuit = Oracle.circuit
+let describe = Oracle.describe
+let exact_mask = Oracle.exact_mask
+let proven_redundant = Oracle.proven_redundant

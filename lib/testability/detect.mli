@@ -13,7 +13,16 @@
       difference BDDs built once and re-evaluated per [X] in linear time;
       falls back to [Cop] for faults whose BDD exceeds the node limit;
     - [Stafan]: counting-based estimate from fresh weighted simulation;
-    - [Monte_carlo]: direct fault-simulation estimate. *)
+    - [Monte_carlo]: direct fault-simulation estimate.
+
+    Every engine is constructed as a value of the engine-agnostic
+    {!Oracle.t} protocol ([oracle] below is an alias), so the protocol's
+    query surface — {!Oracle.plan}, {!Oracle.probs_plan},
+    {!Oracle.cofactor_pair} — is available on any oracle built here.  Each
+    constructor registers the engine's fused cofactor implementation when
+    it has one (incremental damage-cone re-evaluation for COP and serial
+    conditioned COP, a paired traversal for the exact BDDs, a recorded and
+    replayed pattern base for STAFAN / Monte-Carlo). *)
 
 type engine =
   | Cop
@@ -25,7 +34,7 @@ type engine =
   | Stafan of { n_patterns : int; seed : int }
   | Monte_carlo of { n_patterns : int; seed : int }
 
-type oracle
+type oracle = Oracle.t
 
 val make : ?jobs:int -> engine -> Rt_circuit.Netlist.t -> Rt_fault.Fault.t array -> oracle
 (** Performs all per-circuit precomputation (e.g. BDD construction) so that

@@ -8,6 +8,7 @@ module Obs = Rt_obs
 module Parallel = Rt_util.Parallel
 module Optimize = Rt_optprob.Optimize
 module Detect = Rt_testability.Detect
+module Oracle = Rt_testability.Oracle
 module Generators = Rt_circuit.Generators
 
 let check = Alcotest.check
@@ -312,6 +313,61 @@ let test_region_seq_below =
   check Alcotest.int "map_region merge order" (Array.concat seq |> Array.length)
     (Array.concat par |> Array.length)
 
+(* --- oracle protocol counters ---------------------------------------------- *)
+
+let test_plan_cache_counters =
+  with_obs @@ fun () ->
+  let c = Generators.wide_and 8 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let nf = Array.length faults in
+  let o = Detect.make Detect.Cop c faults in
+  let hit = Obs.counter "detect.plan.hit" in
+  let miss = Obs.counter "detect.plan.miss" in
+  let hit0 = Obs.value hit and miss0 = Obs.value miss in
+  let x = Array.make 8 0.5 in
+  let s1 = Array.init (min 6 nf) Fun.id in
+  let s2 = Array.init (min 6 nf) (fun i -> nf - 1 - i) in
+  (* Alternating keys: the keyed cache must hold both (the old
+     single-entry cache missed every call here). *)
+  ignore (Detect.probs_subset o s1 x);
+  ignore (Detect.probs_subset o s2 x);
+  ignore (Detect.probs_subset o s1 x);
+  ignore (Detect.probs_subset o s2 x);
+  check Alcotest.int "two plan misses" (miss0 + 2) (Obs.value miss);
+  check Alcotest.int "two plan hits" (hit0 + 2) (Obs.value hit)
+
+let test_cofactor_counters =
+  with_obs @@ fun () ->
+  let c = Generators.wide_and 8 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let incr_c = Obs.counter "oracle.cofactor.incremental" in
+  let full_c = Obs.counter "oracle.cofactor.full" in
+  let q_cop = Obs.counter "oracle.cofactor_queries.cop" in
+  let x = Array.make 8 0.5 in
+  let subset = Array.init (min 6 (Array.length faults)) Fun.id in
+  (* COP registers a fused cofactor: queries land on the incremental
+     counter. *)
+  let o = Detect.make Detect.Cop c faults in
+  let plan = Oracle.plan o subset in
+  let i0 = Obs.value incr_c and f0 = Obs.value full_c and q0 = Obs.value q_cop in
+  ignore (Oracle.cofactor_pair o plan ~input:0 ~x);
+  ignore (Oracle.cofactor_pair o plan ~input:1 ~x);
+  check Alcotest.int "fused queries counted incremental" (i0 + 2) (Obs.value incr_c);
+  check Alcotest.int "no full fallback for cop" f0 (Obs.value full_c);
+  check Alcotest.int "per-engine cofactor queries" (q0 + 2) (Obs.value q_cop);
+  (* A sharded conditioned engine (with a nonempty conditioning set) has
+     no fused path: the same query lands on the full-fallback counter. *)
+  let cr = Generators.random_circuit ~inputs:7 ~gates:30 ~seed:1 in
+  if Array.length (Rt_testability.Signal_prob.conditioning_set ~max_vars:2 cr) = 0 then
+    Alcotest.fail "fixture circuit must have conditioning variables";
+  let fr = Rt_fault.Collapse.collapsed_universe cr in
+  let oc = Detect.make ~jobs:4 (Detect.Conditioned { max_vars = 2 }) cr fr in
+  let planc = Oracle.plan oc (Array.init (min 6 (Array.length fr)) Fun.id) in
+  let i1 = Obs.value incr_c and f1 = Obs.value full_c in
+  ignore (Oracle.cofactor_pair oc planc ~input:0 ~x:(Array.make 7 0.5));
+  check Alcotest.int "fallback counted full" (f1 + 1) (Obs.value full_c);
+  check Alcotest.int "fallback not counted incremental" i1 (Obs.value incr_c)
+
 (* --- convergence recorder vs the optimizer's report ------------------------ *)
 
 let test_convergence_matches_report () =
@@ -421,6 +477,9 @@ let () =
           Alcotest.test_case "metrics output parses" `Quick test_metrics_json_valid ] );
       ( "parallel",
         [ Alcotest.test_case "region seq_below fallback" `Quick test_region_seq_below ] );
+      ( "oracle",
+        [ Alcotest.test_case "keyed plan cache counters" `Quick test_plan_cache_counters;
+          Alcotest.test_case "cofactor path counters" `Quick test_cofactor_counters ] );
       ( "convergence",
         [ Alcotest.test_case "recorder matches report" `Quick test_convergence_matches_report ] );
       ( "invariance",

@@ -166,6 +166,33 @@ let test_optimize_rejects_bad_start () =
   Alcotest.check_raises "width mismatch" (Invalid_argument "Optimize.run: start vector width")
     (fun () -> ignore (Optimize.run ~options oracle))
 
+let test_optimize_uses_incremental_cofactors () =
+  (* PREPARE goes through the oracle protocol's fused cofactor path: the
+     incremental counter must account for every cofactor query of the
+     run (2 sweeps x 8 inputs here) with zero generic fallbacks, and the
+     commit path must keep the COP base point warm across the sweep. *)
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Rt_obs.set_enabled false;
+      Rt_obs.clear ())
+    (fun () ->
+      let c = Generators.wide_and 8 in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let oracle = Detect.make Detect.Cop c faults in
+      let incr_c = Rt_obs.counter "oracle.cofactor.incremental" in
+      let full_c = Rt_obs.counter "oracle.cofactor.full" in
+      let commits = Rt_obs.counter "cop.incremental.commits" in
+      let options = { Optimize.default_options with Optimize.max_sweeps = 2 } in
+      let r = Optimize.run ~options oracle in
+      check Alcotest.bool "optimizer still improves" true (Optimize.improvement r > 1.0);
+      check Alcotest.int "every PREPARE query served incrementally"
+        (r.Optimize.sweeps_run * 8) (Rt_obs.value incr_c);
+      check Alcotest.int "no generic fallback for cop" 0 (Rt_obs.value full_c);
+      check Alcotest.bool "one-coordinate moves committed in place" true
+        (Rt_obs.value commits > 0))
+
 let test_partition_antagonist () =
   let c = Generators.antagonist ~k:10 () in
   let faults = Rt_fault.Collapse.collapsed_universe c in
@@ -238,7 +265,9 @@ let () =
         [ Alcotest.test_case "wide AND" `Quick test_optimize_improves_wide_and;
           Alcotest.test_case "s1 order of magnitude" `Slow test_optimize_s1_order_of_magnitude;
           Alcotest.test_case "respects start" `Quick test_optimize_respects_start;
-          Alcotest.test_case "rejects bad start" `Quick test_optimize_rejects_bad_start ] );
+          Alcotest.test_case "rejects bad start" `Quick test_optimize_rejects_bad_start;
+          Alcotest.test_case "incremental cofactors drive PREPARE" `Quick
+            test_optimize_uses_incremental_cofactors ] );
       ( "partition",
         [ Alcotest.test_case "antagonist" `Quick test_partition_antagonist;
           Alcotest.test_case "antagonism measure" `Quick test_antagonism_measure;

@@ -7,6 +7,7 @@ module Cutting = Rt_testability.Cutting
 module Observability = Rt_testability.Observability
 module Stafan = Rt_testability.Stafan
 module Detect = Rt_testability.Detect
+module Oracle = Rt_testability.Oracle
 module Test_length = Rt_testability.Test_length
 module Netlist = Rt_circuit.Netlist
 module Generators = Rt_circuit.Generators
@@ -271,6 +272,117 @@ let jobs_oracle_agreement_qcheck =
         && agree ~tol:1e-9 (Detect.Conditioned { max_vars = 3 })
       end)
 
+let cofactor_matches_two_subsets_qcheck =
+  (* The protocol's central contract: [Oracle.cofactor_pair] — fused
+     incremental path or generic fallback, at any [jobs] — returns exactly
+     what two independent [probs_subset] evaluations at x_i = 0 / 1
+     return, bit for bit, and never mutates the caller's [x]. *)
+  QCheck.Test.make ~name:"cofactor_pair bit-identical to two probs_subset on every engine"
+    ~count:8
+    QCheck.(pair (int_range 0 10_000) (int_range 0 1_000))
+    (fun (seed, wseed) ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let nf = Array.length faults in
+      if nf = 0 then QCheck.assume_fail ()
+      else begin
+        let rng = Rt_util.Rng.create wseed in
+        let x = Array.init 7 (fun _ -> 0.05 +. (0.9 *. Rt_util.Rng.float rng)) in
+        let subset =
+          let l = List.filter (fun _ -> Rt_util.Rng.float rng < 0.4) (List.init nf Fun.id) in
+          Array.of_list (match l with [] -> [ Rt_util.Rng.int rng nf ] | l -> l)
+        in
+        let engines =
+          [ Detect.Cop;
+            Detect.Conditioned { max_vars = 3 };
+            Detect.Bdd_exact { node_limit = 200_000 };
+            Detect.Stafan { n_patterns = 256; seed = 3 };
+            Detect.Monte_carlo { n_patterns = 256; seed = 5 } ]
+        in
+        let check_engine ~jobs e =
+          let o = Detect.make ~jobs e c faults in
+          let plan = Oracle.plan o subset in
+          let reference i v =
+            let x' = Array.copy x in
+            x'.(i) <- v;
+            Detect.probs_subset o subset x'
+          in
+          let agree_at i =
+            let x_before = Array.copy x in
+            let pf0, pf1 = Oracle.cofactor_pair o plan ~input:i ~x in
+            x = x_before && pf0 = reference i 0.0 && pf1 = reference i 1.0
+          in
+          (* Every input at a fixed base point (warm incremental caches on
+             repeat queries), then move the base by one coordinate and
+             query again — the optimizer's commit path. *)
+          let ok = ref true in
+          for i = 0 to 6 do
+            if not (agree_at i) then ok := false
+          done;
+          x.(2) <- 0.05 +. (0.9 *. Rt_util.Rng.float rng);
+          if not (agree_at 5) then ok := false;
+          !ok
+        in
+        List.for_all (fun e -> check_engine ~jobs:1 e && check_engine ~jobs:4 e) engines
+      end)
+
+let cofactor_affinity_qcheck =
+  (* Eq. 15's premise: an exact p_f(X) is multilinear, so along one
+     coordinate it is the affine blend of its two cofactors.  Holds for
+     the exact engine's exact faults (estimators are polynomial, not
+     affine, in x_i under reconvergent fanout). *)
+  QCheck.Test.make ~name:"exact p_f is affine between its cofactors" ~count:8
+    QCheck.(pair (int_range 0 10_000) (int_range 0 6))
+    (fun (seed, input) ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:30 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let nf = Array.length faults in
+      if nf = 0 then QCheck.assume_fail ()
+      else begin
+        let o = Detect.make (Detect.Bdd_exact { node_limit = 500_000 }) c faults in
+        let exact = Detect.exact_mask o in
+        let subset = Array.init nf Fun.id in
+        let x = Array.init 7 (fun i -> 0.2 +. (0.05 *. Float.of_int i)) in
+        let plan = Oracle.plan o subset in
+        let pf0, pf1 = Oracle.cofactor_pair o plan ~input ~x in
+        List.for_all
+          (fun y ->
+            let x' = Array.copy x in
+            x'.(input) <- y;
+            let pf = Detect.probs_subset o subset x' in
+            let ok = ref true in
+            Array.iteri
+              (fun f p ->
+                if exact.(f) then begin
+                  let blend = ((1.0 -. y) *. pf0.(f)) +. (y *. pf1.(f)) in
+                  if Float.abs (p -. blend) > 1e-9 then ok := false
+                end)
+              pf;
+            !ok)
+          [ 0.0; 0.25; 0.5; 1.0 ]
+      end)
+
+let test_plan_cache_keyed () =
+  (* Alternating between subsets must reuse both cached plans (the old
+     single-slot cache thrashed here) and keep results bit-stable. *)
+  let c = Generators.c880ish () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let nf = Array.length faults in
+  let o = Detect.make Detect.Cop c faults in
+  let s1 = Array.init (min 10 nf) Fun.id in
+  let s2 = Array.init (min 10 nf) (fun i -> nf - 1 - i) in
+  let p1 = Oracle.plan o s1 in
+  let p2 = Oracle.plan o s2 in
+  check Alcotest.bool "s1 plan cached across alternation" true (Oracle.plan o s1 == p1);
+  check Alcotest.bool "s2 plan cached across alternation" true (Oracle.plan o s2 == p2);
+  let x = Array.make (Array.length (Netlist.inputs c)) 0.4 in
+  let r1 = Detect.probs_subset o s1 x in
+  let r2 = Detect.probs_subset o s2 x in
+  check Alcotest.bool "alternating results stable" true
+    (Detect.probs_subset o s1 x = r1
+    && Detect.probs_subset o s2 x = r2
+    && Detect.probs_subset o s1 x = r1)
+
 let test_proven_redundant () =
   let b = Builder.create ~fold:false ~prune:false () in
   let x = Builder.input b "x" in
@@ -340,6 +452,9 @@ let () =
           q oracle_agreement_qcheck;
           q subset_matches_gather_qcheck;
           q jobs_oracle_agreement_qcheck;
+          q cofactor_matches_two_subsets_qcheck;
+          q cofactor_affinity_qcheck;
+          Alcotest.test_case "keyed plan cache" `Quick test_plan_cache_keyed;
           Alcotest.test_case "stafan close on trees" `Quick test_stafan_close_to_exact_on_tree;
           Alcotest.test_case "proven redundant" `Quick test_proven_redundant ] );
       ( "test-length",
