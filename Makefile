@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: all check test bench bench-json bench-smoke trace-demo clean
+.PHONY: all check test bench bench-json bench-smoke trace-demo obs-demo clean
 
 all:
 	dune build
@@ -18,9 +18,11 @@ bench-json:
 	dune exec bench/main.exe -- --json
 
 # Fast perf/correctness gate for the fused cofactor path: bit-identical to
-# two subset queries and no slower than 1.5x of them (it should be faster).
+# two subset queries, and obs-diff (1.5x quantile gate) must not flag the
+# fused side against the two-query baseline.  Artifacts land under
+# _obs/smoke/{baseline,fused} for upload or manual `optprob obs-diff`.
 bench-smoke:
-	dune exec bench/smoke.exe
+	dune exec bench/smoke.exe -- _obs/smoke
 
 # Sanity-check the observability surface end to end: run one optimize with
 # tracing on and make sure the trace is non-empty, valid JSON.
@@ -34,6 +36,22 @@ trace-demo:
 	  grep -q '"traceEvents"' /tmp/optprob-s1-trace.json; \
 	fi
 	@echo "trace-demo: /tmp/optprob-s1-trace.json ok"
+
+# End-to-end artifact demo: two identical optimize runs under --obs-dir,
+# then obs-diff between them.  Thresholds are deliberately loose (10x) —
+# the demo proves the plumbing (manifest, metrics, histograms, diff), not
+# machine speed, so CI timer noise cannot flake it.
+obs-demo:
+	dune exec bin/main.exe -- optimize s1 --engine cond:8 --sweeps 2 \
+	  --obs-dir _obs/demo/a
+	dune exec bin/main.exe -- optimize s1 --engine cond:8 --sweeps 2 \
+	  --obs-dir _obs/demo/b
+	@test -s _obs/demo/a/manifest.json
+	@test -s _obs/demo/a/metrics.prom
+	@grep -q '"optprob-metrics/2"' _obs/demo/a/metrics.json
+	dune exec bin/main.exe -- obs-diff _obs/demo/a _obs/demo/b \
+	  --max-span-ratio 10 --max-quantile-ratio 10 --max-counter-ratio 10
+	@echo "obs-demo: _obs/demo/{a,b} ok"
 
 clean:
 	dune clean

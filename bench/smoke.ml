@@ -1,11 +1,20 @@
 (* CI smoke benchmark for the oracle protocol's fused cofactor path.
 
-   Asserts two things on the s1 comparator with the COP engine:
+   Asserts, on the s1 comparator with the COP engine:
    1. [Oracle.cofactor_pair] is bit-identical to the two independent
       subset queries it replaces;
    2. the fused (incremental damage-cone) path is not slower than 1.5x
-      the two-query baseline (best-of-3 medians; in practice it wins
-      outright, the 1.5x band only absorbs CI timer noise).
+      the two-query baseline.  The gate is the [obs-diff] engine itself:
+      both sides' per-sweep latencies are written as --obs-dir style run
+      artifacts and diffed with the default 1.5x quantile threshold, so
+      the bench exercises the same regression analyzer CI relies on;
+   3. enabling telemetry does not slow the fused sweep beyond a lenient
+      1.5x band (the disabled path is a single atomic load).
+
+   The timed sections run with recording OFF so the numbers measure the
+   oracle, not the telemetry.  Artifacts land under an optional argv root
+   (default _obs/smoke) as <root>/baseline and <root>/fused, ready for CI
+   upload or a manual `optprob obs-diff`.
 
    Exits nonzero on any violation.  Run with: make bench-smoke *)
 
@@ -13,19 +22,29 @@ module Detect = Rt_testability.Detect
 module Oracle = Rt_testability.Oracle
 module Normalize = Rt_optprob.Normalize
 
-let time_best_of ~rounds ~iters f =
+let rounds = 3
+let iters = 20
+
+(* Time [f] repeatedly; returns the best-of-rounds total and the per-call
+   durations (microseconds) of every call across all rounds. *)
+let time_collect f =
   let best = ref Float.infinity in
+  let samples = ref [] in
   for _ = 1 to rounds do
     let t0 = Rt_util.Stats.timer_start () in
     for _ = 1 to iters do
-      f ()
+      let t = Rt_util.Stats.timer_start () in
+      f ();
+      samples := Rt_util.Stats.timer_elapsed t *. 1e6 :: !samples
     done;
     let dt = Rt_util.Stats.timer_elapsed t0 in
     if dt < !best then best := dt
   done;
-  !best
+  (!best, Array.of_list (List.rev !samples))
 
 let () =
+  let out_root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "_obs/smoke" in
+  let t_run = Rt_util.Stats.timer_start () in
   let c = Rt_circuit.Generators.s1_comparator () in
   let faults = Rt_fault.Collapse.collapsed_universe c in
   let n_inputs = Array.length (Rt_circuit.Netlist.inputs c) in
@@ -56,7 +75,8 @@ let () =
       n_inputs;
     exit 1
   end;
-  (* Timing: sweep all inputs per iteration, like one PREPARE pass. *)
+  (* Timing: sweep all inputs per iteration, like one PREPARE pass.
+     Recording stays OFF here — these numbers are the oracle alone. *)
   let sweep f () =
     for i = 0 to n_inputs - 1 do
       ignore (Sys.opaque_identity (f i))
@@ -64,15 +84,52 @@ let () =
   in
   ignore (Sys.opaque_identity (sweep fused ()));
   ignore (Sys.opaque_identity (sweep baseline ()));
-  let t_fused = time_best_of ~rounds:3 ~iters:20 (sweep fused) in
-  let t_base = time_best_of ~rounds:3 ~iters:20 (sweep baseline) in
+  let t_fused, s_fused = time_collect (sweep fused) in
+  let t_base, s_base = time_collect (sweep baseline) in
+  (* Telemetry-on overhead of the same fused sweep.  The band is lenient
+     (1.5x) because the absolute times are tiny and CI timers are noisy;
+     the point is to catch the disabled/enabled paths swapping cost. *)
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  let t_fused_obs, _ = time_collect (sweep fused) in
+  Rt_obs.clear ();
+  let obs_ratio = t_fused_obs /. t_fused in
+  (* Write both sides as run artifacts and let obs-diff judge the perf
+     gate: baseline dir = 2x subset queries, candidate dir = fused. *)
+  let manifest side =
+    { Rt_obs.Artifact.argv = [| "bench-smoke"; side |];
+      engine = Some "cop";
+      seed = None;
+      jobs = None;
+      wall_s = Rt_util.Stats.timer_elapsed t_run }
+  in
+  let write side samples =
+    let h = Rt_obs.histogram "smoke.sweep_us" in
+    Array.iter (Rt_obs.observe h) samples;
+    let dir = Filename.concat out_root side in
+    Rt_obs.Artifact.write ~dir ~manifest:(manifest side) ();
+    Rt_obs.clear ();
+    dir
+  in
+  let dir_base = write "baseline" s_base in
+  let dir_fused = write "fused" s_fused in
+  Rt_obs.set_enabled false;
+  let diff = Rt_obs.Diff.compare_dirs dir_base dir_fused in
+  let regressions = Rt_obs.Diff.regressions diff in
   let ratio = t_fused /. t_base in
   Printf.printf "bench-smoke (s1, cop, %d hard faults, %d inputs):\n" (Array.length hard) n_inputs;
-  Printf.printf "  fused cofactor_pair sweep:  %8.3f ms\n" (t_fused *. 1000.0 /. 20.0);
-  Printf.printf "  2x probs_subset sweep:      %8.3f ms\n" (t_base *. 1000.0 /. 20.0);
+  Printf.printf "  fused cofactor_pair sweep:  %8.3f ms\n" (t_fused *. 1000.0 /. Float.of_int iters);
+  Printf.printf "  2x probs_subset sweep:      %8.3f ms\n" (t_base *. 1000.0 /. Float.of_int iters);
   Printf.printf "  ratio (fused / baseline):   %8.3f\n" ratio;
-  if ratio > 1.5 then begin
-    Printf.eprintf "bench-smoke FAIL: fused path slower than 1.5x baseline (ratio %.3f)\n" ratio;
+  Printf.printf "  telemetry-on overhead:      %8.3f x\n" obs_ratio;
+  Printf.printf "  artifacts:                  %s {baseline,fused}\n" out_root;
+  Rt_obs.Diff.pp_report Format.std_formatter diff;
+  if regressions <> [] then begin
+    Printf.eprintf "bench-smoke FAIL: obs-diff flags the fused path as a regression\n";
+    exit 1
+  end;
+  if obs_ratio > 1.5 then begin
+    Printf.eprintf "bench-smoke FAIL: telemetry overhead %.3fx > 1.5x\n" obs_ratio;
     exit 1
   end;
   Printf.printf "bench-smoke OK\n"

@@ -1,8 +1,9 @@
 (* optprob — command-line front end.
 
    Subcommands: list, generate, analyze, optimize, simulate, atpg,
-   selftest, tables.  A CIRCUIT argument is either a built-in generator
-   name (see `optprob list`) or a path to an ISCAS-85 .bench file. *)
+   selftest, tables, obs-diff.  A CIRCUIT argument is either a built-in
+   generator name (see `optprob list`) or a path to an ISCAS-85 .bench
+   file. *)
 
 open Cmdliner
 
@@ -56,12 +57,30 @@ let jobs_arg =
                Results are independent of J.")
 
 (* --- observability flags ---------------------------------------------------
-   Shared by the compute-heavy subcommands: --trace (Chrome trace_event
-   JSON, Perfetto-loadable), --metrics (counter/gauge snapshot JSON) and
-   -v (phase/counter summary on stderr).  Any of them enables Rt_obs
-   recording; the disabled default costs one branch per probe. *)
+   Shared by the compute-heavy subcommands.  The unified form is
+   --obs-dir DIR: one self-describing artifact directory per run
+   (manifest.json, events.jsonl, metrics.json, metrics.prom, trace.json
+   and, for optimize, convergence.json), diffable with `optprob obs-diff`.
+   The legacy --trace/--metrics (and optimize's --convergence) flags keep
+   working as standalone aliases for the corresponding artifact.  Any of
+   them enables Rt_obs recording; the disabled default costs one branch
+   per probe.  While an --obs-dir run is in flight, SIGUSR1 dumps a live
+   metrics snapshot into the directory. *)
 
-type obs = { trace : string option; metrics : string option; verbose : bool }
+type obs = {
+  obs_dir : string option;
+  trace : string option;
+  metrics : string option;
+  verbose : bool;
+  mutable t_start : float;
+}
+
+let obs_dir_arg =
+  Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR"
+         ~doc:"Write the full run artifact (manifest.json, events.jsonl, metrics.json, \
+               metrics.prom, trace.json, convergence.json) to $(docv); compare two run \
+               directories with $(b,optprob obs-diff).  SIGUSR1 dumps a live metrics \
+               snapshot mid-run.")
 
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -70,19 +89,30 @@ let trace_arg =
 
 let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-         ~doc:"Write the counter/gauge snapshot as JSON to $(docv).")
+         ~doc:"Write the counter/gauge/histogram snapshot as JSON to $(docv).")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ]
-         ~doc:"Print the aggregated phase timings and counters to stderr.")
+         ~doc:"Print the aggregated phase timings, counters and latency histograms to stderr.")
 
-let obs_arg = Term.(const (fun trace metrics verbose -> { trace; metrics; verbose })
-                    $ trace_arg $ metrics_arg $ verbose_arg)
+let obs_arg =
+  Term.(const (fun obs_dir trace metrics verbose ->
+            { obs_dir; trace; metrics; verbose; t_start = 0.0 })
+        $ obs_dir_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let obs_begin obs =
-  if obs.trace <> None || obs.metrics <> None || obs.verbose then Rt_obs.set_enabled true
+  obs.t_start <- Unix.gettimeofday ();
+  if obs.obs_dir <> None || obs.trace <> None || obs.metrics <> None || obs.verbose then
+    Rt_obs.set_enabled true;
+  match obs.obs_dir with
+  | Some dir ->
+    (try
+       Sys.set_signal Sys.sigusr1
+         (Sys.Signal_handle (fun _ -> Rt_obs.Artifact.write_live ~dir))
+     with Invalid_argument _ | Sys_error _ -> ())
+  | None -> ()
 
-let obs_end obs =
+let obs_end ?engine ?seed ?jobs ?convergence obs =
   (match obs.trace with
    | Some path ->
      Rt_obs.write_trace path;
@@ -93,7 +123,22 @@ let obs_end obs =
      Rt_obs.write_metrics path;
      Format.eprintf "wrote metrics %s@." path
    | None -> ());
-  if obs.verbose then Rt_obs.pp_summary Format.err_formatter
+  (match obs.obs_dir with
+   | Some dir ->
+     let manifest =
+       { Rt_obs.Artifact.argv = Sys.argv;
+         engine;
+         seed;
+         jobs;
+         wall_s = Unix.gettimeofday () -. obs.t_start }
+     in
+     Rt_obs.Artifact.write ~dir ~manifest ?convergence ();
+     Format.eprintf "wrote run artifact %s@." dir
+   | None -> ());
+  if obs.verbose then begin
+    Rt_obs.sample_gc ();
+    Rt_obs.pp_summary Format.err_formatter
+  end
 
 let exits = Cmd.Exit.defaults
 
@@ -177,7 +222,7 @@ let analyze_cmd =
         (Rt_fault.Fault.to_string c faults.(fi))
         Rt_util.Prob.pp pf.(fi)
     done;
-    obs_end obs
+    obs_end ~engine ?jobs obs
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Testability analysis: detection probabilities and test length."
@@ -232,7 +277,12 @@ let optimize_cmd =
         max_sweeps = sweeps;
         quantize }
     in
-    let recorder = Option.map (fun _ -> Rt_obs.Convergence.create ()) conv in
+    (* A recorder exists whenever anything will consume it: the legacy
+       --convergence file and/or the --obs-dir convergence.json artifact. *)
+    let recorder =
+      if conv <> None || obs.obs_dir <> None then Some (Rt_obs.Convergence.create ())
+      else None
+    in
     let report =
       Rt_optprob.Optimize.run ~options
         ~progress:(fun ~sweep ~n -> Format.printf "sweep %d: N = %.3e@." sweep n)
@@ -263,7 +313,7 @@ let optimize_cmd =
       Format.printf "  total %.3e vs single %.3e@." sp.Rt_optprob.Partition.n_total
         sp.Rt_optprob.Partition.n_single
     end;
-    obs_end obs
+    obs_end ~engine ?jobs ?convergence:recorder obs
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Compute optimized input probabilities (the paper's procedure)."
@@ -311,7 +361,7 @@ let simulate_cmd =
     end
     else if Array.length undet > 20 then
       Format.printf "undetected: %d faults@." (Array.length undet);
-    obs_end obs
+    obs_end ~seed ?jobs obs
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Fault-simulate random patterns and report coverage." ~exits)
     Term.(
@@ -380,6 +430,63 @@ let selftest_cmd =
         (const (fun c w n () -> wrap (run c w n))
         $ circuit_arg $ weights_arg $ patterns $ const ()))
 
+(* --- obs-diff ---------------------------------------------------------------- *)
+
+let obs_diff_cmd =
+  let dir_a =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"A"
+           ~doc:"Baseline run artifact directory (from --obs-dir).")
+  in
+  let dir_b =
+    Arg.(required & pos 1 (some dir) None & info [] ~docv:"B"
+           ~doc:"Candidate run artifact directory (from --obs-dir).")
+  in
+  let d = Rt_obs.Diff.default in
+  let span_ratio =
+    Arg.(value & opt float d.Rt_obs.Diff.span_ratio & info [ "max-span-ratio" ] ~docv:"R"
+           ~doc:"Flag a span whose total wall-clock grew by more than $(docv)x.")
+  in
+  let quantile_ratio =
+    Arg.(value & opt float d.Rt_obs.Diff.quantile_ratio
+         & info [ "max-quantile-ratio" ] ~docv:"R"
+           ~doc:"Flag a histogram whose p50 or p99 shifted by more than $(docv)x \
+                 (also gates the convergence final N).")
+  in
+  let counter_ratio =
+    Arg.(value & opt float d.Rt_obs.Diff.counter_ratio & info [ "max-counter-ratio" ] ~docv:"R"
+           ~doc:"Flag a counter that changed by more than $(docv)x.")
+  in
+  let min_span_us =
+    Arg.(value & opt float d.Rt_obs.Diff.min_span_us & info [ "min-span-us" ] ~docv:"US"
+           ~doc:"Noise floor: ignore span totals below $(docv) microseconds in both runs.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit status; print nothing.")
+  in
+  let run a b span_ratio quantile_ratio counter_ratio min_span_us quiet () =
+    let thresholds =
+      { Rt_obs.Diff.default with
+        Rt_obs.Diff.span_ratio;
+        quantile_ratio;
+        counter_ratio;
+        min_span_us }
+    in
+    let findings = Rt_obs.Diff.compare_dirs ~thresholds a b in
+    if not quiet then Rt_obs.Diff.pp_report Format.std_formatter findings;
+    if Rt_obs.Diff.regressions findings <> [] then exit 3
+  in
+  let exits = Cmd.Exit.info 3 ~doc:"on regressions past the configured thresholds." :: exits in
+  Cmd.v
+    (Cmd.info "obs-diff"
+       ~doc:"Compare two --obs-dir run artifacts: counter deltas, span-tree wall-clock, \
+             histogram quantile shifts, convergence divergence."
+       ~exits)
+    Term.(
+      ret
+        (const (fun a b sr qr cr ms q () -> wrap (run a b sr qr cr ms q))
+        $ dir_a $ dir_b $ span_ratio $ quantile_ratio $ counter_ratio $ min_span_us $ quiet
+        $ const ()))
+
 (* --- tables ------------------------------------------------------------------ *)
 
 let tables_cmd =
@@ -412,6 +519,6 @@ let () =
   let group =
     Cmd.group info
       [ list_cmd; generate_cmd; analyze_cmd; optimize_cmd; simulate_cmd; atpg_cmd; selftest_cmd;
-        tables_cmd ]
+        tables_cmd; obs_diff_cmd ]
   in
   exit (Cmd.eval group)

@@ -1,5 +1,6 @@
-(** Observability for the optimize pipeline: spans, counters/gauges, and a
-    convergence recorder.
+(** Observability for the optimize pipeline: spans, marks, counters/gauges,
+    log-bucketed histograms, a convergence recorder, unified run artifacts
+    and an artifact-diff analyzer.
 
     Everything here is a global, process-wide sink.  Recording is gated on a
     single enabled flag: when disabled (the default) every entry point costs
@@ -9,9 +10,11 @@
 
     Spans export as Chrome [trace_event] JSON (loadable in [chrome://tracing]
     or {{:https://ui.perfetto.dev}Perfetto}) and as a human-readable
-    aggregated tree.  Counters and gauges snapshot to JSON.  The convergence
-    recorder is an explicit per-run object (see {!Convergence}) that works
-    independently of the global flag. *)
+    aggregated tree.  Counters, gauges and histograms snapshot to JSON and
+    to an OpenMetrics text exposition.  {!Artifact} bundles everything a run
+    recorded into one self-describing directory; {!Diff} compares two such
+    directories.  The convergence recorder is an explicit per-run object
+    (see {!Convergence}) that works independently of the global flag. *)
 
 val set_enabled : bool -> unit
 (** Turn recording on or off globally.  Off by default. *)
@@ -19,9 +22,9 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val clear : unit -> unit
-(** Drop all recorded spans and reset every registered counter and gauge to
-    zero (registrations themselves survive — instrumented modules keep their
-    handles). *)
+(** Drop all recorded spans and marks, and reset every registered counter,
+    gauge and histogram to zero (registrations themselves survive —
+    instrumented modules keep their handles). *)
 
 (** {1 Spans}
 
@@ -52,17 +55,38 @@ val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
 val events : unit -> event list
 (** Snapshot of all recorded spans, oldest first. *)
 
+(** {1 Marks}
+
+    Instant structured-log events: a name, a timestamp and free-form string
+    fields.  They appear as instant events in the trace and as lines in the
+    [events.jsonl] artifact. *)
+
+type mark = {
+  m_name : string;
+  m_ts_us : float;
+  m_tid : int;
+  m_fields : (string * string) list;
+}
+
+val mark : ?fields:(string * string) list -> string -> unit
+val marks : unit -> mark list
+
 val trace_json : unit -> string
 (** Chrome [trace_event] JSON: an object with a ["traceEvents"] array of
-    complete ("ph":"X") events, timestamps in microseconds. *)
+    complete ("ph":"X") span events plus instant ("ph":"i") marks,
+    timestamps in microseconds. *)
 
 val write_trace : string -> unit
 (** Write {!trace_json} to a file. *)
 
+val events_jsonl : unit -> string
+(** Structured log: one self-describing JSON object per line (spans and
+    marks interleaved in start-timestamp order). *)
+
 val pp_summary : Format.formatter -> unit
 (** Human-readable aggregated span tree (count and total wall-clock per
-    name, nested by containment) followed by the nonzero counters and all
-    gauges. *)
+    name, nested by containment) followed by the nonzero counters, all
+    gauges, and per-histogram count/p50/p90/p99/max. *)
 
 (** {1 Counters and gauges}
 
@@ -89,18 +113,117 @@ val counters_snapshot : unit -> (string * int) list
 
 val gauges_snapshot : unit -> (string * float) list
 
+val sample_gc : unit -> unit
+(** Refresh the [gc.*] gauges (minor/major/promoted words, heap words,
+    collection and compaction counts) from [Gc.quick_stat].  Intended for
+    phase boundaries; free when recording is disabled. *)
+
+(** {1 Histograms}
+
+    Domain-safe log-bucketed value distributions: observation is lock-free
+    (atomic bucket increment plus CAS loops for sum/min/max), and every
+    histogram shares one fixed bucket layout ({!buckets_per_decade} buckets
+    per decade between [10^-9] and [10^9], plus underflow and overflow
+    buckets), which makes {!hsnap_merge} lossless, associative and
+    commutative.  Reported quantiles are upper bounds of the true sample
+    quantiles: a value is always counted in a bucket whose upper bound is
+    at least the value, and bucket bounds are one {!bucket_ratio} apart. *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Registered by name, like {!counter}. *)
+
+val observe : histogram -> float -> unit
+(** Record one sample.  Dropped while disabled; lock-free while enabled. *)
+
+val span_end_h : ?cat:string -> string -> histogram -> float -> unit
+(** {!span_end} that also observes the span's duration (µs) into a
+    histogram — one clock read serves both. *)
+
+val with_span_h : ?cat:string -> string -> histogram -> (unit -> 'a) -> 'a
+(** {!with_span} that also observes the duration (µs) into a histogram. *)
+
+(** A point-in-time copy of a histogram (or a pure sample summary). *)
+type hsnap = {
+  count : int;
+  sum : float;
+  min : float;  (** [+inf] when empty *)
+  max : float;  (** [-inf] when empty *)
+  buckets : int array;  (** length {!n_buckets}; shared fixed layout *)
+}
+
+val buckets_per_decade : int
+val n_buckets : int
+
+val bucket_ratio : float
+(** Ratio between consecutive bucket upper bounds ([10^(1/buckets_per_decade)]). *)
+
+val bucket_upper : int -> float
+(** Upper bound of bucket [i]; [+inf] for the overflow bucket. *)
+
+val hsnap_empty : hsnap
+val histogram_snapshot : histogram -> hsnap
+
+val histograms_snapshot : unit -> (string * hsnap) list
+(** All registered histograms with at least one observation, sorted by name. *)
+
+val hsnap_of_samples : float array -> hsnap
+(** Pure summary of a sample array (independent of the global sink and the
+    enabled flag) — used e.g. for the per-sweep [p_f] distribution. *)
+
+val hsnap_merge : hsnap -> hsnap -> hsnap
+(** Lossless element-wise merge; associative and commutative (the float
+    [sum] is subject to rounding, everything else is exact). *)
+
+val hsnap_quantile : hsnap -> float -> float
+(** [hsnap_quantile s q] for [q] in [(0, 1]]: an upper bound of the true
+    sample quantile, within one {!bucket_ratio} (and never above the exact
+    recorded [max]).  [q <= 0] returns the exact [min]; empty snapshots
+    return [nan]. *)
+
 val metrics_json : unit -> string
-(** [{"schema":"optprob-metrics/1","counters":{...},"gauges":{...}}]. *)
+(** [{"schema":"optprob-metrics/2","counters":{...},"gauges":{...},
+    "histograms":{...}}]; each histogram carries count/sum/min/max,
+    p50/p90/p99 and its nonzero buckets as [[upper_bound, count]] pairs. *)
 
 val write_metrics : string -> unit
+
+val metrics_prom : unit -> string
+(** OpenMetrics text exposition of counters ([_total]), gauges and
+    histograms (cumulative [_bucket{le="..."}] series), terminated by
+    [# EOF]. *)
+
+(** {1 JSON reader}
+
+    A minimal JSON parser (no external dependency) for reading artifacts
+    back — used by {!Diff} and available to tests. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> t
+  (** Raises [Failure] on malformed input. *)
+
+  val member : string -> t -> t option
+  val to_float : t -> float option
+  val to_string : t -> string option
+end
 
 (** {1 Convergence recorder}
 
     Captures the trajectory of one [Optimize.run]: per sweep the objective
-    value [J_N], the required test length [N], and the chosen per-input [y]
-    values.  Explicit opt-in (pass one to [Optimize.run ?recorder]); records
-    regardless of the global enabled flag.  Not domain-safe — one recorder
-    per run. *)
+    value [J_N], the required test length [N], the chosen per-input [y]
+    values, and a summary of the fault detection-probability distribution
+    (the shrinking hard-fault tail).  Explicit opt-in (pass one to
+    [Optimize.run ?recorder]); records regardless of the global enabled
+    flag.  Not domain-safe — one recorder per run. *)
 
 module Convergence : sig
   type row = {
@@ -109,21 +232,89 @@ module Convergence : sig
     j : float;  (** [J_N] at this point (detectable faults) *)
     n : float;  (** required test length *)
     y : float array;  (** the weight vector *)
+    pf : hsnap option;  (** distribution of [p_f(X)] over detectable faults *)
   }
 
   type t
 
   val create : unit -> t
-  val record : t -> stage:string -> sweep:int -> j:float -> n:float -> y:float array -> unit
+
+  val record :
+    t -> ?pf:hsnap -> stage:string -> sweep:int -> j:float -> n:float -> y:float array ->
+    unit -> unit
+
   val rows : t -> row list
   (** Oldest first. *)
 
   val to_csv : t -> string
-  (** Header [stage,sweep,j_n,n,y0,...]; floats printed with full
-      precision so the final [n] round-trips exactly. *)
+  (** Header [stage,sweep,j_n,n,y0,...,pf_count,pf_min,pf_p1,...,pf_max];
+      floats printed with full precision so the final [n] round-trips
+      exactly. *)
 
   val to_json : t -> string
 
   val write : t -> string -> unit
   (** Write {!to_json} if the path ends in [.json], else {!to_csv}. *)
+end
+
+(** {1 Run artifacts} *)
+
+module Artifact : sig
+  type manifest = {
+    argv : string array;
+    engine : string option;
+    seed : int option;
+    jobs : int option;
+    wall_s : float;
+  }
+
+  val git_rev : unit -> string
+  (** [$OPTPROB_GIT_REV] if set, else the commit hash from [.git/HEAD]
+      (following one level of symbolic ref), else ["unknown"]. *)
+
+  val write : dir:string -> manifest:manifest -> ?convergence:Convergence.t -> unit -> unit
+  (** Create [dir] (and parents) and write [manifest.json], [events.jsonl],
+      [metrics.json], [metrics.prom], [trace.json] and — when a recorder is
+      given — [convergence.json].  Samples the GC gauges first. *)
+
+  val write_live : dir:string -> unit
+  (** The mid-run snapshot (SIGUSR1 handler body): refresh the GC gauges and
+      rewrite [metrics.json] + [metrics.prom] only. *)
+end
+
+(** {1 Artifact diffing} *)
+
+module Diff : sig
+  type thresholds = {
+    span_ratio : float;  (** gate on per-name total span wall-clock (B/A) *)
+    quantile_ratio : float;  (** gate on histogram p50/p99 and convergence final N *)
+    counter_ratio : float;  (** gate on counter values (when >= 10 in one run) *)
+    min_span_us : float;  (** ignore span totals below this in both runs *)
+    min_hist_count : int;  (** ignore histograms with fewer observations *)
+  }
+
+  val default : thresholds
+  (** 1.5x on everything, 1 ms span noise floor. *)
+
+  type severity = Regression | Improvement | Info
+
+  type finding = {
+    severity : severity;
+    kind : string;  (** ["counter"], ["gauge"], ["span"], ["histogram"],
+                        ["convergence"] or ["manifest"] *)
+    name : string;
+    a : float;
+    b : float;
+    detail : string;
+  }
+
+  val compare_dirs : ?thresholds:thresholds -> string -> string -> finding list
+  (** [compare_dirs a b] reads two {!Artifact} directories (A = baseline,
+      B = candidate) and returns findings ranked most severe first.
+      Raises [Failure] when either directory lacks a readable
+      [metrics.json]. *)
+
+  val regressions : finding list -> finding list
+
+  val pp_report : Format.formatter -> finding list -> unit
 end

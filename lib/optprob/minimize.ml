@@ -4,8 +4,16 @@ type result = {
   iterations : int;
 }
 
+let h_iters = Rt_obs.histogram "minimize.newton_iterations"
+
 let newton ?(lo = 0.01) ?(hi = 0.99) ?(tol = 1e-6) ?(max_iter = 60) ~n ~p0 ~p1 y_start =
   if lo >= hi then invalid_arg "Minimize.newton: empty interval";
+  let observed r =
+    Rt_obs.observe h_iters (Float.of_int r.iterations);
+    r
+  in
+  observed
+  @@
   let deriv y = Objective.derivatives_along ~n ~p0 ~p1 y in
   (* Convexity: J' is non-decreasing.  Track a bracket [a, b] with
      J'(a) <= 0 <= J'(b) when one exists; fall back to the boundary when

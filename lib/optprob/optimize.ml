@@ -82,9 +82,17 @@ let run ?(options = default_options) ?progress ?recorder oracle =
     let pf = Detect.probs oracle x in
     (pf, Normalize.run ~confidence:o.confidence ~nf_min:o.nf_min pf)
   in
-  let record ~stage ~sweep ~j ~n ~y =
+  (* The pf summary only matters when someone records it — the histogram of
+     detection probabilities over the detectable faults, whose low tail is
+     the [nf] hardest faults PREPARE works on. *)
+  let pf_summary pf =
+    Rt_obs.hsnap_of_samples
+      (Array.of_seq (Seq.filter (fun p -> p > 0.0) (Array.to_seq pf)))
+  in
+  let record ~stage ~sweep ~j ~n ~y ~pf =
     match recorder with
-    | Some r -> Rt_obs.Convergence.record r ~stage ~sweep ~j ~n ~y
+    | Some r ->
+      Rt_obs.Convergence.record r ~pf:(pf_summary pf) ~stage ~sweep ~j ~n ~y ()
     | None -> ()
   in
   (* The reported starting point is the conventional test (exactly 0.5
@@ -92,7 +100,8 @@ let run ?(options = default_options) ?progress ?recorder oracle =
   let n_initial = (snd (analyse (Array.make n_inputs 0.5))).Normalize.n in
   let pf0v, norm0 = analyse x in
   record ~stage:"initial" ~sweep:0 ~j:(j_detectable ~n:norm0.Normalize.n pf0v)
-    ~n:norm0.Normalize.n ~y:x;
+    ~n:norm0.Normalize.n ~y:x ~pf:pf0v;
+  Rt_obs.sample_gc ();
   let best_x = ref (Array.copy x) in
   let best_n = ref n_initial in
   let history = ref [] in
@@ -137,7 +146,13 @@ let run ?(options = default_options) ?progress ?recorder oracle =
        J at the sweep's working length over the post-sweep probabilities. *)
     let j_new = j_detectable ~n:n_for_sweep pf' in
     j_history := j_new :: !j_history;
-    record ~stage:"sweep" ~sweep:!sweeps ~j:j_new ~n:n_new ~y:x;
+    record ~stage:"sweep" ~sweep:!sweeps ~j:j_new ~n:n_new ~y:x ~pf:pf';
+    Rt_obs.sample_gc ();
+    Rt_obs.mark "sweep.done"
+      ~fields:
+        [ ("sweep", string_of_int !sweeps);
+          ("n", Printf.sprintf "%.6g" n_new);
+          ("j", Printf.sprintf "%.6g" j_new) ];
     (match progress with Some f -> f ~sweep:!sweeps ~n:n_new | None -> ());
     if n_new < !best_n then begin
       best_n := n_new;
@@ -159,7 +174,8 @@ let run ?(options = default_options) ?progress ?recorder oracle =
   let pf_final, final_norm = analyse final_x in
   record ~stage:"final" ~sweep:!sweeps
     ~j:(j_detectable ~n:final_norm.Normalize.n pf_final)
-    ~n:final_norm.Normalize.n ~y:final_x;
+    ~n:final_norm.Normalize.n ~y:final_x ~pf:pf_final;
+  Rt_obs.sample_gc ();
   (* If quantisation degraded below the unquantised best, report the
      quantised figures anyway — that is what the hardware will do. *)
   { weights = final_x;

@@ -140,6 +140,7 @@ let popcount_64 w =
 let c_batches = Rt_obs.counter "ppsfp.batches"
 let c_patterns = Rt_obs.counter "ppsfp.patterns"
 let c_dropped = Rt_obs.counter "ppsfp.faults_dropped"
+let h_batch = Rt_obs.histogram "ppsfp.batch_us"
 
 (* Sub-millisecond batches are not worth domain spawns (Parallel.region
    also clamps to the core count); at ~2-10 us per fault propagation this
@@ -209,7 +210,7 @@ let simulate ?jobs ?(drop = true) c faults ~source ~n_patterns =
     Rt_obs.incr c_batches;
     Rt_obs.add c_patterns batch.Pattern.n_patterns;
     Rt_obs.add c_dropped (dropped_before - !n_live);
-    Rt_obs.span_end ~cat:"sim" "ppsfp.batch" t_batch;
+    Rt_obs.span_end_h ~cat:"sim" "ppsfp.batch" h_batch t_batch;
     base := !base + batch.Pattern.n_patterns
   done;
   { faults; first_detect; detect_count; patterns_run = !base }

@@ -44,6 +44,9 @@ type t = {
   cq_run : Rt_obs.counter;
   cq_subset : Rt_obs.counter;
   cq_cofactor : Rt_obs.counter;
+  h_run : Rt_obs.histogram;
+  h_subset : Rt_obs.histogram;
+  h_cofactor : Rt_obs.histogram;
 }
 
 let c_plan_hit = Rt_obs.counter "detect.plan.hit"
@@ -64,7 +67,10 @@ let make ~kind ~label ~c ~faults ~exact ~redundant ~run ~run_subset ?cofactor_pa
     plans = [];
     cq_run = Rt_obs.counter ("oracle.queries." ^ kind);
     cq_subset = Rt_obs.counter ("oracle.subset_queries." ^ kind);
-    cq_cofactor = Rt_obs.counter ("oracle.cofactor_queries." ^ kind) }
+    cq_cofactor = Rt_obs.counter ("oracle.cofactor_queries." ^ kind);
+    h_run = Rt_obs.histogram ("oracle.latency_us.full." ^ kind);
+    h_subset = Rt_obs.histogram ("oracle.latency_us.subset." ^ kind);
+    h_cofactor = Rt_obs.histogram ("oracle.latency_us.cofactor_pair." ^ kind) }
 
 (* --- Subset plans ---------------------------------------------------------
 
@@ -143,7 +149,9 @@ let plan o subset =
    Every dispatch through the oracle is a span named for the phase
    ("analysis" / "cofactor_pair"), categorised by engine, plus per-engine
    query counters — full-vector, subset and cofactor queries separately so
-   the PREPARE savings are visible in a metrics snapshot. *)
+   the PREPARE savings are visible in a metrics snapshot — and per-engine
+   latency histograms, so a tail regression in one engine's queries is
+   visible even when the totals (and hence the mean) barely move. *)
 
 let check_width o x name =
   if Array.length x <> Array.length (Netlist.inputs o.c) then
@@ -152,19 +160,19 @@ let check_width o x name =
 let probs o x =
   check_width o x "Oracle.probs";
   Rt_obs.incr o.cq_run;
-  Rt_obs.with_span ~cat:o.kind "analysis" (fun () -> o.run x)
+  Rt_obs.with_span_h ~cat:o.kind "analysis" o.h_run (fun () -> o.run x)
 
 let probs_plan o p x =
   check_width o x "Oracle.probs_plan";
   if p.owner != o.fault_list then invalid_arg "Oracle.probs_plan: plan from another oracle";
   Rt_obs.incr o.cq_subset;
-  Rt_obs.with_span ~cat:o.kind "analysis" (fun () -> o.run_subset p x)
+  Rt_obs.with_span_h ~cat:o.kind "analysis" o.h_subset (fun () -> o.run_subset p x)
 
 let probs_subset o subset x =
   check_width o x "Oracle.probs_subset";
   Rt_obs.incr o.cq_subset;
   let p = plan o subset in
-  Rt_obs.with_span ~cat:o.kind "analysis" (fun () -> o.run_subset p x)
+  Rt_obs.with_span_h ~cat:o.kind "analysis" o.h_subset (fun () -> o.run_subset p x)
 
 (* The engine-independent fallback: two independent subset evaluations on
    a private copy of [x] — exception-safe by construction (the caller's
@@ -184,7 +192,7 @@ let cofactor_pair o p ~input ~x =
   if p.owner != o.fault_list then
     invalid_arg "Oracle.cofactor_pair: plan from another oracle";
   Rt_obs.incr o.cq_cofactor;
-  Rt_obs.with_span ~cat:o.kind "cofactor_pair" (fun () ->
+  Rt_obs.with_span_h ~cat:o.kind "cofactor_pair" o.h_cofactor (fun () ->
       match o.cofactor with
       | Some f ->
         Rt_obs.incr c_cof_incremental;

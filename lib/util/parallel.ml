@@ -43,11 +43,20 @@ let c_seq_fallbacks = Rt_obs.counter "parallel.seq_fallbacks"
 let run_chunks ?(min_per_chunk = 1) ?(label = "parallel") ~jobs ~n f =
   if n < 0 then invalid_arg "Parallel.run_chunks: negative n";
   let jobs = max 1 (min jobs (max 1 (n / max 1 min_per_chunk))) in
+  (* Registered once per region on the caller's domain (registration takes
+     the sink mutex; the per-chunk observe itself is lock-free), so the
+     chunk-time distribution — not just the total — survives into the
+     metrics snapshot and imbalance shows up as a wide p50..p99 spread. *)
+  let hist =
+    if Rt_obs.enabled () then Some (Rt_obs.histogram (label ^ ".chunk_us")) else None
+  in
   let timed ~chunk ~lo ~hi =
     let t0 = Rt_obs.span_begin () in
     Rt_obs.incr c_chunks;
     f ~chunk ~lo ~hi;
-    Rt_obs.span_end ~cat:"parallel" (label ^ ".chunk") t0
+    match hist with
+    | Some h -> Rt_obs.span_end_h ~cat:"parallel" (label ^ ".chunk") h t0
+    | None -> Rt_obs.span_end ~cat:"parallel" (label ^ ".chunk") t0
   in
   if jobs = 1 || n = 0 then (if n > 0 then timed ~chunk:0 ~lo:0 ~hi:n)
   else begin

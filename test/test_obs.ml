@@ -282,16 +282,241 @@ let test_metrics_json_valid =
   with_obs @@ fun () ->
   Obs.add (Obs.counter "test.metrics\"quoted") 3;
   Obs.gauge_set (Obs.gauge "test.g") 1.5;
+  Obs.observe (Obs.histogram "test.h") 25.0;
   let j = parse_json (Obs.metrics_json ()) in
   (match member "schema" j with
-   | Str "optprob-metrics/1" -> ()
+   | Str "optprob-metrics/2" -> ()
    | _ -> Alcotest.fail "schema");
   (match member "test.metrics\"quoted" (member "counters" j) with
    | Num 3.0 -> ()
    | _ -> Alcotest.fail "counter value");
-  match member "test.g" (member "gauges" j) with
-  | Num 1.5 -> ()
-  | _ -> Alcotest.fail "gauge value"
+  (match member "test.g" (member "gauges" j) with
+   | Num 1.5 -> ()
+   | _ -> Alcotest.fail "gauge value");
+  let h = member "test.h" (member "histograms" j) in
+  (match member "count" h with
+   | Num 1.0 -> ()
+   | _ -> Alcotest.fail "histogram count");
+  List.iter
+    (fun q ->
+      match member q h with
+      | Num v -> check Alcotest.bool (q ^ " bounds the sample") true (v >= 25.0)
+      | _ -> Alcotest.fail q)
+    [ "p50"; "p90"; "p99"; "max" ]
+
+(* --- histograms ------------------------------------------------------------- *)
+
+(* Observations racing from real domains must all land (count, buckets,
+   sum, min, max are all updated without a lock). *)
+let hist_concurrent_qcheck =
+  QCheck.Test.make ~name:"histogram: concurrent multi-domain observe loses nothing" ~count:5
+    QCheck.(pair (int_range 2 4) (int_range 500 3000))
+    (fun (jobs, n) ->
+      Obs.set_enabled true;
+      Obs.clear ();
+      let h = Obs.histogram "test.hist.race" in
+      Parallel.run_chunks ~jobs ~n (fun ~chunk:_ ~lo ~hi ->
+          for i = lo to hi - 1 do
+            Obs.observe h (0.5 +. Float.of_int (i mod 64))
+          done);
+      let s = Obs.histogram_snapshot h in
+      Obs.set_enabled false;
+      Obs.clear ();
+      s.Obs.count = n
+      && Array.fold_left ( + ) 0 s.Obs.buckets = n
+      && s.Obs.min = 0.5
+      && s.Obs.max = 0.5 +. Float.of_int (min 63 (n - 1)))
+
+let hsnap_eq a b =
+  a.Obs.count = b.Obs.count
+  && a.Obs.buckets = b.Obs.buckets
+  && a.Obs.min = b.Obs.min
+  && a.Obs.max = b.Obs.max
+  && Float.abs (a.Obs.sum -. b.Obs.sum) <= 1e-9 *. Float.max 1.0 (Float.abs a.Obs.sum)
+
+let samples_gen = QCheck.(list_of_size Gen.(int_range 0 200) (float_range 1e-6 1e6))
+
+let hist_merge_qcheck =
+  QCheck.Test.make ~name:"histogram merge: associative and commutative" ~count:50
+    QCheck.(triple samples_gen samples_gen samples_gen)
+    (fun (xs, ys, zs) ->
+      let s l = Obs.hsnap_of_samples (Array.of_list l) in
+      let a = s xs and b = s ys and c = s zs in
+      hsnap_eq (Obs.hsnap_merge a b) (Obs.hsnap_merge b a)
+      && hsnap_eq
+           (Obs.hsnap_merge (Obs.hsnap_merge a b) c)
+           (Obs.hsnap_merge a (Obs.hsnap_merge b c))
+      && hsnap_eq (Obs.hsnap_merge a Obs.hsnap_empty) a
+      && hsnap_eq
+           (Obs.hsnap_merge a b)
+           (s (xs @ ys)))
+
+(* The reported quantile is an upper bound of the true sample quantile and
+   overshoots by at most one bucket ratio (and never beyond the exact max). *)
+let hist_quantile_qcheck =
+  QCheck.Test.make ~name:"histogram quantiles bound true sample quantiles" ~count:100
+    QCheck.(
+      pair (list_of_size Gen.(int_range 1 200) (float_range 1e-6 1e6)) (float_range 0.01 1.0))
+    (fun (xs, q) ->
+      let arr = Array.of_list xs in
+      let s = Obs.hsnap_of_samples arr in
+      let sorted = Array.copy arr in
+      Array.sort Float.compare sorted;
+      let n = Array.length sorted in
+      let rank = max 1 (min n (int_of_float (Float.ceil (q *. Float.of_int n)))) in
+      let true_q = sorted.(rank - 1) in
+      let rep = Obs.hsnap_quantile s q in
+      rep >= true_q && rep <= true_q *. Obs.bucket_ratio *. (1.0 +. 1e-12))
+
+let test_with_span_h =
+  with_obs @@ fun () ->
+  let h = Obs.histogram "test.span_h" in
+  let r = Obs.with_span_h ~cat:"t" "timed" h (fun () -> 21 * 2) in
+  check Alcotest.int "thunk result" 42 r;
+  check Alcotest.int "span recorded" 1 (List.length (Obs.events ()));
+  let s = Obs.histogram_snapshot h in
+  check Alcotest.int "duration observed" 1 s.Obs.count;
+  let ev = List.hd (Obs.events ()) in
+  check Alcotest.bool "observed value is the span duration (same clock reads)" true
+    (s.Obs.max = ev.Obs.dur_us)
+
+(* --- run artifacts ---------------------------------------------------------- *)
+
+let test_manifest =
+  { Obs.Artifact.argv = [| "optprob"; "optimize"; "s1" |];
+    engine = Some "cop";
+    seed = Some 7;
+    jobs = Some 2;
+    wall_s = 0.25 }
+
+let jmember name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing JSON member %S" name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_artifact_roundtrip =
+  with_obs @@ fun () ->
+  let dir = "tmp-obs-artifact" in
+  Obs.with_span ~cat:"phase" "work" (fun () -> Obs.mark "checkpoint" ~fields:[ ("k", "v") ]);
+  Obs.incr (Obs.counter "test.artifact.queries");
+  Obs.observe (Obs.histogram "test.artifact.lat_us") 42.0;
+  Obs.Artifact.write ~dir ~manifest:test_manifest ();
+  (* manifest.json *)
+  let m = Obs.Json.parse (read_file (Filename.concat dir "manifest.json")) in
+  (match jmember "schema" m with
+   | Obs.Json.Str "optprob-manifest/1" -> ()
+   | _ -> Alcotest.fail "manifest schema");
+  (match jmember "argv" m with
+   | Obs.Json.Arr l -> check Alcotest.int "argv arity" 3 (List.length l)
+   | _ -> Alcotest.fail "argv");
+  (match jmember "engine" m with
+   | Obs.Json.Str "cop" -> ()
+   | _ -> Alcotest.fail "engine");
+  (match jmember "seed" m with
+   | Obs.Json.Num 7.0 -> ()
+   | _ -> Alcotest.fail "seed");
+  (match jmember "host_cores" m with
+   | Obs.Json.Num c -> check Alcotest.bool "host cores positive" true (c >= 1.0)
+   | _ -> Alcotest.fail "host_cores");
+  (match jmember "git_rev" m with
+   | Obs.Json.Str _ -> ()
+   | _ -> Alcotest.fail "git_rev");
+  (* events.jsonl: every line is a self-describing JSON object *)
+  let lines =
+    String.split_on_char '\n' (read_file (Filename.concat dir "events.jsonl"))
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  check Alcotest.bool "events.jsonl non-empty" true (List.length lines >= 2);
+  List.iter
+    (fun l ->
+      match jmember "type" (Obs.Json.parse l) with
+      | Obs.Json.Str ("span" | "mark") -> ()
+      | _ -> Alcotest.fail "events.jsonl line type")
+    lines;
+  (* metrics.json parses and carries the histogram *)
+  let mx = Obs.Json.parse (read_file (Filename.concat dir "metrics.json")) in
+  (match jmember "test.artifact.lat_us" (jmember "histograms" mx) with
+   | Obs.Json.Obj _ -> ()
+   | _ -> Alcotest.fail "histogram in metrics.json");
+  (* metrics.prom: OpenMetrics shape *)
+  let prom = read_file (Filename.concat dir "metrics.prom") in
+  let has needle =
+    let nl = String.length needle and pl = String.length prom in
+    let rec go i = i + nl <= pl && (String.sub prom i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "prom counter _total" true
+    (has "optprob_test_artifact_queries_total 1");
+  check Alcotest.bool "prom histogram buckets" true
+    (has "optprob_test_artifact_lat_us_bucket{le=");
+  check Alcotest.bool "prom +Inf bucket" true (has "_bucket{le=\"+Inf\"} 1");
+  check Alcotest.bool "prom EOF terminator" true (has "# EOF");
+  (* trace.json still parses with the mark as an instant event *)
+  let t = Obs.Json.parse (read_file (Filename.concat dir "trace.json")) in
+  match jmember "traceEvents" t with
+  | Obs.Json.Arr evs ->
+    check Alcotest.bool "span + instant mark" true
+      (List.exists
+         (fun e -> match Obs.Json.member "ph" e with Some (Obs.Json.Str "i") -> true | _ -> false)
+         evs)
+  | _ -> Alcotest.fail "traceEvents"
+
+(* --- obs-diff ---------------------------------------------------------------
+
+   Deterministic self-test: identical artifacts diff clean; an injected 2x
+   slowdown (histogram samples and a hand-written span total) is flagged as
+   a regression on exactly the affected series. *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let trace_with_dur dur =
+  Printf.sprintf
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":\"optimize\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":1.0,\"dur\":%.1f,\"pid\":1,\"tid\":0}]}"
+    dur
+
+let test_obs_diff =
+  with_obs @@ fun () ->
+  let dir_a = "tmp-obs-diff-a" and dir_b = "tmp-obs-diff-b" in
+  let samples = Array.init 200 (fun i -> 10.0 +. Float.of_int (i mod 50)) in
+  let h = Obs.histogram "test.diff.lat_us" in
+  Array.iter (Obs.observe h) samples;
+  Obs.Artifact.write ~dir:dir_a ~manifest:test_manifest ();
+  Obs.clear ();
+  Array.iter (fun v -> Obs.observe h (2.0 *. v)) samples;
+  Obs.Artifact.write ~dir:dir_b ~manifest:test_manifest ();
+  (* same run vs itself: nothing to flag *)
+  let same = Obs.Diff.compare_dirs dir_a dir_a in
+  check Alcotest.int "identical dirs: zero regressions" 0
+    (List.length (Obs.Diff.regressions same));
+  (* 2x slower histogram: flagged by name *)
+  let regs = Obs.Diff.regressions (Obs.Diff.compare_dirs dir_a dir_b) in
+  check Alcotest.bool "2x slowdown flagged on the affected histogram" true
+    (List.exists
+       (fun f -> f.Obs.Diff.kind = "histogram" && f.Obs.Diff.name = "test.diff.lat_us")
+       regs);
+  check Alcotest.bool "no span regressions invented" true
+    (List.for_all (fun f -> f.Obs.Diff.kind <> "span") regs);
+  (* inject a 2.4x span-tree slowdown above the noise floor *)
+  write_file (Filename.concat dir_a "trace.json") (trace_with_dur 50_000.0);
+  write_file (Filename.concat dir_b "trace.json") (trace_with_dur 120_000.0);
+  let regs = Obs.Diff.regressions (Obs.Diff.compare_dirs dir_a dir_b) in
+  check Alcotest.bool "span slowdown flagged" true
+    (List.exists (fun f -> f.Obs.Diff.kind = "span" && f.Obs.Diff.name = "optimize") regs);
+  (* below the default 1 ms noise floor the same ratio stays quiet *)
+  write_file (Filename.concat dir_a "trace.json") (trace_with_dur 100.0);
+  write_file (Filename.concat dir_b "trace.json") (trace_with_dur 240.0);
+  let regs = Obs.Diff.regressions (Obs.Diff.compare_dirs dir_a dir_b) in
+  check Alcotest.bool "sub-floor span noise ignored" true
+    (List.for_all (fun f -> f.Obs.Diff.kind <> "span") regs)
 
 (* --- Parallel.region policy ------------------------------------------------ *)
 
@@ -475,6 +700,15 @@ let () =
       ( "json",
         [ Alcotest.test_case "trace_event output parses" `Quick test_trace_json_valid;
           Alcotest.test_case "metrics output parses" `Quick test_metrics_json_valid ] );
+      ( "histograms",
+        [ QCheck_alcotest.to_alcotest hist_concurrent_qcheck;
+          QCheck_alcotest.to_alcotest hist_merge_qcheck;
+          QCheck_alcotest.to_alcotest hist_quantile_qcheck;
+          Alcotest.test_case "with_span_h observes the span duration" `Quick test_with_span_h ] );
+      ( "artifact",
+        [ Alcotest.test_case "manifest/events/prom round-trip" `Quick test_artifact_roundtrip ] );
+      ( "diff",
+        [ Alcotest.test_case "obs-diff self-test" `Quick test_obs_diff ] );
       ( "parallel",
         [ Alcotest.test_case "region seq_below fallback" `Quick test_region_seq_below ] );
       ( "oracle",
