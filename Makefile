@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: all check test bench bench-json bench-smoke trace-demo obs-demo clean
+.PHONY: all check test bench bench-json bench-smoke trace-demo obs-demo pipeline-demo clean
 
 all:
 	dune build
@@ -52,6 +52,24 @@ obs-demo:
 	dune exec bin/main.exe -- obs-diff _obs/demo/a _obs/demo/b \
 	  --max-span-ratio 10 --max-quantile-ratio 10 --max-counter-ratio 10
 	@echo "obs-demo: _obs/demo/{a,b} ok"
+
+# Resumable-pipeline gate: the same `optprob run` twice against one
+# --work-dir.  The second run must execute zero stages — verified from its
+# metrics artifact: every pipeline.stage.*.cache_hit is 1 and every
+# pipeline.stage.*.run is 0.
+pipeline-demo:
+	rm -rf _obs/pipeline-demo
+	dune exec bin/main.exe -- run s1 --engine cond:8 --sweeps 2 -q \
+	  --work-dir _obs/pipeline-demo/work --obs-dir _obs/pipeline-demo/a
+	dune exec bin/main.exe -- run s1 --engine cond:8 --sweeps 2 -q \
+	  --work-dir _obs/pipeline-demo/work --obs-dir _obs/pipeline-demo/b
+	@for s in loaded faults analysis normalized optimized validated report; do \
+	  grep -q "\"pipeline.stage.$$s.cache_hit\": 1" _obs/pipeline-demo/b/metrics.json || \
+	    { echo "pipeline-demo FAIL: stage $$s not served from cache"; exit 1; }; \
+	  grep -q "\"pipeline.stage.$$s.run\": 0" _obs/pipeline-demo/b/metrics.json || \
+	    { echo "pipeline-demo FAIL: stage $$s re-executed"; exit 1; }; \
+	done
+	@echo "pipeline-demo: second run resumed 7/7 stages from cache"
 
 clean:
 	dune clean

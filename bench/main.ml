@@ -78,20 +78,26 @@ open Bechamel
 open Toolkit
 
 let kernel_tests () =
-  let c = Rt_circuit.Generators.s1_comparator () in
-  let faults = Rt_fault.Collapse.collapsed_universe c in
+  (* All kernel inputs (circuits, fault lists, oracles, hard prefixes)
+     come out of pipeline stages; the kernels themselves then hammer the
+     oracle/simulator APIs directly. *)
+  let pctx ?(engine = "cop") circuit =
+    Rt_pipeline.create
+      (Rt_pipeline.Config.exn (Rt_pipeline.Config.make ~engine ~circuit ()))
+  in
+  let s1 = pctx "s1" in
+  let c = Rt_pipeline.circuit s1 in
   let n_inputs = Array.length (Rt_circuit.Netlist.inputs c) in
   let x = Array.make n_inputs 0.5 in
-  let cop = Rt_testability.Detect.make Rt_testability.Detect.Cop c faults in
-  let bdd =
-    Rt_testability.Detect.make (Rt_testability.Detect.Bdd_exact { node_limit = 500_000 }) c faults
-  in
+  let cop = Rt_pipeline.oracle s1 in
+  let bdd = Rt_pipeline.oracle (pctx ~engine:"bdd:500000" "s1") in
   let sim = Rt_sim.Logic_sim.create c in
   let rng = Rt_util.Rng.create 1 in
   let source = Rt_sim.Pattern.equiprobable rng ~n_inputs in
   let lfsr = Rt_bist.Lfsr.create ~width:32 1L in
-  let mult = Rt_circuit.Generators.c6288ish ~width:8 () in
-  let mult_faults = Rt_fault.Collapse.collapsed_universe mult in
+  let mult_ctx = pctx "c6288ish:8" in
+  let mult = Rt_pipeline.circuit mult_ctx in
+  let mult_faults = Rt_pipeline.fault_list mult_ctx in
   let mult_rng = Rt_util.Rng.create 2 in
   let mult_source =
     Rt_sim.Pattern.equiprobable mult_rng ~n_inputs:(Array.length (Rt_circuit.Netlist.inputs mult))
@@ -100,9 +106,9 @@ let kernel_tests () =
      cofactor queries at x_0, restricted to the hard-fault prefix that the
      NORMALIZE bound search certifies (the paper's z; ~32 of s1's 534
      faults) — full-universe query + gather vs the subset-aware oracle. *)
-  let cond = Rt_testability.Detect.make (Rt_testability.Detect.Conditioned { max_vars = 4 }) c faults in
-  let norm = Rt_optprob.Normalize.run ~confidence:0.95 (Rt_testability.Detect.probs cond x) in
-  let hard = Rt_optprob.Normalize.hard_indices norm in
+  let cond_ctx = pctx ~engine:"cond:4" "s1" in
+  let cond = Rt_pipeline.oracle cond_ctx in
+  let hard = (Rt_pipeline.normalized cond_ctx).Rt_pipeline.value.Rt_pipeline.hard in
   let sweep_full () =
     let gather pf = Array.map (fun i -> pf.(i)) hard in
     x.(0) <- 0.0;
@@ -157,14 +163,11 @@ let kernel_tests () =
   let cofactor_pair_cond = cofactor_sweep cond cond_plan x in
   let cofactor_pair_cop = cofactor_sweep cop cop_plan x in
   let two_subsets_cop = two_subset_sweep cop hard x in
-  let big = Rt_circuit.Generators.c2670ish () in
-  let big_faults = Rt_fault.Collapse.collapsed_universe big in
+  let big_ctx = pctx "c2670ish" in
+  let big = Rt_pipeline.circuit big_ctx in
   let big_x = Array.make (Array.length (Rt_circuit.Netlist.inputs big)) 0.5 in
-  let big_cop = Rt_testability.Detect.make Rt_testability.Detect.Cop big big_faults in
-  let big_norm =
-    Rt_optprob.Normalize.run ~confidence:0.95 (Rt_testability.Detect.probs big_cop big_x)
-  in
-  let big_hard = Rt_optprob.Normalize.hard_indices big_norm in
+  let big_cop = Rt_pipeline.oracle big_ctx in
+  let big_hard = (Rt_pipeline.normalized big_ctx).Rt_pipeline.value.Rt_pipeline.hard in
   let big_plan = Rt_testability.Oracle.plan big_cop big_hard in
   let cofactor_pair_big = cofactor_sweep big_cop big_plan big_x in
   let two_subsets_big = two_subset_sweep big_cop big_hard big_x in

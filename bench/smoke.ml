@@ -20,7 +20,8 @@
 
 module Detect = Rt_testability.Detect
 module Oracle = Rt_testability.Oracle
-module Normalize = Rt_optprob.Normalize
+module Pipeline = Rt_pipeline
+module Pconfig = Rt_pipeline.Config
 
 let rounds = 3
 let iters = 20
@@ -45,13 +46,21 @@ let time_collect f =
 let () =
   let out_root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "_obs/smoke" in
   let t_run = Rt_util.Stats.timer_start () in
-  let c = Rt_circuit.Generators.s1_comparator () in
-  let faults = Rt_fault.Collapse.collapsed_universe c in
-  let n_inputs = Array.length (Rt_circuit.Netlist.inputs c) in
+  (* The pipeline supplies the workload: a COP analysis of s1 at a skewed
+     weight vector, and the hard-fault prefix certified by NORMALIZE. *)
+  let n_inputs =
+    Array.length
+      (Rt_circuit.Netlist.inputs
+         (Pconfig.load_circuit (Pconfig.Builtin "s1")))
+  in
   let x = Array.init n_inputs (fun i -> 0.3 +. (0.4 *. Float.of_int (i mod 2))) in
-  let oracle = Detect.make Detect.Cop c faults in
-  let norm = Normalize.run ~confidence:0.95 (Detect.probs oracle x) in
-  let hard = Normalize.hard_indices norm in
+  let ctx =
+    Pipeline.create
+      (Pconfig.exn
+         (Pconfig.make ~engine:"cop" ~weights:(Pconfig.Weights_vector x) ~circuit:"s1" ()))
+  in
+  let oracle = Pipeline.oracle ctx in
+  let hard = (Pipeline.normalized ctx).Pipeline.value.Pipeline.hard in
   let plan = Oracle.plan oracle hard in
   let fused input = Oracle.cofactor_pair oracle plan ~input ~x in
   let baseline input =

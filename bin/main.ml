@@ -1,71 +1,28 @@
 (* optprob — command-line front end.
 
-   Subcommands: list, generate, analyze, optimize, simulate, atpg,
-   selftest, tables, obs-diff.  A CIRCUIT argument is either a built-in
-   generator name (see `optprob list`) or a path to an ISCAS-85 .bench
-   file. *)
+   Subcommands: list, generate, analyze, optimize, simulate, run, atpg,
+   selftest, tables, obs-diff.  Every compute subcommand is a thin layer
+   over the Rt_pipeline stage graph: it builds one validated
+   Rt_pipeline.Config via the shared Cli terms, creates a pipeline
+   context, and asks for the stages it needs.  With --work-dir the stage
+   artifacts are content-addressed on disk, so re-runs (`optprob run`)
+   resume past everything unchanged. *)
 
 open Cmdliner
-
-let load_circuit spec =
-  if Sys.file_exists spec && not (Sys.is_directory spec) then Rt_circuit.Bench_format.load spec
-  else begin
-    match Rt_circuit.Generators.by_name spec with
-    | Some gen -> gen ()
-    | None -> failwith (Printf.sprintf "unknown circuit %S (try `optprob list`)" spec)
-  end
-
-let parse_engine s =
-  let int_after prefix =
-    int_of_string (String.sub s (String.length prefix) (String.length s - String.length prefix))
-  in
-  if s = "cop" then Rt_testability.Detect.Cop
-  else if s = "bdd" then Rt_testability.Detect.Bdd_exact { node_limit = 1_000_000 }
-  else if String.length s > 4 && String.sub s 0 4 = "bdd:" then
-    Rt_testability.Detect.Bdd_exact { node_limit = int_after "bdd:" }
-  else if String.length s > 7 && String.sub s 0 7 = "stafan:" then
-    Rt_testability.Detect.Stafan { n_patterns = int_after "stafan:"; seed = 7 }
-  else if String.length s > 3 && String.sub s 0 3 = "mc:" then
-    Rt_testability.Detect.Monte_carlo { n_patterns = int_after "mc:"; seed = 7 }
-  else if String.length s > 5 && String.sub s 0 5 = "cond:" then
-    Rt_testability.Detect.Conditioned { max_vars = int_after "cond:" }
-  else
-    failwith
-      (Printf.sprintf "unknown engine %S (cop | cond:K | bdd[:nodes] | stafan:N | mc:N)" s)
-
-let circuit_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT"
-         ~doc:"Built-in circuit name or path to a .bench file.")
-
-let engine_arg =
-  Arg.(value & opt string "bdd" & info [ "engine"; "e" ] ~docv:"ENGINE"
-         ~doc:"ANALYSIS engine: cop, cond:K, bdd[:nodes], stafan:N, mc:N.")
-
-let confidence_arg =
-  Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"C"
-         ~doc:"Target confidence of the random test.")
-
-let weights_arg =
-  Arg.(value & opt (some string) None & info [ "weights"; "w" ] ~docv:"FILE"
-         ~doc:"Weight file (from `optprob optimize -o`); default: all 0.5.")
-
-let seed_arg = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-
-let jobs_arg =
-  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"J"
-         ~doc:"Worker domains for the parallel kernels (default: $(b,OPTPROB_JOBS) or 1). \
-               Results are independent of J.")
+module Pipeline = Rt_pipeline
+module Config = Rt_pipeline.Config
+module Cli = Rt_pipeline.Cli
 
 (* --- observability flags ---------------------------------------------------
    Shared by the compute-heavy subcommands.  The unified form is
    --obs-dir DIR: one self-describing artifact directory per run
    (manifest.json, events.jsonl, metrics.json, metrics.prom, trace.json
-   and, for optimize, convergence.json), diffable with `optprob obs-diff`.
-   The legacy --trace/--metrics (and optimize's --convergence) flags keep
-   working as standalone aliases for the corresponding artifact.  Any of
-   them enables Rt_obs recording; the disabled default costs one branch
-   per probe.  While an --obs-dir run is in flight, SIGUSR1 dumps a live
-   metrics snapshot into the directory. *)
+   and, for optimize/run, convergence.json), diffable with `optprob
+   obs-diff`.  The legacy --trace/--metrics (and optimize's --convergence)
+   flags keep working as standalone aliases for the corresponding
+   artifact.  Any of them enables Rt_obs recording; the disabled default
+   costs one branch per probe.  While an --obs-dir run is in flight,
+   SIGUSR1 dumps a live metrics snapshot into the directory. *)
 
 type obs = {
   obs_dir : string option;
@@ -112,7 +69,7 @@ let obs_begin obs =
      with Invalid_argument _ | Sys_error _ -> ())
   | None -> ()
 
-let obs_end ?engine ?seed ?jobs ?convergence obs =
+let obs_end ?(cfg : Config.t option) ?convergence obs =
   (match obs.trace with
    | Some path ->
      Rt_obs.write_trace path;
@@ -127,9 +84,9 @@ let obs_end ?engine ?seed ?jobs ?convergence obs =
    | Some dir ->
      let manifest =
        { Rt_obs.Artifact.argv = Sys.argv;
-         engine;
-         seed;
-         jobs;
+         engine = Option.map (fun (c : Config.t) -> c.Config.engine) cfg;
+         seed = Option.map (fun (c : Config.t) -> c.Config.seed) cfg;
+         jobs = Option.bind cfg (fun (c : Config.t) -> c.Config.jobs);
          wall_s = Unix.gettimeofday () -. obs.t_start }
      in
      Rt_obs.Artifact.write ~dir ~manifest ?convergence ();
@@ -154,7 +111,8 @@ let list_cmd =
         let c = gen () in
         Format.printf "  %-10s %t@." name (fun ppf -> Rt_circuit.Netlist.stats c ppf))
       Rt_circuit.Generators.paper_suite;
-    Format.printf "  %-10s pathological pair for --partition (section 5.3)@." "antagonist"
+    Format.printf "  %-10s pathological pair for --partition (section 5.3)@." "antagonist";
+    Format.printf "parameterised: wide_and-N, s2:W, c6288ish:W@."
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in circuit generators." ~exits)
     Term.(ret (const (fun () -> wrap run) $ const ()))
@@ -167,7 +125,8 @@ let generate_cmd =
            ~doc:"Write the netlist to FILE instead of stdout.")
   in
   let run circuit out () =
-    let c = load_circuit circuit in
+    let ctx = Pipeline.create (Config.exn (Config.of_source circuit)) in
+    let c = Pipeline.circuit ctx in
     match out with
     | Some path ->
       Rt_circuit.Bench_format.save path c;
@@ -175,63 +134,43 @@ let generate_cmd =
     | None -> print_string (Rt_circuit.Bench_format.to_string c)
   in
   Cmd.v (Cmd.info "generate" ~doc:"Emit a circuit as ISCAS-85 .bench text." ~exits)
-    Term.(ret (const (fun c o () -> wrap (run c o)) $ circuit_arg $ out $ const ()))
+    Term.(ret (const (fun c o () -> wrap (run c o)) $ Cli.circuit_arg $ out $ const ()))
 
 (* --- analyze --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run circuit engine confidence weights jobs obs () =
+  let run cfg obs () =
     obs_begin obs;
-    let c = load_circuit circuit in
-    let faults = Rt_fault.Collapse.collapsed_universe c in
-    let oracle = Rt_testability.Detect.make ?jobs (parse_engine engine) c faults in
-    let x =
-      match weights with
-      | Some path -> Rt_repro.Weights_io.load path c
-      | None -> Array.make (Array.length (Rt_circuit.Netlist.inputs c)) 0.5
-    in
-    let pf = Rt_testability.Detect.probs oracle x in
-    let red = Rt_testability.Detect.proven_redundant oracle in
-    let detectable =
-      pf |> Array.to_list |> List.filteri (fun i _ -> not red.(i)) |> Array.of_list
-    in
-    let norm = Rt_optprob.Normalize.run ~confidence detectable in
+    let ctx = Pipeline.create cfg in
+    let c = Pipeline.circuit ctx in
+    let faults = Pipeline.fault_list ctx in
+    let a = (Pipeline.analysis ctx).Pipeline.value in
+    let n = (Pipeline.normalized ctx).Pipeline.value in
     Format.printf "circuit:    %t@." (fun ppf -> Rt_circuit.Netlist.stats c ppf);
     Format.printf "faults:     %d collapsed (universe %d), %d proven redundant@."
       (Array.length faults)
       (Array.length (Rt_fault.Fault.universe c))
-      (Array.fold_left (fun a b -> if b then a + 1 else a) 0 red);
-    Format.printf "engine:     %s@." (Rt_testability.Detect.describe oracle);
+      (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a.Pipeline.proven_redundant);
+    Format.printf "engine:     %s@." a.Pipeline.engine_desc;
     Format.printf "required N: %s (confidence %.2f)@."
-      (if Float.is_finite norm.Rt_optprob.Normalize.n then
-         Printf.sprintf "%.3e" norm.Rt_optprob.Normalize.n
+      (if Float.is_finite n.Pipeline.n_required then
+         Printf.sprintf "%.3e" n.Pipeline.n_required
        else "infinite")
-      confidence;
+      cfg.Config.confidence;
     Format.printf "hardest faults:@.";
-    let hard = Rt_optprob.Normalize.hard_indices norm in
-    let shown = min 10 (Array.length hard) in
-    (* hard indexes into the detectable-filtered array; remap for names. *)
-    let det_idx =
-      pf |> Array.to_list |> List.mapi (fun i _ -> i)
-      |> List.filteri (fun i _ -> not red.(i))
-      |> Array.of_list
-    in
+    let shown = min 10 (Array.length n.Pipeline.hard) in
     for k = 0 to shown - 1 do
-      let fi = det_idx.(hard.(k)) in
+      let fi = n.Pipeline.hard.(k) in
       Format.printf "  %-30s p = %a@."
         (Rt_fault.Fault.to_string c faults.(fi))
-        Rt_util.Prob.pp pf.(fi)
+        Rt_util.Prob.pp a.Pipeline.pf.(fi)
     done;
-    obs_end ~engine ?jobs obs
+    obs_end ~cfg obs
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Testability analysis: detection probabilities and test length."
        ~exits)
-    Term.(
-      ret
-        (const (fun c e conf w j obs () -> wrap (run c e conf w j obs))
-        $ circuit_arg $ engine_arg $ confidence_arg $ weights_arg $ jobs_arg $ obs_arg
-        $ const ()))
+    Term.(ret (const (fun cfg obs () -> wrap (run cfg obs)) $ Cli.config () $ obs_arg $ const ()))
 
 (* --- optimize -------------------------------------------------------------- *)
 
@@ -239,17 +178,6 @@ let optimize_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the optimized weights to FILE.")
-  in
-  let grid =
-    Arg.(value & opt (some float) (Some 0.05) & info [ "grid" ] ~docv:"G"
-           ~doc:"Quantisation grid (paper appendix: 0.05); 0 disables.")
-  in
-  let dyadic =
-    Arg.(value & opt (some int) None & info [ "dyadic" ] ~docv:"BITS"
-           ~doc:"Quantise to k/2^BITS instead (LFSR weighting hardware grid).")
-  in
-  let sweeps =
-    Arg.(value & opt int 10 & info [ "sweeps" ] ~docv:"K" ~doc:"Maximum optimisation sweeps.")
   in
   let partition =
     Arg.(value & flag & info [ "partition" ]
@@ -260,51 +188,44 @@ let optimize_cmd =
            ~doc:"Record per-sweep J_N, required length N and input probabilities to $(docv) \
                  (.json suffix: JSON, otherwise CSV).")
   in
-  let run circuit engine confidence grid dyadic sweeps out partition jobs conv obs () =
+  let run cfg out partition conv obs () =
     obs_begin obs;
-    let c = load_circuit circuit in
-    let faults = Rt_fault.Collapse.collapsed_universe c in
-    let oracle = Rt_testability.Detect.make ?jobs (parse_engine engine) c faults in
-    let quantize =
-      match (dyadic, grid) with
-      | Some bits, _ -> Rt_optprob.Optimize.Dyadic bits
-      | None, Some g when g > 0.0 -> Rt_optprob.Optimize.Grid g
-      | None, (Some _ | None) -> Rt_optprob.Optimize.No_quantization
-    in
-    let options =
-      { Rt_optprob.Optimize.default_options with
-        Rt_optprob.Optimize.confidence;
-        max_sweeps = sweeps;
-        quantize }
-    in
+    let ctx = Pipeline.create cfg in
     (* A recorder exists whenever anything will consume it: the legacy
-       --convergence file and/or the --obs-dir convergence.json artifact. *)
+       --convergence file and/or the --obs-dir convergence.json artifact.
+       It only fills when the stage actually runs (not on a cache hit). *)
     let recorder =
       if conv <> None || obs.obs_dir <> None then Some (Rt_obs.Convergence.create ())
       else None
     in
-    let report =
-      Rt_optprob.Optimize.run ~options
+    let staged =
+      Pipeline.optimized
         ~progress:(fun ~sweep ~n -> Format.printf "sweep %d: N = %.3e@." sweep n)
-        ?recorder oracle
+        ?recorder ctx
     in
+    let report = staged.Pipeline.value in
+    if staged.Pipeline.from_cache then
+      Format.printf "optimized stage served from the work-dir artifact (cache hit)@.";
     (match (conv, recorder) with
      | Some path, Some rec_ ->
        Rt_obs.Convergence.write rec_ path;
        Format.printf "wrote convergence %s@." path
      | _ -> ());
-    Format.printf "@.engine:        %s@." (Rt_testability.Detect.describe oracle);
+    Format.printf "@.engine:        %s@."
+      (Pipeline.analysis ctx).Pipeline.value.Pipeline.engine_desc;
     Format.printf "N conventional: %.3e@." report.Rt_optprob.Optimize.n_initial;
     Format.printf "N optimized:    %.3e  (gain x%.0f)@." report.Rt_optprob.Optimize.n_final
       (Rt_optprob.Optimize.improvement report);
-    Format.printf "weights:@.%a" (Rt_repro.Weights_io.pp c) report.Rt_optprob.Optimize.weights;
+    let c = Pipeline.circuit ctx in
+    Format.printf "weights:@.%a" (Rt_optprob.Weights_io.pp c) report.Rt_optprob.Optimize.weights;
     (match out with
      | Some path ->
-       Rt_repro.Weights_io.save path c report.Rt_optprob.Optimize.weights;
+       Rt_optprob.Weights_io.save path c report.Rt_optprob.Optimize.weights;
        Format.printf "wrote %s@." path
      | None -> ());
     if partition then begin
-      let sp = Rt_optprob.Partition.split ~options oracle in
+      let options = Config.optimize_options cfg in
+      let sp = Rt_optprob.Partition.split ~options (Pipeline.oracle ctx) in
       Format.printf "@.partitioned test (%d parts):@."
         (Array.length sp.Rt_optprob.Partition.groups);
       Array.iteri
@@ -313,62 +234,95 @@ let optimize_cmd =
       Format.printf "  total %.3e vs single %.3e@." sp.Rt_optprob.Partition.n_total
         sp.Rt_optprob.Partition.n_single
     end;
-    obs_end ~engine ?jobs ?convergence:recorder obs
+    obs_end ~cfg ?convergence:recorder obs
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Compute optimized input probabilities (the paper's procedure)."
        ~exits)
     Term.(
       ret
-        (const (fun c e conf g d s o p j cv obs () -> wrap (run c e conf g d s o p j cv obs))
-        $ circuit_arg $ engine_arg $ confidence_arg $ grid $ dyadic $ sweeps $ out $ partition
-        $ jobs_arg $ convergence $ obs_arg $ const ()))
+        (const (fun cfg o p cv obs () -> wrap (run cfg o p cv obs))
+        $ Cli.config () $ out $ partition $ convergence $ obs_arg $ const ()))
 
 (* --- simulate -------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let patterns =
-    Arg.(value & opt int 10_000 & info [ "patterns"; "n" ] ~docv:"N"
-           ~doc:"Number of random patterns.")
-  in
   let curve =
     Arg.(value & flag & info [ "curve" ] ~doc:"Print the coverage-vs-pattern-count curve.")
   in
-  let run circuit weights patterns seed curve jobs obs () =
+  let run cfg curve obs () =
     obs_begin obs;
-    let c = load_circuit circuit in
-    let faults = Rt_fault.Collapse.collapsed_universe c in
-    let x =
-      match weights with
-      | Some path -> Rt_repro.Weights_io.load path c
-      | None -> Array.make (Array.length (Rt_circuit.Netlist.inputs c)) 0.5
-    in
-    let rng = Rt_util.Rng.create seed in
-    let source = Rt_sim.Pattern.weighted rng x in
-    let stats = Rt_sim.Fault_sim.simulate ?jobs ~drop:true c faults ~source ~n_patterns:patterns in
-    Format.printf "patterns: %d  faults: %d  coverage: %.2f%%@." patterns (Array.length faults)
-      (100.0 *. Rt_sim.Fault_sim.coverage stats);
+    let ctx = Pipeline.create cfg in
+    let faults = Pipeline.fault_list ctx in
+    let v = (Pipeline.simulated ctx).Pipeline.value in
+    Format.printf "patterns: %d  faults: %d  coverage: %.2f%%@." v.Pipeline.patterns_run
+      (Array.length faults)
+      (100.0 *. v.Pipeline.coverage);
+    let stats = Pipeline.sim_stats ctx v in
     if curve then begin
-      let points = Rt_util.Stats.geometric_steps ~lo:16 ~hi:patterns ~per_decade:4 in
+      let points =
+        Rt_util.Stats.geometric_steps ~lo:16 ~hi:v.Pipeline.patterns_run ~per_decade:4
+      in
       List.iter
         (fun (k, cov) -> Format.printf "  %6d  %.2f%%@." k (100.0 *. cov))
         (Rt_sim.Fault_sim.coverage_curve stats ~points)
     end;
     let undet = Rt_sim.Fault_sim.undetected stats in
+    let c = Pipeline.circuit ctx in
     if Array.length undet > 0 && Array.length undet <= 20 then begin
       Format.printf "undetected:@.";
       Array.iter (fun f -> Format.printf "  %s@." (Rt_fault.Fault.to_string c f)) undet
     end
     else if Array.length undet > 20 then
       Format.printf "undetected: %d faults@." (Array.length undet);
-    obs_end ~seed ?jobs obs
+    obs_end ~cfg obs
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Fault-simulate random patterns and report coverage." ~exits)
     Term.(
       ret
-        (const (fun c w n s cv j obs () -> wrap (run c w n s cv j obs))
-        $ circuit_arg $ weights_arg $ patterns $ seed_arg $ curve $ jobs_arg $ obs_arg
-        $ const ()))
+        (const (fun cfg cv obs () -> wrap (run cfg cv obs))
+        $ Cli.config () $ curve $ obs_arg $ const ()))
+
+(* --- run (whole graph) ------------------------------------------------------ *)
+
+let run_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the optimized weights to FILE.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-sweep progress lines.")
+  in
+  let run cfg out quiet obs () =
+    obs_begin obs;
+    let ctx = Pipeline.create cfg in
+    let recorder =
+      if obs.obs_dir <> None then Some (Rt_obs.Convergence.create ()) else None
+    in
+    let progress ~sweep ~n =
+      if not quiet then Format.printf "sweep %d: N = %.3e@." sweep n
+    in
+    let outcome = Pipeline.run ~progress ?recorder ctx in
+    Format.printf "@.stages:@.%a" Pipeline.pp_stages outcome;
+    let report = outcome.Pipeline.o_report.Pipeline.value in
+    Format.printf "@.%a" Pipeline.pp_report report;
+    (match out with
+     | Some path ->
+       Rt_optprob.Weights_io.save path (Pipeline.circuit ctx)
+         report.Pipeline.r_opt.Rt_optprob.Optimize.weights;
+       Format.printf "wrote %s@." path
+     | None -> ());
+    obs_end ~cfg ?convergence:recorder obs
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run the whole pipeline (load, collapse, analyze, normalize, optimize, validate) \
+             with resumable stage artifacts under --work-dir."
+       ~exits)
+    Term.(
+      ret
+        (const (fun cfg o q obs () -> wrap (run cfg o q obs))
+        $ Cli.config () $ out $ quiet $ obs_arg $ const ()))
 
 (* --- atpg ------------------------------------------------------------------ *)
 
@@ -378,8 +332,9 @@ let atpg_cmd =
            ~doc:"Deterministic engine: podem or dalg (the classical D-algorithm).")
   in
   let run circuit engine () =
-    let c = load_circuit circuit in
-    let faults = Rt_fault.Collapse.collapsed_universe c in
+    let ctx = Pipeline.create (Config.exn (Config.of_source circuit)) in
+    let c = Pipeline.circuit ctx in
+    let faults = Pipeline.fault_list ctx in
     let engine =
       match engine with
       | "podem" -> `Podem
@@ -398,7 +353,7 @@ let atpg_cmd =
     (Cmd.info "atpg"
        ~doc:"Deterministic test generation (PODEM or D-algorithm) — the section-5.2 baseline."
        ~exits)
-    Term.(ret (const (fun c e () -> wrap (run c e)) $ circuit_arg $ engine $ const ()))
+    Term.(ret (const (fun c e () -> wrap (run c e)) $ Cli.circuit_arg $ engine $ const ()))
 
 (* --- selftest --------------------------------------------------------------- *)
 
@@ -407,13 +362,13 @@ let selftest_cmd =
     Arg.(value & opt int 4096 & info [ "patterns"; "n" ] ~docv:"N" ~doc:"Session length.")
   in
   let run circuit weights patterns () =
-    let c = load_circuit circuit in
-    let faults = Rt_fault.Collapse.collapsed_universe c in
-    let x =
-      match weights with
-      | Some path -> Rt_repro.Weights_io.load path c
-      | None -> Array.make (Array.length (Rt_circuit.Netlist.inputs c)) 0.5
+    let weights_src =
+      match weights with None -> Config.Uniform | Some path -> Config.Weights_file path
     in
+    let ctx = Pipeline.create (Config.exn (Config.of_source ~weights:weights_src circuit)) in
+    let c = Pipeline.circuit ctx in
+    let faults = Pipeline.fault_list ctx in
+    let x = Config.resolve_weights (Pipeline.config ctx) c in
     let cfg =
       { (Rt_bist.Selftest.default_config c ~weights:x) with Rt_bist.Selftest.n_patterns = patterns }
     in
@@ -428,7 +383,7 @@ let selftest_cmd =
     Term.(
       ret
         (const (fun c w n () -> wrap (run c w n))
-        $ circuit_arg $ weights_arg $ patterns $ const ()))
+        $ Cli.circuit_arg $ Cli.weights_arg $ patterns $ const ()))
 
 (* --- obs-diff ---------------------------------------------------------------- *)
 
@@ -518,7 +473,7 @@ let () =
   let info = Cmd.info "optprob" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ list_cmd; generate_cmd; analyze_cmd; optimize_cmd; simulate_cmd; atpg_cmd; selftest_cmd;
-        tables_cmd; obs_diff_cmd ]
+      [ list_cmd; generate_cmd; analyze_cmd; optimize_cmd; simulate_cmd; run_cmd; atpg_cmd;
+        selftest_cmd; tables_cmd; obs_diff_cmd ]
   in
   exit (Cmd.eval group)

@@ -43,5 +43,5 @@ let () =
   Format.printf "  lieberherr:   %.1f%%@." (coverage (Array.make n_inputs best_p));
   Format.printf "  optimized:    %.1f%%@." (coverage report.Rt_optprob.Optimize.weights);
 
-  Rt_repro.Weights_io.save "s2_weights.txt" c report.Rt_optprob.Optimize.weights;
+  Rt_optprob.Weights_io.save "s2_weights.txt" c report.Rt_optprob.Optimize.weights;
   Format.printf "@.weights written to s2_weights.txt (try: optprob simulate s2 -w s2_weights.txt)@."

@@ -43,7 +43,7 @@ let () =
   Format.printf "optimized test length:             %.3e  (gain x%.0f)@."
     report.Rt_optprob.Optimize.n_final
     (Rt_optprob.Optimize.improvement report);
-  Format.printf "weights:@.%a" (Rt_repro.Weights_io.pp c) report.Rt_optprob.Optimize.weights;
+  Format.printf "weights:@.%a" (Rt_optprob.Weights_io.pp c) report.Rt_optprob.Optimize.weights;
 
   (* Verify by fault simulation: 4000 patterns under both distributions. *)
   let coverage weights seed =

@@ -520,10 +520,23 @@ let by_name name =
     (match name with
      | "antagonist" -> Some (fun () -> antagonist ())
      | _ ->
-       (match String.index_opt name '-' with
-        | Some i when String.sub name 0 i = "wide_and" ->
-          (try
-             let n = int_of_string (String.sub name (i + 1) (String.length name - i - 1)) in
-             Some (fun () -> wide_and n)
-           with Failure _ -> None)
-        | _ -> None))
+       (* Parameterised forms: "s2:W" / "c6288ish:W" (operand width) and
+          "wide_and-N". *)
+       (match String.index_opt name ':' with
+        | Some i ->
+          let base = String.sub name 0 i in
+          (match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+           | Some w when w > 0 ->
+             (match base with
+              | "s2" -> Some (fun () -> s2_divider ~width:w ())
+              | "c6288ish" -> Some (fun () -> c6288ish ~width:w ())
+              | _ -> None)
+           | Some _ | None -> None)
+        | None ->
+          (match String.index_opt name '-' with
+           | Some i when String.sub name 0 i = "wide_and" ->
+             (try
+                let n = int_of_string (String.sub name (i + 1) (String.length name - i - 1)) in
+                Some (fun () -> wide_and n)
+              with Failure _ -> None)
+           | _ -> None)))

@@ -138,4 +138,5 @@ val hard_suite : (string * (unit -> Netlist.t)) list
 (** The starred circuits (random-resistant): s1, s2, c2670ish, c7552ish. *)
 
 val by_name : string -> (unit -> Netlist.t) option
-(** Lookup across [paper_suite] plus [antagonist]/[wide_and-N]. *)
+(** Lookup across [paper_suite] plus [antagonist]/[wide_and-N] and the
+    parameterised widths [s2:W] and [c6288ish:W]. *)

@@ -205,10 +205,12 @@ let observe_always h v =
 
 let observe h v = if Atomic.get on then observe_always h v
 
-let span_end_h ?cat name h t0 =
+let span_end_h ?(cat = "span") name h t0 =
   if t0 > Float.neg_infinity then begin
+    (* One clock read feeds both the event and the histogram, so the two
+       views of the span duration are identical. *)
     let dur = Float.max 0.0 (now_us () -. t0) in
-    span_end ?cat name t0;
+    record { name; cat; ts_us = t0; dur_us = dur; tid = (Domain.self () :> int) };
     observe_always h dur
   end
 

@@ -1,0 +1,88 @@
+(* The one shared command-line surface for pipeline configs.  Subcommands
+   compose [config] (or individual args) instead of re-declaring their own
+   flag soup; validation (with did-you-mean) happens at parse time via the
+   Arg converters, so errors render as proper cmdliner usage errors. *)
+
+open Cmdliner
+
+let msg r = Result.map_error (fun m -> `Msg m) r
+
+let circuit_conv =
+  let parse s = msg (Config.circuit_of_string s) in
+  let print ppf src = Format.pp_print_string ppf (Config.circuit_name src) in
+  Arg.conv ~docv:"CIRCUIT" (parse, print)
+
+let engine_conv =
+  let parse s = msg (Result.map (fun _ -> s) (Config.engine_of_string s)) in
+  Arg.conv ~docv:"ENGINE" (parse, Format.pp_print_string)
+
+let circuit_arg =
+  Arg.(required & pos 0 (some circuit_conv) None & info [] ~docv:"CIRCUIT"
+         ~doc:"Built-in circuit name (see $(b,optprob list)) or path to a .bench file.")
+
+let engine_arg =
+  Arg.(value & opt engine_conv "bdd" & info [ "engine"; "e" ] ~docv:"ENGINE"
+         ~doc:("ANALYSIS engine: " ^ Config.engine_usage ^ "."))
+
+let confidence_arg =
+  Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"C"
+         ~doc:"Target confidence of the random test.")
+
+let seed_arg = Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"J"
+         ~doc:"Worker domains for the parallel kernels (default: $(b,OPTPROB_JOBS) or 1). \
+               Results and stage artifacts are independent of J.")
+
+let weights_arg =
+  Arg.(value & opt (some string) None & info [ "weights"; "w" ] ~docv:"FILE"
+         ~doc:"Weight file (from `optprob optimize -o`); default: all 0.5.")
+
+let sweeps_arg =
+  Arg.(value & opt int 10 & info [ "sweeps" ] ~docv:"K" ~doc:"Maximum optimisation sweeps.")
+
+let grid_arg =
+  Arg.(value & opt (some float) (Some 0.05) & info [ "grid" ] ~docv:"G"
+         ~doc:"Quantisation grid (paper appendix: 0.05); 0 disables.")
+
+let dyadic_arg =
+  Arg.(value & opt (some int) None & info [ "dyadic" ] ~docv:"BITS"
+         ~doc:"Quantise to k/2^BITS instead (LFSR weighting hardware grid).")
+
+let patterns_arg ~default =
+  Arg.(value & opt int default & info [ "patterns"; "n" ] ~docv:"N"
+         ~doc:"Number of random patterns for fault simulation.")
+
+let work_dir_arg =
+  Arg.(value & opt (some string) None & info [ "work-dir" ] ~docv:"DIR"
+         ~doc:"Content-addressed stage-artifact store.  A re-run with an unchanged config \
+               loads every stage from $(docv) (zero re-execution); changing an option \
+               re-runs exactly the stages downstream of it.")
+
+let quantize grid dyadic =
+  match (dyadic, grid) with
+  | Some bits, _ -> Rt_optprob.Optimize.Dyadic bits
+  | None, Some g when g > 0.0 -> Rt_optprob.Optimize.Grid g
+  | None, (Some _ | None) -> Rt_optprob.Optimize.No_quantization
+
+(* All subcommand configs funnel through Config.build via this one
+   constructor; the circuit/engine args are pre-validated by their
+   converters so [Config.exn] cannot raise here. *)
+let make_config circuit engine confidence seed jobs sweeps grid dyadic weights patterns
+    work_dir =
+  let weights =
+    match weights with None -> Config.Uniform | Some path -> Config.Weights_file path
+  in
+  match
+    Config.of_source ~engine ~confidence ~seed ?jobs ~sweeps ~quantize:(quantize grid dyadic)
+      ~weights ~patterns ?work_dir circuit
+  with
+  | Ok cfg -> cfg
+  | Error msg -> failwith msg
+
+let config ?(default_patterns = 10_000) () =
+  Term.(
+    const make_config $ circuit_arg $ engine_arg $ confidence_arg $ seed_arg $ jobs_arg
+    $ sweeps_arg $ grid_arg $ dyadic_arg $ weights_arg $ patterns_arg ~default:default_patterns
+    $ work_dir_arg)

@@ -1,0 +1,330 @@
+(* The typed stage graph: Loaded -> Faults -> Analysis -> Normalized ->
+   Optimized -> Validated -> Report, each with explicit inputs, a pure
+   [run] and a serialised, content-addressed artifact (see Store).
+
+   A context memoises stage results in memory and, when the config has a
+   work_dir, consults the artifact store first — so a run resumed after a
+   crash, or re-run with only downstream options changed, skips straight
+   past the untouched prefix.  Every stage records
+   [pipeline.stage.<name>.{run,cache_hit}] counters and a
+   [pipeline.<name>] span so obs-diff can attribute a regression to a
+   stage. *)
+
+module Detect = Rt_testability.Detect
+module Normalize = Rt_optprob.Normalize
+module Optimize = Rt_optprob.Optimize
+
+type 'a staged = { value : 'a; digest : string; from_cache : bool }
+
+type analysis = {
+  pf : float array;
+  a_weights : float array;
+  proven_redundant : bool array;
+  exact_mask : bool array;
+  engine_desc : string;
+}
+
+type normalized = {
+  n_required : float;
+  nf : int;
+  det_idx : int array;
+  hard : int array;
+  n_undetectable : int;
+}
+
+type validated = {
+  v_weights : float array;
+  first_detect : int array;
+  detect_count : int array;
+  patterns_run : int;
+  v_seed : int;
+  coverage : float;
+}
+
+type report = {
+  r_circuit : string;
+  r_stats : string;
+  r_engine : string;
+  r_inputs : int;
+  r_faults : int;
+  r_redundant : int;
+  r_n_conventional : float;
+  r_opt : Optimize.report;
+  r_coverage : float;
+  r_patterns : int;
+  r_seed : int;
+}
+
+type t = {
+  config : Config.t;
+  store : Store.t option;
+  mutable s_loaded : Rt_circuit.Netlist.t staged option;
+  mutable s_faults : Rt_fault.Fault.t array staged option;
+  mutable s_oracle : Detect.oracle option;
+  mutable s_analysis : analysis staged option;
+  mutable s_normalized : normalized staged option;
+  mutable s_optimized : Optimize.report staged option;
+  mutable s_validated : validated staged option;
+  mutable s_simulated : validated staged option;
+  mutable s_report : report staged option;
+}
+
+let create config =
+  { config;
+    store = Option.map Store.create config.Config.work_dir;
+    s_loaded = None;
+    s_faults = None;
+    s_oracle = None;
+    s_analysis = None;
+    s_normalized = None;
+    s_optimized = None;
+    s_validated = None;
+    s_simulated = None;
+    s_report = None }
+
+let config t = t.config
+
+(* --- stage executor --------------------------------------------------------- *)
+
+let exec t ~stage ~parts compute =
+  let key = Store.key ~stage ~parts in
+  let cached =
+    match t.store with
+    | Some store -> Store.load store ~stage ~key
+    | None -> None
+  in
+  match cached with
+  | Some (value, digest) ->
+    Rt_obs.incr (Rt_obs.counter ("pipeline.stage." ^ stage ^ ".cache_hit"));
+    ignore (Rt_obs.counter ("pipeline.stage." ^ stage ^ ".run"));
+    { value; digest; from_cache = true }
+  | None ->
+    Rt_obs.incr (Rt_obs.counter ("pipeline.stage." ^ stage ^ ".run"));
+    ignore (Rt_obs.counter ("pipeline.stage." ^ stage ^ ".cache_hit"));
+    let value = Rt_obs.with_span ~cat:"pipeline" ("pipeline." ^ stage) compute in
+    let digest =
+      match t.store with
+      | Some store -> Store.save store ~stage ~key value
+      | None -> "mem:" ^ key
+    in
+    { value; digest; from_cache = false }
+
+let memo cell set t ~stage ~parts compute =
+  match cell t with
+  | Some s -> s
+  | None ->
+    let s = exec t ~stage ~parts compute in
+    set t s;
+    s
+
+(* --- stages ----------------------------------------------------------------- *)
+
+let loaded t =
+  memo
+    (fun t -> t.s_loaded)
+    (fun t s -> t.s_loaded <- Some s)
+    t ~stage:"loaded"
+    ~parts:[ Config.circuit_key t.config.Config.circuit ]
+    (fun () -> Config.load_circuit t.config.Config.circuit)
+
+let circuit t = (loaded t).value
+
+let faults t =
+  let l = loaded t in
+  memo
+    (fun t -> t.s_faults)
+    (fun t s -> t.s_faults <- Some s)
+    t ~stage:"faults" ~parts:[ l.digest ]
+    (fun () -> Rt_fault.Collapse.collapsed_universe l.value)
+
+let fault_list t = (faults t).value
+
+let oracle t =
+  match t.s_oracle with
+  | Some o -> o
+  | None ->
+    let c = circuit t and fs = fault_list t in
+    let o = Detect.make ?jobs:t.config.Config.jobs (Config.engine_kind t.config) c fs in
+    t.s_oracle <- Some o;
+    o
+
+let analysis t =
+  let l = loaded t in
+  let f = faults t in
+  memo
+    (fun t -> t.s_analysis)
+    (fun t s -> t.s_analysis <- Some s)
+    t ~stage:"analysis"
+    ~parts:[ t.config.Config.engine; Config.weights_key t.config; l.digest; f.digest ]
+    (fun () ->
+      let o = oracle t in
+      let x = Config.resolve_weights t.config l.value in
+      { pf = Detect.probs o x;
+        a_weights = x;
+        proven_redundant = Detect.proven_redundant o;
+        exact_mask = Detect.exact_mask o;
+        engine_desc = Detect.describe o })
+
+let normalized t =
+  let a = analysis t in
+  memo
+    (fun t -> t.s_normalized)
+    (fun t s -> t.s_normalized <- Some s)
+    t ~stage:"normalized"
+    ~parts:[ Printf.sprintf "confidence=%h" t.config.Config.confidence; a.digest ]
+    (fun () ->
+      let { pf; proven_redundant; _ } = a.value in
+      let det_idx =
+        Array.of_list
+          (List.filteri (fun i _ -> not proven_redundant.(i))
+             (List.init (Array.length pf) Fun.id))
+      in
+      let pf_det = Array.map (fun i -> pf.(i)) det_idx in
+      let norm = Normalize.run ~confidence:t.config.Config.confidence pf_det in
+      (* Remap NORMALIZE's indices (into the detectable-filtered array)
+         back to fault-array order for downstream consumers. *)
+      { n_required = norm.Normalize.n;
+        nf = norm.Normalize.nf;
+        det_idx;
+        hard = Array.map (fun k -> det_idx.(k)) (Normalize.hard_indices norm);
+        n_undetectable = Array.length norm.Normalize.undetectable })
+
+let optimized ?progress ?recorder t =
+  let n = normalized t in
+  memo
+    (fun t -> t.s_optimized)
+    (fun t s -> t.s_optimized <- Some s)
+    t ~stage:"optimized"
+    ~parts:[ Config.optimize_key t.config; n.digest ]
+    (fun () ->
+      Optimize.run ~options:(Config.optimize_options t.config) ?progress ?recorder (oracle t))
+
+(* Fault-simulate [weights] with the config's seed/patterns/jobs; shared by
+   the [validated] stage (optimized weights) and the [simulated] variant
+   (the analysis weights, i.e. `optprob simulate`). *)
+let fault_simulate t weights =
+  let c = circuit t and fs = fault_list t in
+  let rng = Rt_util.Rng.create t.config.Config.seed in
+  let source = Rt_sim.Pattern.weighted rng weights in
+  let stats =
+    Rt_sim.Fault_sim.simulate ?jobs:t.config.Config.jobs ~drop:true c fs ~source
+      ~n_patterns:t.config.Config.patterns
+  in
+  let total = Array.length stats.Rt_sim.Fault_sim.first_detect in
+  let hit =
+    Array.fold_left (fun a fd -> if fd >= 0 then a + 1 else a) 0
+      stats.Rt_sim.Fault_sim.first_detect
+  in
+  { v_weights = weights;
+    first_detect = stats.Rt_sim.Fault_sim.first_detect;
+    detect_count = stats.Rt_sim.Fault_sim.detect_count;
+    patterns_run = stats.Rt_sim.Fault_sim.patterns_run;
+    v_seed = t.config.Config.seed;
+    coverage = (if total = 0 then 1.0 else Float.of_int hit /. Float.of_int total) }
+
+let sim_parts t ~at upstream_digest =
+  [ at;
+    Printf.sprintf "seed=%d" t.config.Config.seed;
+    Printf.sprintf "patterns=%d" t.config.Config.patterns;
+    upstream_digest ]
+
+let validated t =
+  let o = optimized t in
+  memo
+    (fun t -> t.s_validated)
+    (fun t s -> t.s_validated <- Some s)
+    t ~stage:"validated"
+    ~parts:(sim_parts t ~at:"at-optimized" o.digest)
+    (fun () -> fault_simulate t o.value.Optimize.weights)
+
+let simulated t =
+  let a = analysis t in
+  memo
+    (fun t -> t.s_simulated)
+    (fun t s -> t.s_simulated <- Some s)
+    t ~stage:"validated"
+    ~parts:(sim_parts t ~at:"at-analysis" a.digest)
+    (fun () -> fault_simulate t a.value.a_weights)
+
+let sim_stats t (v : validated) =
+  { Rt_sim.Fault_sim.faults = fault_list t;
+    first_detect = v.first_detect;
+    detect_count = v.detect_count;
+    patterns_run = v.patterns_run }
+
+let report t =
+  let l = loaded t in
+  let f = faults t in
+  let a = analysis t in
+  let n = normalized t in
+  let o = optimized t in
+  let v = validated t in
+  memo
+    (fun t -> t.s_report)
+    (fun t s -> t.s_report <- Some s)
+    t ~stage:"report"
+    ~parts:[ l.digest; f.digest; a.digest; n.digest; o.digest; v.digest ]
+    (fun () ->
+      { r_circuit = Config.circuit_name t.config.Config.circuit;
+        r_stats = Format.asprintf "%t" (fun ppf -> Rt_circuit.Netlist.stats l.value ppf);
+        r_engine = a.value.engine_desc;
+        r_inputs = Array.length (Rt_circuit.Netlist.inputs l.value);
+        r_faults = Array.length f.value;
+        r_redundant =
+          Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a.value.proven_redundant;
+        r_n_conventional = n.value.n_required;
+        r_opt = o.value;
+        r_coverage = v.value.coverage;
+        r_patterns = v.value.patterns_run;
+        r_seed = v.value.v_seed })
+
+(* --- whole-graph run -------------------------------------------------------- *)
+
+type outcome = {
+  o_report : report staged;
+  o_stages : (string * bool) list;  (* stage name, served from cache *)
+}
+
+let stage_names = [ "loaded"; "faults"; "analysis"; "normalized"; "optimized"; "validated"; "report" ]
+
+let run ?progress ?recorder t =
+  let l = loaded t in
+  let f = faults t in
+  let a = analysis t in
+  let n = normalized t in
+  let o = optimized ?progress ?recorder t in
+  let v = validated t in
+  let r = report t in
+  { o_report = r;
+    o_stages =
+      [ ("loaded", l.from_cache);
+        ("faults", f.from_cache);
+        ("analysis", a.from_cache);
+        ("normalized", n.from_cache);
+        ("optimized", o.from_cache);
+        ("validated", v.from_cache);
+        ("report", r.from_cache) ] }
+
+let all_cached outcome = List.for_all snd outcome.o_stages
+
+let pp_stages ppf outcome =
+  List.iter
+    (fun (name, hit) ->
+      Format.fprintf ppf "  %-10s %s@." name (if hit then "[cache hit]" else "[run]"))
+    outcome.o_stages;
+  let hits = List.length (List.filter snd outcome.o_stages) in
+  Format.fprintf ppf "  %d/%d stages from cache@." hits (List.length outcome.o_stages)
+
+let pp_report ppf r =
+  Format.fprintf ppf "circuit:        %s (%s)@." r.r_circuit r.r_stats;
+  Format.fprintf ppf "engine:         %s@." r.r_engine;
+  Format.fprintf ppf "faults:         %d collapsed, %d proven redundant@." r.r_faults
+    r.r_redundant;
+  Format.fprintf ppf "N conventional: %s@."
+    (if Float.is_finite r.r_n_conventional then Printf.sprintf "%.3e" r.r_n_conventional
+     else "infinite");
+  Format.fprintf ppf "N initial:      %.3e@." r.r_opt.Optimize.n_initial;
+  Format.fprintf ppf "N optimized:    %.3e  (gain x%.0f)@." r.r_opt.Optimize.n_final
+    (Optimize.improvement r.r_opt);
+  Format.fprintf ppf "validated:      %.2f%% coverage (%d patterns, seed %d)@."
+    (100.0 *. r.r_coverage) r.r_patterns r.r_seed

@@ -1,0 +1,11 @@
+(** One typed stage-graph pipeline behind every entry point.
+
+    [Rt_pipeline] itself is the stage graph (see {!Pipeline}); {!Config}
+    is the validated run configuration, {!Store} the content-addressed
+    artifact store behind [--work-dir], and {!Cli} the shared cmdliner
+    flag surface. *)
+
+module Config = Config
+module Store = Store
+module Cli = Cli
+include Pipeline

@@ -1,0 +1,62 @@
+(* Content-addressed artifact store under a --work-dir.
+
+   One file per stage output: <dir>/<stage>-<key>.art where the key is the
+   MD5 of (schema, stage, git rev, config slice, upstream artifact
+   digests).  The payload is a one-line self-describing header followed by
+   the marshalled value; the file's own MD5 is the artifact digest fed
+   into downstream keys, so a change anywhere upstream reliably re-keys
+   everything below it.  Unreadable or truncated files are treated as
+   cache misses and overwritten (writes go through a rename so a crash
+   mid-write never leaves a plausible-looking artifact behind). *)
+
+type t = { dir : string }
+
+let schema = "optprob-pipeline-artifact/1"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create dir =
+  mkdir_p dir;
+  { dir }
+
+let key ~stage ~parts =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" (schema :: stage :: Rt_obs.Artifact.git_rev () :: parts)))
+
+let path t ~stage ~key = Filename.concat t.dir (stage ^ "-" ^ key ^ ".art")
+
+let header stage = schema ^ " " ^ stage ^ "\n"
+
+let load t ~stage ~key =
+  let p = path t ~stage ~key in
+  if not (Sys.file_exists p) then None
+  else begin
+    try
+      let ic = open_in_bin p in
+      let len = in_channel_length ic in
+      let bytes = really_input_string ic len in
+      close_in ic;
+      let h = header stage in
+      let hl = String.length h in
+      if len <= hl || String.sub bytes 0 hl <> h then None
+      else begin
+        let value = Marshal.from_string bytes hl in
+        Some (value, Digest.to_hex (Digest.string bytes))
+      end
+    with _ -> None
+  end
+
+let save t ~stage ~key value =
+  let body = header stage ^ Marshal.to_string value [] in
+  let p = path t ~stage ~key in
+  let tmp = p ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc body;
+  close_out oc;
+  Sys.rename tmp p;
+  Digest.to_hex (Digest.string body)

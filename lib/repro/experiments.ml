@@ -3,6 +3,8 @@ module Generators = Rt_circuit.Generators
 module Fault = Rt_fault.Fault
 module Detect = Rt_testability.Detect
 module Optimize = Rt_optprob.Optimize
+module Pipeline = Rt_pipeline
+module Pconfig = Rt_pipeline.Config
 
 type table = {
   id : string;
@@ -34,7 +36,7 @@ let fmt_n n =
 
 let fmt_pct p = Printf.sprintf "%.1f%%" (100.0 *. p)
 
-(* --- Shared, cached artefacts ------------------------------------------- *)
+(* --- Shared pipeline contexts -------------------------------------------- *)
 
 let confidence = 0.95
 
@@ -53,57 +55,43 @@ let paper_t3 = [ ("s1", 3.5e4); ("s2", 4.0e4); ("c2670ish", 6.9e4); ("c7552ish",
 let paper_t4 = [ ("s1", 99.7); ("s2", 99.7); ("c2670ish", 99.7); ("c7552ish", 98.9) ]
 let paper_t5 = [ ("s1", 300.0); ("s2", 600.0); ("c2670ish", 1200.0); ("c7552ish", 2000.0) ]
 
-let circuit_cache : (string, Netlist.t) Hashtbl.t = Hashtbl.create 16
-let fault_cache : (string, Fault.t array) Hashtbl.t = Hashtbl.create 16
-let oracle_cache : (string, Detect.oracle) Hashtbl.t = Hashtbl.create 16
-let detectable_cache : (string, bool array) Hashtbl.t = Hashtbl.create 16
-
-(* Full mode scales S2 back up to the paper's 32-bit divider; everything
-   derived from the circuits is cached, so toggling clears the caches. *)
+(* Every experiment pulls its circuit, fault list, exact oracle and
+   optimization out of one Rt_pipeline context per circuit; the context
+   memoises the stages, so the Hashtbl below only caches the contexts
+   themselves.  Full mode scales S2 back up to the paper's divider width
+   and raises the sweep budget — a different config, hence the reset. *)
 let full_mode = ref false
+let ctx_cache : (string, Pipeline.t) Hashtbl.t = Hashtbl.create 16
+let detectable_cache : (string, bool array) Hashtbl.t = Hashtbl.create 16
+let opt_cache : (string * bool, Optimize.report * float) Hashtbl.t = Hashtbl.create 16
 
 let set_full full =
   if full <> !full_mode then begin
     full_mode := full;
-    Hashtbl.reset circuit_cache;
-    Hashtbl.reset fault_cache;
-    Hashtbl.reset oracle_cache;
+    Hashtbl.reset ctx_cache;
     Hashtbl.reset detectable_cache
   end
 
-let circuit name =
-  match Hashtbl.find_opt circuit_cache name with
-  | Some c -> c
-  | None ->
-    let gen =
-      if name = "s2" && !full_mode then fun () -> Generators.s2_divider ~width:20 ()
-      else begin
-        match Generators.by_name name with
-        | Some g -> g
-        | None -> invalid_arg ("Experiments.circuit: unknown " ^ name)
-      end
-    in
-    let c = gen () in
-    Hashtbl.add circuit_cache name c;
-    c
+(* The table-driven base config: exact BDD analysis plus the optimizer
+   budget shared by T3/T4/T5/F2/A1. *)
+let base_config name =
+  let circuit = if name = "s2" && !full_mode then "s2:20" else name in
+  Pconfig.exn
+    (Pconfig.make ~engine:"bdd:2000000" ~confidence ~alpha:0.005 ~nf_min:256
+       ~sweeps:(if !full_mode then 16 else 12)
+       ~quantize:(Optimize.Grid 0.05) ~circuit ())
 
-let faults name =
-  match Hashtbl.find_opt fault_cache name with
-  | Some f -> f
+let ctx name =
+  match Hashtbl.find_opt ctx_cache name with
+  | Some t -> t
   | None ->
-    let f = Rt_fault.Collapse.collapsed_universe (circuit name) in
-    Hashtbl.add fault_cache name f;
-    f
+    let t = Pipeline.create (base_config name) in
+    Hashtbl.add ctx_cache name t;
+    t
 
-let oracle name =
-  match Hashtbl.find_opt oracle_cache name with
-  | Some o -> o
-  | None ->
-    let o =
-      Detect.make (Detect.Bdd_exact { node_limit = 2_000_000 }) (circuit name) (faults name)
-    in
-    Hashtbl.add oracle_cache name o;
-    o
+let circuit name = Pipeline.circuit (ctx name)
+let faults name = Pipeline.fault_list (ctx name)
+let oracle name = Pipeline.oracle (ctx name)
 
 (* Detectable-fault mask: faults proven redundant by the exact engine are
    excluded (the paper reports coverage only over detectable faults);
@@ -149,22 +137,16 @@ let detectable_mask name =
     Hashtbl.add detectable_cache name mask;
     mask
 
-let opt_cache : (string * bool, Optimize.report * float) Hashtbl.t = Hashtbl.create 16
-
 let optimized name ~full =
   match Hashtbl.find_opt opt_cache (name, full) with
   | Some r -> r
   | None ->
-    let options =
-      { Optimize.default_options with
-        Optimize.confidence;
-        max_sweeps = (if full then 16 else 12);
-        alpha = 0.005;
-        nf_min = 256;
-        quantize = Optimize.Grid 0.05 }
-    in
+    let t = ctx name in
+    (* Force the upstream stages first so the timer brackets exactly the
+       OPTIMIZE step, as T5 reports it. *)
+    ignore (Pipeline.normalized t);
     let t0 = Rt_util.Stats.timer_start () in
-    let report = Optimize.run ~options (oracle name) in
+    let report = (Pipeline.optimized t).Pipeline.value in
     let seconds = Rt_util.Stats.timer_elapsed t0 in
     Hashtbl.add opt_cache (name, full) (report, seconds);
     (report, seconds)
@@ -367,7 +349,7 @@ let a1_weight_listing ?(full = false) () =
   let listing name =
     let report, _ = optimized name ~full in
     let c = circuit name in
-    let txt = Format.asprintf "%a" (Weights_io.pp c) report.Optimize.weights in
+    let txt = Format.asprintf "%a" (Rt_optprob.Weights_io.pp c) report.Optimize.weights in
     String.split_on_char '\n' txt
     |> List.filter (fun s -> String.trim s <> "")
     |> List.map (fun line -> [ name; line ])
@@ -379,10 +361,11 @@ let a1_weight_listing ?(full = false) () =
     notes = [ "machine-readable files: optprob optimize <circuit> -o weights.txt" ] }
 
 let x2_partitioning () =
-  let c = Generators.antagonist ~k:12 () in
-  let fs = Rt_fault.Collapse.collapsed_universe c in
-  let o = Detect.make (Detect.Bdd_exact { node_limit = 500_000 }) c fs in
-  let sp = Rt_optprob.Partition.split o in
+  let t =
+    Pipeline.create
+      (Pconfig.exn (Pconfig.make ~engine:"bdd:500000" ~confidence ~circuit:"antagonist" ()))
+  in
+  let sp = Rt_optprob.Partition.split (Pipeline.oracle t) in
   let open Rt_optprob.Partition in
   let rows =
     [ [ "single distribution"; fmt_n sp.n_single ];
@@ -436,30 +419,31 @@ let x3_convexity_scan () =
 
 let x4_engine_ablation ?(full = false) () =
   set_full full;
-  let name = "s1" in
-  let c = circuit name in
-  let fs = faults name in
-  let exact_oracle = oracle name in
-  let options =
-    { Optimize.default_options with Optimize.confidence; max_sweeps = 8; nf_min = 256 }
-  in
+  let exact_oracle = oracle "s1" in
   let rows =
     List.map
       (fun (label, engine) ->
-        let o = Detect.make engine c fs in
+        (* One fresh pipeline per engine, same budget; the timer brackets
+           the OPTIMIZE stage only. *)
+        let t =
+          Pipeline.create
+            (Pconfig.exn
+               (Pconfig.make ~engine ~confidence ~sweeps:8 ~nf_min:256 ~circuit:"s1" ()))
+        in
+        ignore (Pipeline.normalized t);
         let t0 = Rt_util.Stats.timer_start () in
-        let r = Optimize.run ~options o in
+        let r = (Pipeline.optimized t).Pipeline.value in
         let seconds = Rt_util.Stats.timer_elapsed t0 in
         (* Score the weights with the exact engine regardless of which
            engine produced them. *)
         let pf = Detect.probs exact_oracle r.Optimize.weights in
         let n_true = (Rt_optprob.Normalize.run ~confidence pf).Rt_optprob.Normalize.n in
         [ label; fmt_n n_true; Printf.sprintf "%.1fs" seconds ])
-      [ ("cop (PROTEST-style estimate)", Detect.Cop);
-        ("conditioned (PREDICT-style)", Detect.Conditioned { max_vars = 6 });
-        ("bdd (exact)", Detect.Bdd_exact { node_limit = 2_000_000 });
-        ("stafan (counting)", Detect.Stafan { n_patterns = 8_192; seed = 7 });
-        ("monte-carlo", Detect.Monte_carlo { n_patterns = 8_192; seed = 7 }) ]
+      [ ("cop (PROTEST-style estimate)", "cop");
+        ("conditioned (PREDICT-style)", "cond:6");
+        ("bdd (exact)", "bdd:2000000");
+        ("stafan (counting)", "stafan:8192");
+        ("monte-carlo", "mc:8192") ]
   in
   { id = "X4";
     title = "ANALYSIS engines are interchangeable (optimized S1 scored by the exact engine)";
@@ -474,19 +458,18 @@ let x4_engine_ablation ?(full = false) () =
 
 let x5_quantization_ablation ?(full = false) () =
   set_full full;
-  let name = "s1" in
-  let exact_oracle = oracle name in
+  let exact_oracle = oracle "s1" in
   let score w =
     let pf = Detect.probs exact_oracle w in
     (Rt_optprob.Normalize.run ~confidence pf).Rt_optprob.Normalize.n
   in
-  let base_options =
-    { Optimize.default_options with
-      Optimize.confidence;
-      max_sweeps = 12;
-      quantize = Optimize.No_quantization }
+  let t =
+    Pipeline.create
+      (Pconfig.exn
+         (Pconfig.make ~engine:"bdd:2000000" ~confidence ~sweeps:12
+            ~quantize:Optimize.No_quantization ~circuit:"s1" ()))
   in
-  let raw = Optimize.run ~options:base_options exact_oracle in
+  let raw = (Pipeline.optimized t).Pipeline.value in
   let quantised q = Optimize.apply_quantization q raw.Optimize.weights in
   let rows =
     [ [ "unquantised"; fmt_n (score raw.Optimize.weights) ];
@@ -517,16 +500,14 @@ let x6_jitter_ablation ?(full = false) () =
     Rt_circuit.Builder.output b ~name:"parity" (Generators.parity b xs);
     Rt_circuit.Builder.finalize b
   in
-  let fs = Rt_fault.Collapse.collapsed_universe c in
-  let o = Detect.make (Detect.Bdd_exact { node_limit = 500_000 }) c fs in
   let run jitter =
-    let options =
-      { Optimize.default_options with
-        Optimize.confidence;
-        max_sweeps = 10;
-        start_jitter = jitter }
+    let t =
+      Pipeline.create
+        (Pconfig.exn
+           (Pconfig.of_netlist ~engine:"bdd:500000" ~confidence ~sweeps:10
+              ~start_jitter:jitter ~name:"guarded-eq" c))
     in
-    Optimize.run ~options o
+    (Pipeline.optimized t).Pipeline.value
   in
   let rows =
     List.map

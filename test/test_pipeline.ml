@@ -1,0 +1,294 @@
+(* Rt_pipeline: golden equivalence with the pre-refactor wiring, cache
+   resume semantics (qcheck), stage invalidation, config validation. *)
+
+module Pipeline = Rt_pipeline
+module Config = Rt_pipeline.Config
+module Store = Rt_pipeline.Store
+module Detect = Rt_testability.Detect
+module Optimize = Rt_optprob.Optimize
+
+let check = Alcotest.check
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "optprob-pipe-%d-%d" (Unix.getpid ()) !n)
+    in
+    (* Stale stores from a previous test process would fake cache hits. *)
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end;
+    dir
+
+(* --- golden equivalence ------------------------------------------------------
+
+   The pipeline's optimize path must produce bit-for-bit the weights of the
+   wiring it replaced: load -> collapse -> Detect.make ?jobs -> Optimize.run
+   with the CLI's default options.  Checked for every engine family and for
+   jobs 1 vs 4 (results must be jobs-independent). *)
+
+let golden_engines =
+  [ "cop"; "cond:3"; "bdd:200000"; "stafan:2048"; "mc:2048" ]
+
+let legacy_weights ~engine ~jobs circuit_name =
+  let c =
+    match Rt_circuit.Generators.by_name circuit_name with
+    | Some g -> g ()
+    | None -> Alcotest.failf "unknown golden circuit %s" circuit_name
+  in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let engine_kind =
+    match Config.engine_of_string engine with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  let oracle = Detect.make ~jobs engine_kind c faults in
+  let options =
+    { Optimize.default_options with
+      Optimize.confidence = 0.95;
+      max_sweeps = 3;
+      quantize = Optimize.Grid 0.05 }
+  in
+  (Optimize.run ~options oracle).Optimize.weights
+
+let pipeline_weights ~engine ~jobs circuit_name =
+  let cfg =
+    Config.exn
+      (Config.make ~engine ~confidence:0.95 ~jobs ~sweeps:3
+         ~quantize:(Optimize.Grid 0.05) ~circuit:circuit_name ())
+  in
+  let ctx = Pipeline.create cfg in
+  (Pipeline.optimized ctx).Pipeline.value.Optimize.weights
+
+let test_golden () =
+  List.iter
+    (fun engine ->
+      let reference = legacy_weights ~engine ~jobs:1 "c432ish" in
+      List.iter
+        (fun jobs ->
+          let got = pipeline_weights ~engine ~jobs "c432ish" in
+          check
+            Alcotest.(array (float 0.0))
+            (Printf.sprintf "weights identical (%s, jobs=%d)" engine jobs)
+            reference got)
+        [ 1; 4 ])
+    golden_engines
+
+let test_golden_legacy_jobs () =
+  (* The legacy path itself is jobs-invariant; pin that too so the golden
+     reference above is unambiguous. *)
+  List.iter
+    (fun engine ->
+      check
+        Alcotest.(array (float 0.0))
+        (Printf.sprintf "legacy jobs-invariant (%s)" engine)
+        (legacy_weights ~engine ~jobs:1 "c432ish")
+        (legacy_weights ~engine ~jobs:4 "c432ish"))
+    [ "cop"; "bdd:200000" ]
+
+(* --- cache resume (qcheck) ---------------------------------------------------
+
+   For any config, a second run against the same work dir re-executes zero
+   stages. *)
+
+let config_gen =
+  QCheck.Gen.(
+    let* engine = oneofl [ "cop"; "cond:2"; "bdd:100000"; "stafan:512"; "mc:512" ] in
+    let* confidence = oneofl [ 0.9; 0.95; 0.99 ] in
+    let* sweeps = int_range 1 3 in
+    let* seed = int_range 0 10_000 in
+    let* patterns = oneofl [ 128; 256 ] in
+    let* quantize =
+      oneofl [ Optimize.Grid 0.05; Optimize.Dyadic 3; Optimize.No_quantization ]
+    in
+    return (engine, confidence, sweeps, seed, patterns, quantize))
+
+let config_print (engine, confidence, sweeps, seed, patterns, _quantize) =
+  Printf.sprintf "engine=%s confidence=%.2f sweeps=%d seed=%d patterns=%d" engine confidence
+    sweeps seed patterns
+
+let cache_hit_qcheck =
+  QCheck.Test.make ~name:"second run with unchanged config is 100% cache hits" ~count:10
+    (QCheck.make ~print:config_print config_gen)
+    (fun (engine, confidence, sweeps, seed, patterns, quantize) ->
+      let work_dir = fresh_dir () in
+      let cfg () =
+        Config.exn
+          (Config.make ~engine ~confidence ~sweeps ~seed ~patterns ~quantize ~work_dir
+             ~circuit:"wide_and-8" ())
+      in
+      let first = Pipeline.run (Pipeline.create (cfg ())) in
+      let second = Pipeline.run (Pipeline.create (cfg ())) in
+      List.for_all (fun (_, hit) -> not hit) first.Pipeline.o_stages
+      && Pipeline.all_cached second
+      && second.Pipeline.o_report.Pipeline.digest = first.Pipeline.o_report.Pipeline.digest)
+
+(* --- stage invalidation ------------------------------------------------------ *)
+
+let stage_flags outcome =
+  List.map (fun (name, hit) -> (name, hit)) outcome.Pipeline.o_stages
+
+let test_seed_invalidation () =
+  let work_dir = fresh_dir () in
+  let cfg seed =
+    Config.exn
+      (Config.make ~engine:"cop" ~seed ~patterns:256 ~sweeps:2 ~work_dir ~circuit:"s1" ())
+  in
+  ignore (Pipeline.run (Pipeline.create (cfg 1)));
+  (* Bumping the seed must re-run exactly the seed-dependent stages:
+     validated (the fault-sim RNG) and report (downstream of it). *)
+  let second = Pipeline.run (Pipeline.create (cfg 2)) in
+  check
+    Alcotest.(list (pair string bool))
+    "only validated+report re-run on a seed bump"
+    [ ("loaded", true); ("faults", true); ("analysis", true); ("normalized", true);
+      ("optimized", true); ("validated", false); ("report", false) ]
+    (stage_flags second);
+  (* And returning to the first seed is a full cache hit again. *)
+  let third = Pipeline.run (Pipeline.create (cfg 1)) in
+  check Alcotest.bool "original seed fully cached" true (Pipeline.all_cached third)
+
+let test_engine_invalidation () =
+  let work_dir = fresh_dir () in
+  let cfg engine =
+    Config.exn
+      (Config.make ~engine ~patterns:256 ~sweeps:2 ~work_dir ~circuit:"wide_and-8" ())
+  in
+  ignore (Pipeline.run (Pipeline.create (cfg "cop")));
+  (* mc's sampled probabilities differ from cop's exact ones, so the whole
+     downstream chain re-keys. *)
+  let second = Pipeline.run (Pipeline.create (cfg "mc:512")) in
+  check
+    Alcotest.(list (pair string bool))
+    "engine change re-runs analysis and everything downstream"
+    [ ("loaded", true); ("faults", true); ("analysis", false); ("normalized", false);
+      ("optimized", false); ("validated", false); ("report", false) ]
+    (stage_flags second)
+
+let test_engine_early_cutoff () =
+  (* cop and cond are both exact on a wide AND: the re-run analysis stage
+     reproduces the same normalized artifact, so content addressing stops
+     the invalidation there and optimized/validated stay cached. *)
+  let work_dir = fresh_dir () in
+  let cfg engine =
+    Config.exn
+      (Config.make ~engine ~patterns:256 ~sweeps:2 ~work_dir ~circuit:"wide_and-8" ())
+  in
+  ignore (Pipeline.run (Pipeline.create (cfg "cop")));
+  let second = Pipeline.run (Pipeline.create (cfg "cond:2")) in
+  check Alcotest.(list (pair string bool)) "equivalent engine cuts off at normalized"
+    [ ("loaded", true); ("faults", true); ("analysis", false); ("normalized", false);
+      ("optimized", true); ("validated", true); ("report", false) ]
+    (stage_flags second)
+
+let test_cache_hit_counters () =
+  (* The acceptance gate's counter contract: a resumed run shows
+     pipeline.stage.<name>.cache_hit = 1 and .run = 0 for every stage. *)
+  let work_dir = fresh_dir () in
+  let cfg () =
+    Config.exn (Config.make ~engine:"cop" ~patterns:128 ~sweeps:1 ~work_dir ~circuit:"wide_and-8" ())
+  in
+  ignore (Pipeline.run (Pipeline.create (cfg ())));
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  ignore (Pipeline.run (Pipeline.create (cfg ())));
+  let counters = Rt_obs.counters_snapshot () in
+  Rt_obs.set_enabled false;
+  Rt_obs.clear ();
+  let value name =
+    match List.assoc_opt name counters with Some v -> v | None -> -1
+  in
+  List.iter
+    (fun stage ->
+      check Alcotest.int
+        (Printf.sprintf "pipeline.stage.%s.cache_hit" stage)
+        1
+        (value (Printf.sprintf "pipeline.stage.%s.cache_hit" stage));
+      check Alcotest.int
+        (Printf.sprintf "pipeline.stage.%s.run" stage)
+        0
+        (value (Printf.sprintf "pipeline.stage.%s.run" stage)))
+    Pipeline.stage_names
+
+let test_corrupt_artifact_is_miss () =
+  let dir = fresh_dir () in
+  let store = Store.create dir in
+  let key = Store.key ~stage:"loaded" ~parts:[ "x" ] in
+  ignore (Store.save store ~stage:"loaded" ~key [| 1; 2; 3 |]);
+  (match Store.load store ~stage:"loaded" ~key with
+   | Some (v, _) -> check Alcotest.(array int) "roundtrip" [| 1; 2; 3 |] v
+   | None -> Alcotest.fail "expected artifact hit");
+  let oc = open_out_bin (Store.path store ~stage:"loaded" ~key) in
+  output_string oc "garbage";
+  close_out oc;
+  check Alcotest.bool "corrupt artifact reads as a miss" true
+    (Store.load store ~stage:"loaded" ~key = None)
+
+(* --- config validation ------------------------------------------------------- *)
+
+let error_of = function
+  | Error m -> m
+  | Ok _ -> Alcotest.fail "expected a validation error"
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_did_you_mean_circuit () =
+  let m = error_of (Config.circuit_of_string "s2x") in
+  check Alcotest.bool "suggests s2" true (contains ~sub:{|did you mean "s2"|} m);
+  check Alcotest.bool "lists valid names" true (contains ~sub:"c7552ish" m);
+  let m = error_of (Config.circuit_of_string "antagonst") in
+  check Alcotest.bool "suggests antagonist" true (contains ~sub:{|"antagonist"|} m)
+
+let test_did_you_mean_engine () =
+  let m = error_of (Config.engine_of_string "bddd") in
+  check Alcotest.bool "suggests bdd" true (contains ~sub:{|did you mean "bdd"|} m);
+  check Alcotest.bool "shows grammar" true (contains ~sub:"stafan:N" m);
+  check Alcotest.bool "cond needs K" true
+    (contains ~sub:"cond" (error_of (Config.engine_of_string "cond")));
+  (match Config.engine_of_string "stafan:100" with
+   | Ok (Detect.Stafan { n_patterns = 100; seed = 7 }) -> ()
+   | Ok _ -> Alcotest.fail "wrong stafan parse"
+   | Error m -> Alcotest.fail m)
+
+let test_edit_distance () =
+  check Alcotest.int "identical" 0 (Config.edit_distance "cop" "cop");
+  check Alcotest.int "one substitution" 1 (Config.edit_distance "bdd" "bdd:");
+  check Alcotest.int "classic" 3 (Config.edit_distance "kitten" "sitting")
+
+let test_valid_circuits_parse () =
+  List.iter
+    (fun name ->
+      match Config.circuit_of_string name with
+      | Ok src -> check Alcotest.string "name roundtrip" name (Config.circuit_name src)
+      | Error m -> Alcotest.fail m)
+    [ "s1"; "s2:20"; "c6288ish:4"; "wide_and-8"; "antagonist" ]
+
+let () =
+  Alcotest.run "rt_pipeline"
+    [ ( "golden",
+        [ Alcotest.test_case "pipeline = pre-refactor wiring, all engines, jobs 1/4" `Slow
+            test_golden;
+          Alcotest.test_case "legacy path jobs-invariant" `Slow test_golden_legacy_jobs ] );
+      ( "cache",
+        [ QCheck_alcotest.to_alcotest cache_hit_qcheck;
+          Alcotest.test_case "cache-hit counters on resume" `Quick test_cache_hit_counters;
+          Alcotest.test_case "corrupt artifact is a miss" `Quick test_corrupt_artifact_is_miss ] );
+      ( "invalidation",
+        [ Alcotest.test_case "seed bump re-runs exactly validated+report" `Quick
+            test_seed_invalidation;
+          Alcotest.test_case "engine change re-runs analysis onward" `Quick
+            test_engine_invalidation;
+          Alcotest.test_case "equivalent engine early-cuts-off after normalized" `Quick
+            test_engine_early_cutoff ] );
+      ( "validation",
+        [ Alcotest.test_case "circuit did-you-mean" `Quick test_did_you_mean_circuit;
+          Alcotest.test_case "engine did-you-mean" `Quick test_did_you_mean_engine;
+          Alcotest.test_case "edit distance" `Quick test_edit_distance;
+          Alcotest.test_case "valid circuit specs parse" `Quick test_valid_circuits_parse ] ) ]

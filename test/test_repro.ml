@@ -2,7 +2,7 @@
    fast experiments run for real; the heavyweight tables are covered by the
    bench harness). *)
 
-module Weights_io = Rt_repro.Weights_io
+module Weights_io = Rt_optprob.Weights_io
 module Experiments = Rt_repro.Experiments
 module Generators = Rt_circuit.Generators
 
