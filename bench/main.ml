@@ -199,6 +199,36 @@ let kernel_tests () =
            ignore
              (Rt_sim.Fault_sim.simulate ~jobs:4 ~drop:true mult mult_faults ~source:mult_source
                 ~n_patterns:256)));
+    (* Width sweep: the same 1024-pattern no-drop workload at one, four
+       and eight words per block.  No-drop keeps every fault live, so the
+       ratio isolates the wide datapath (good-machine amortisation +
+       per-fault traversal over W words) from drop-rate luck. *)
+    Test.make ~name:"ppsfp width sweep (8x8 multiplier) W=1 jobs=1"
+      (Staged.stage (fun () ->
+           ignore
+             (Rt_sim.Fault_sim.simulate ~jobs:1 ~block_words:1 ~drop:false mult mult_faults
+                ~source:mult_source ~n_patterns:1024)));
+    Test.make ~name:"ppsfp width sweep (8x8 multiplier) W=4 jobs=1"
+      (Staged.stage (fun () ->
+           ignore
+             (Rt_sim.Fault_sim.simulate ~jobs:1 ~block_words:4 ~drop:false mult mult_faults
+                ~source:mult_source ~n_patterns:1024)));
+    Test.make ~name:"ppsfp width sweep (8x8 multiplier) W=8 jobs=1"
+      (Staged.stage (fun () ->
+           ignore
+             (Rt_sim.Fault_sim.simulate ~jobs:1 ~block_words:8 ~drop:false mult mult_faults
+                ~source:mult_source ~n_patterns:1024)));
+    (* Dispatch cost of one 64-task parallel region: persistent pool vs
+       spawn-per-region.  The body is trivial on purpose — the gap is the
+       Domain.spawn/join price the pool removes from every ppsfp batch. *)
+    Test.make ~name:"parallel dispatch 64 tasks pool jobs=4"
+      (Staged.stage (fun () ->
+           Rt_util.Pool.run (Rt_util.Pool.default ()) ~grain:1 ~participants:4 ~n:64
+             (fun _ lo hi -> ignore (Sys.opaque_identity (hi - lo)))));
+    Test.make ~name:"parallel dispatch 64 tasks spawn jobs=4"
+      (Staged.stage (fun () ->
+           Rt_util.Parallel.run_chunks ~jobs:4 ~n:64 (fun ~chunk:_ ~lo ~hi ->
+               ignore (Sys.opaque_identity (hi - lo)))));
     Test.make ~name:"lfsr 64-bit word"
       (Staged.stage (fun () -> ignore (Rt_bist.Lfsr.step_word lfsr 64))) ]
 
@@ -251,6 +281,8 @@ let write_json ~path ~mode ~experiments ~kernels ~total_seconds =
   p "  \"schema\": \"optprob-bench/1\",\n";
   p "  \"mode\": \"%s\",\n" (json_escape mode);
   p "  \"jobs_env\": %d,\n" (Rt_util.Parallel.default_jobs ());
+  p "  \"block_words_env\": %d,\n" (Rt_sim.Pattern.default_block_words ());
+  p "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"total_seconds\": %.3f,\n" total_seconds;
   p "  \"experiments\": [\n";
   List.iteri

@@ -1,4 +1,5 @@
-(* CI smoke benchmark for the oracle protocol's fused cofactor path.
+(* CI smoke benchmark for the oracle protocol's fused cofactor path and
+   the wide-word ppsfp fault simulator.
 
    Asserts, on the s1 comparator with the COP engine:
    1. [Oracle.cofactor_pair] is bit-identical to the two independent
@@ -11,10 +12,25 @@
    3. enabling telemetry does not slow the fused sweep beyond a lenient
       1.5x band (the disabled path is a single atomic load).
 
+   And, on the 8x8 multiplier:
+   4. [Fault_sim.simulate] stats are bit-identical across
+      (jobs, block-words) combinations, including the defaults;
+   5. on the no-drop workload (every fault stays live, the hard-fault
+      regime the paper's optimization targets) the wide datapath (W=8)
+      beats the narrow one (W=1) by enough that obs-diff, run with the
+      narrow side as candidate against the wide baseline, flags the
+      narrow path as a regression.  Inverting the roles turns the
+      analyzer into a speedup lock: losing the width win makes the gate
+      fail.  The width axis is chosen because it does not depend on host
+      core count, unlike the jobs axis;
+   6. a second jobs=4 run spawns no additional domains
+      ([parallel.spawns] flat), i.e. the domain pool persists.
+
    The timed sections run with recording OFF so the numbers measure the
-   oracle, not the telemetry.  Artifacts land under an optional argv root
-   (default _obs/smoke) as <root>/baseline and <root>/fused, ready for CI
-   upload or a manual `optprob obs-diff`.
+   oracle/simulator, not the telemetry.  Artifacts land under an optional
+   argv root (default _obs/smoke) as <root>/{baseline,fused} and
+   <root>/{ppsfp-wide,ppsfp-narrow}, ready for CI upload or a manual
+   `optprob obs-diff`.
 
    Exits nonzero on any violation.  Run with: make bench-smoke *)
 
@@ -139,6 +155,110 @@ let () =
   end;
   if obs_ratio > 1.5 then begin
     Printf.eprintf "bench-smoke FAIL: telemetry overhead %.3fx > 1.5x\n" obs_ratio;
+    exit 1
+  end;
+  (* --- wide-word ppsfp ----------------------------------------------------- *)
+  let mctx = Pipeline.create (Pconfig.exn (Pconfig.make ~engine:"cop" ~circuit:"c6288ish:8" ())) in
+  let mult = Pipeline.circuit mctx in
+  let mfaults = Pipeline.fault_list mctx in
+  let m_inputs = Array.length (Rt_circuit.Netlist.inputs mult) in
+  let sim ~jobs ~block_words ~drop () =
+    let rng = Rt_util.Rng.create 7 in
+    let source = Rt_sim.Pattern.equiprobable rng ~n_inputs:m_inputs in
+    Rt_sim.Fault_sim.simulate ~jobs ~block_words ~drop mult mfaults ~source ~n_patterns:512
+  in
+  (* Identity first: every (jobs, W) must reproduce the (1, 1) stats bit
+     for bit — same invariant the qcheck suite enforces, re-checked here
+     on the bench workload the timing gate runs on. *)
+  List.iter
+    (fun drop ->
+      let reference = sim ~jobs:1 ~block_words:1 ~drop () in
+      List.iter
+        (fun (jobs, block_words) ->
+          let s = sim ~jobs ~block_words ~drop () in
+          if
+            s.Rt_sim.Fault_sim.first_detect <> reference.Rt_sim.Fault_sim.first_detect
+            || s.Rt_sim.Fault_sim.detect_count <> reference.Rt_sim.Fault_sim.detect_count
+            || s.Rt_sim.Fault_sim.patterns_run <> reference.Rt_sim.Fault_sim.patterns_run
+          then begin
+            Printf.eprintf "bench-smoke FAIL: ppsfp stats differ at jobs=%d W=%d drop=%b\n"
+              jobs block_words drop;
+            exit 1
+          end)
+        [ (1, 4); (4, 1); (4, 4); (4, 8) ])
+    [ true; false ];
+  (* Timing on the no-drop workload: with drop on, a detected fault
+     leaves the live set between words, so narrow blocks shed work
+     faster and the comparison would measure drop luck, not the
+     datapath.  No-drop keeps the per-pattern work identical on both
+     sides — and is exactly the hard-fault regime (detection
+     probabilities near zero) the optimized input probabilities are
+     computed for. *)
+  let t_narrow, s_narrow =
+    time_collect (fun () -> ignore (sim ~jobs:1 ~block_words:1 ~drop:false ()))
+  in
+  let t_wide, s_wide =
+    time_collect (fun () -> ignore (sim ~jobs:1 ~block_words:8 ~drop:false ()))
+  in
+  (* One extra (untimed) recorded run per side puts the kernel counters —
+     ppsfp.batches, parallel.* — next to the latency histogram in each
+     artifact, so obs-diff also sees the 8x good-machine-pass blowup of
+     the narrow side. *)
+  let write_ppsfp side samples ~block_words =
+    let h = Rt_obs.histogram "smoke.ppsfp_us" in
+    Array.iter (Rt_obs.observe h) samples;
+    ignore (sim ~jobs:1 ~block_words ~drop:false ());
+    let dir = Filename.concat out_root side in
+    Rt_obs.Artifact.write ~dir ~manifest:(manifest side) ();
+    Rt_obs.clear ();
+    dir
+  in
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  let dir_wide = write_ppsfp "ppsfp-wide" s_wide ~block_words:8 in
+  let dir_narrow = write_ppsfp "ppsfp-narrow" s_narrow ~block_words:1 in
+  Rt_obs.set_enabled false;
+  (* Roles inverted on purpose: wide is the baseline, narrow the
+     candidate, and the gate requires obs-diff to FLAG a latency
+     regression — i.e. W=1 must be at least [quantile_ratio] slower than
+     W=8.  If a change erodes the width win below that bar, no histogram
+     finding is emitted and the gate fails. *)
+  let ppsfp_thresholds = { Rt_obs.Diff.default with quantile_ratio = 1.25 } in
+  let ppsfp_diff = Rt_obs.Diff.compare_dirs ~thresholds:ppsfp_thresholds dir_wide dir_narrow in
+  let ppsfp_regressions =
+    List.filter
+      (fun f -> f.Rt_obs.Diff.kind = "histogram")
+      (Rt_obs.Diff.regressions ppsfp_diff)
+  in
+  let width_ratio = t_narrow /. t_wide in
+  (* Pool persistence: after a first jobs=4 run has warmed the pool, a
+     second run must not spawn any further domains. *)
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  let spawns () = Rt_obs.value (Rt_obs.counter "parallel.spawns") in
+  ignore (sim ~jobs:4 ~block_words:4 ~drop:true ());
+  let spawns_warm = spawns () in
+  ignore (sim ~jobs:4 ~block_words:4 ~drop:true ());
+  let spawns_after = spawns () in
+  Rt_obs.clear ();
+  Rt_obs.set_enabled false;
+  Printf.printf "ppsfp (c6288ish:8, %d faults, 512 patterns, no-drop):\n" (Array.length mfaults);
+  Printf.printf "  narrow W=1 run:             %8.3f ms\n" (t_narrow *. 1000.0 /. Float.of_int iters);
+  Printf.printf "  wide   W=8 run:             %8.3f ms\n" (t_wide *. 1000.0 /. Float.of_int iters);
+  Printf.printf "  width speedup (W1 / W8):    %8.3f x\n" width_ratio;
+  Printf.printf "  domain spawns warm/after:   %d / %d\n" spawns_warm spawns_after;
+  Printf.printf "  artifacts:                  %s {ppsfp-wide,ppsfp-narrow}\n" out_root;
+  Rt_obs.Diff.pp_report Format.std_formatter ppsfp_diff;
+  if ppsfp_regressions = [] then begin
+    Printf.eprintf
+      "bench-smoke FAIL: obs-diff does not flag W=1 as a regression vs W=8 \
+       (width speedup %.3fx below the 1.25x gate)\n"
+      width_ratio;
+    exit 1
+  end;
+  if spawns_after > spawns_warm then begin
+    Printf.eprintf "bench-smoke FAIL: second jobs=4 run spawned %d extra domains\n"
+      (spawns_after - spawns_warm);
     exit 1
   end;
   Printf.printf "bench-smoke OK\n"

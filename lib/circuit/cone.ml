@@ -89,6 +89,18 @@ let fanout_within c ~mask root =
     out
   end
 
+(* Ids are topological, so one descending sweep propagates the smallest
+   reachable output ordinal from every fanout in a single pass. *)
+let nearest_output c =
+  let n = Netlist.size c in
+  let unreachable = max_int in
+  let key = Array.make n unreachable in
+  Array.iteri (fun ord o -> if key.(o) > ord then key.(o) <- ord) (Netlist.outputs c);
+  for i = n - 1 downto 0 do
+    Array.iter (fun j -> if key.(j) < key.(i) then key.(i) <- key.(j)) (Netlist.fanout c i)
+  done;
+  key
+
 let reaches_output c node =
   let mask = transitive_fanout c node in
   Array.exists (fun o -> mask.(o)) (Netlist.outputs c)

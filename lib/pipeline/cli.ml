@@ -35,6 +35,12 @@ let jobs_arg =
          ~doc:"Worker domains for the parallel kernels (default: $(b,OPTPROB_JOBS) or 1). \
                Results and stage artifacts are independent of J.")
 
+let block_words_arg =
+  Arg.(value & opt (some int) None & info [ "block-words" ] ~docv:"W"
+         ~doc:"Fault-simulation batch width in 64-pattern words (default: \
+               $(b,OPTPROB_BLOCK_WORDS) or 4, i.e. 256 patterns per good-machine pass). \
+               Results and stage artifacts are independent of W.")
+
 let weights_arg =
   Arg.(value & opt (some string) None & info [ "weights"; "w" ] ~docv:"FILE"
          ~doc:"Weight file (from `optprob optimize -o`); default: all 0.5.")
@@ -69,14 +75,14 @@ let quantize grid dyadic =
 (* All subcommand configs funnel through Config.build via this one
    constructor; the circuit/engine args are pre-validated by their
    converters so [Config.exn] cannot raise here. *)
-let make_config circuit engine confidence seed jobs sweeps grid dyadic weights patterns
-    work_dir =
+let make_config circuit engine confidence seed jobs block_words sweeps grid dyadic weights
+    patterns work_dir =
   let weights =
     match weights with None -> Config.Uniform | Some path -> Config.Weights_file path
   in
   match
-    Config.of_source ~engine ~confidence ~seed ?jobs ~sweeps ~quantize:(quantize grid dyadic)
-      ~weights ~patterns ?work_dir circuit
+    Config.of_source ~engine ~confidence ~seed ?jobs ?block_words ~sweeps
+      ~quantize:(quantize grid dyadic) ~weights ~patterns ?work_dir circuit
   with
   | Ok cfg -> cfg
   | Error msg -> failwith msg
@@ -84,5 +90,5 @@ let make_config circuit engine confidence seed jobs sweeps grid dyadic weights p
 let config ?(default_patterns = 10_000) () =
   Term.(
     const make_config $ circuit_arg $ engine_arg $ confidence_arg $ seed_arg $ jobs_arg
-    $ sweeps_arg $ grid_arg $ dyadic_arg $ weights_arg $ patterns_arg ~default:default_patterns
-    $ work_dir_arg)
+    $ block_words_arg $ sweeps_arg $ grid_arg $ dyadic_arg $ weights_arg
+    $ patterns_arg ~default:default_patterns $ work_dir_arg)

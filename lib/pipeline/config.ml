@@ -22,6 +22,7 @@ type t = {
   confidence : float;
   seed : int;
   jobs : int option;
+  block_words : int option;
   sweeps : int;
   alpha : float;
   nf_min : int;
@@ -143,7 +144,7 @@ let engine_kind t =
 
 let d = Optimize.default_options
 
-let of_source ?(engine = "bdd") ?(confidence = 0.95) ?(seed = 2024) ?jobs
+let of_source ?(engine = "bdd") ?(confidence = 0.95) ?(seed = 2024) ?jobs ?block_words
     ?(sweeps = d.Optimize.max_sweeps) ?(alpha = d.Optimize.alpha) ?(nf_min = d.Optimize.nf_min)
     ?(w_min = d.Optimize.w_min) ?start ?(start_jitter = d.Optimize.start_jitter)
     ?(quantize = d.Optimize.quantize) ?(weights = Uniform) ?(patterns = 10_000) ?work_dir circuit
@@ -152,22 +153,22 @@ let of_source ?(engine = "bdd") ?(confidence = 0.95) ?(seed = 2024) ?jobs
   | Error _ as e -> e
   | Ok _ ->
     Ok
-      { circuit; engine; confidence; seed; jobs; sweeps; alpha; nf_min; w_min; start;
-        start_jitter; quantize; weights; patterns; work_dir }
+      { circuit; engine; confidence; seed; jobs; block_words; sweeps; alpha; nf_min; w_min;
+        start; start_jitter; quantize; weights; patterns; work_dir }
 
-let make ?engine ?confidence ?seed ?jobs ?sweeps ?alpha ?nf_min ?w_min ?start ?start_jitter
-    ?quantize ?weights ?patterns ?work_dir ~circuit () =
+let make ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir ~circuit () =
   match circuit_of_string circuit with
   | Error _ as e -> e
   | Ok source ->
-    of_source ?engine ?confidence ?seed ?jobs ?sweeps ?alpha ?nf_min ?w_min ?start ?start_jitter
-      ?quantize ?weights ?patterns ?work_dir source
+    of_source ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
+      ?start_jitter ?quantize ?weights ?patterns ?work_dir source
 
-let of_netlist ?engine ?confidence ?seed ?jobs ?sweeps ?alpha ?nf_min ?w_min ?start
+let of_netlist ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
     ?start_jitter ?quantize ?weights ?patterns ?work_dir ~name netlist =
   let digest = Digest.to_hex (Digest.string (Rt_circuit.Bench_format.to_string netlist)) in
-  of_source ?engine ?confidence ?seed ?jobs ?sweeps ?alpha ?nf_min ?w_min ?start ?start_jitter
-    ?quantize ?weights ?patterns ?work_dir (Inline { name; netlist; digest })
+  of_source ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir (Inline { name; netlist; digest })
 
 let exn = function
   | Ok v -> v

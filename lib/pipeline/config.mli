@@ -27,6 +27,10 @@ type t = {
   seed : int;  (** fault-simulation seed (the only seed-dependent stages are
                    [validated]/[report]) *)
   jobs : int option;  (** worker domains; never affects results or artifact keys *)
+  block_words : int option;
+      (** ppsfp batch width in 64-pattern words ([--block-words] /
+          [OPTPROB_BLOCK_WORDS]); like [jobs], never affects results or
+          artifact keys *)
   sweeps : int;
   alpha : float;
   nf_min : int;
@@ -44,6 +48,7 @@ val make :
   ?confidence:float ->
   ?seed:int ->
   ?jobs:int ->
+  ?block_words:int ->
   ?sweeps:int ->
   ?alpha:float ->
   ?nf_min:int ->
@@ -67,6 +72,7 @@ val of_source :
   ?confidence:float ->
   ?seed:int ->
   ?jobs:int ->
+  ?block_words:int ->
   ?sweeps:int ->
   ?alpha:float ->
   ?nf_min:int ->
@@ -86,6 +92,7 @@ val of_netlist :
   ?confidence:float ->
   ?seed:int ->
   ?jobs:int ->
+  ?block_words:int ->
   ?sweeps:int ->
   ?alpha:float ->
   ?nf_min:int ->
@@ -119,8 +126,9 @@ val resolve_weights : t -> Rt_circuit.Netlist.t -> float array
 
 (** {1 Artifact keying}
 
-    Deterministic strings folded into stage keys.  [jobs] is deliberately
-    absent everywhere: results are bit-identical for every jobs value. *)
+    Deterministic strings folded into stage keys.  [jobs] and
+    [block_words] are deliberately absent everywhere: results are
+    bit-identical for every value of either. *)
 
 val circuit_key : circuit_source -> string
 (** Builtin name, or content digest for files and inline netlists. *)

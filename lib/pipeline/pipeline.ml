@@ -207,7 +207,8 @@ let fault_simulate t weights =
   let rng = Rt_util.Rng.create t.config.Config.seed in
   let source = Rt_sim.Pattern.weighted rng weights in
   let stats =
-    Rt_sim.Fault_sim.simulate ?jobs:t.config.Config.jobs ~drop:true c fs ~source
+    Rt_sim.Fault_sim.simulate ?jobs:t.config.Config.jobs
+      ?block_words:t.config.Config.block_words ~drop:true c fs ~source
       ~n_patterns:t.config.Config.patterns
   in
   let total = Array.length stats.Rt_sim.Fault_sim.first_detect in

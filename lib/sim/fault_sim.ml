@@ -1,6 +1,9 @@
 module Netlist = Rt_circuit.Netlist
 module Gate = Rt_circuit.Gate
+module Cone = Rt_circuit.Cone
 module Fault = Rt_fault.Fault
+module Bits = Rt_util.Bits
+module BA1 = Bigarray.Array1
 
 type stats = {
   faults : Fault.t array;
@@ -9,32 +12,57 @@ type stats = {
   patterns_run : int;
 }
 
-(* Workspace reused across faults within a batch; one per domain when the
-   per-fault work is sharded with [jobs > 1]. *)
+(* The datapath is W x 64-bit wide: each good-machine pass simulates a
+   [Pattern.block] of up to [W] 64-pattern words, and each fault is
+   injected once per block, propagating all W words together through its
+   fanout cone.  Detection bookkeeping (first_detect / detect_count /
+   drop order) replays serially from the per-fault detection rows *word
+   by word* — a fault detected in word [w] leaves the live set before
+   word [w+1] is accounted, and a block's trailing words are not
+   accounted once the live set empties — so the returned stats are
+   bit-identical to the one-word path for every (jobs, block_words)
+   combination.  The only W-dependence is source consumption: a block is
+   filled before simulating, so when dropping empties the live set
+   mid-block up to [W - 1] already-pulled batches go unused.  [jobs > 1]
+   shards the per-fault work across pool domains (each with its own
+   workspace) via grain-level work stealing; per-fault detection rows
+   land in a shared table at fault-indexed rows, so scheduling never
+   touches the replay. *)
+
+(* Workspace reused across faults within a block; one per worker slot
+   when the per-fault work is sharded with [jobs > 1]. *)
 type ws = {
   c : Netlist.t;
-  fval : int64 array;
+  w : int;  (* lane words per block *)
+  fval : Pattern.words;  (* node-major faulty values, size * w *)
   dirty : bool array;
   queued : bool array;
   heap : Rt_util.Int_heap.t;
   mutable touched : int list;
   args : int64 array array;  (* scratch per arity, indexed by arity *)
+  out : int64 array;  (* scratch gate evaluation, length w *)
+  det : int64 array;  (* scratch detection row, length w *)
 }
 
-let make_ws c =
+let make_ws ~words c =
   let n = Netlist.size c in
   let max_arity =
     let m = ref 1 in
     Netlist.iter_gates c (fun g -> m := max !m (Array.length (Netlist.fanin c g)));
     !m
   in
+  let fval = BA1.create Bigarray.int64 Bigarray.c_layout (max 1 (n * words)) in
+  BA1.fill fval 0L;
   { c;
-    fval = Array.make n 0L;
+    w = words;
+    fval;
     dirty = Array.make n false;
     queued = Array.make n false;
     heap = Rt_util.Int_heap.create ();
     touched = [];
-    args = Array.init (max_arity + 1) (fun a -> Array.make (max 1 a) 0L) }
+    args = Array.init (max_arity + 1) (fun a -> Array.make (max 1 a) 0L);
+    out = Array.make words 0L;
+    det = Array.make words 0L }
 
 let reset ws =
   List.iter
@@ -45,19 +73,36 @@ let reset ws =
   ws.touched <- [];
   Rt_util.Int_heap.clear ws.heap
 
-let faulty_in ws good n = if ws.dirty.(n) then ws.fval.(n) else good.(n)
-
+(* Evaluate gate [g] into [ws.out], reading faulty values for dirty
+   fanins and good values otherwise, word by word. *)
 let eval_gate ws good g ~pin_override =
   let fi = Netlist.fanin ws.c g in
   let arity = Array.length fi in
   let args = ws.args.(arity) in
-  for k = 0 to arity - 1 do
-    args.(k) <- faulty_in ws good fi.(k)
+  let kind = Netlist.kind ws.c g in
+  for k = 0 to ws.w - 1 do
+    for j = 0 to arity - 1 do
+      let s = fi.(j) in
+      args.(j) <-
+        (if ws.dirty.(s) then BA1.unsafe_get ws.fval ((s * ws.w) + k)
+         else BA1.unsafe_get good ((s * ws.w) + k))
+    done;
+    (match pin_override with
+     | Some (j, v) -> args.(j) <- (if v then -1L else 0L)
+     | None -> ());
+    ws.out.(k) <- Gate.eval_words kind args
+  done
+
+(* Whether [ws.out] differs from the good value of [n] in any valid lane. *)
+let out_differs ws good ~lanes n =
+  let differs = ref false in
+  for k = 0 to ws.w - 1 do
+    if
+      (not !differs)
+      && Int64.logand (Int64.logxor ws.out.(k) (BA1.unsafe_get good ((n * ws.w) + k))) lanes.(k) <> 0L
+    then differs := true
   done;
-  (match pin_override with
-   | Some (k, v) -> args.(k) <- (if v then -1L else 0L)
-   | None -> ());
-  Gate.eval_words (Netlist.kind ws.c g) args
+  !differs
 
 let push_fanouts ws n =
   Array.iter
@@ -69,40 +114,48 @@ let push_fanouts ws n =
       end)
     (Netlist.fanout ws.c n)
 
-let mark_dirty ws n v =
-  ws.fval.(n) <- v;
+let mark_dirty_out ws n =
+  for k = 0 to ws.w - 1 do
+    BA1.unsafe_set ws.fval ((n * ws.w) + k) ws.out.(k)
+  done;
   if not ws.dirty.(n) then begin
     ws.dirty.(n) <- true;
     if not ws.queued.(n) then ws.touched <- n :: ws.touched
   end
 
-(* Returns the 64-lane detection word for one fault on the current batch.
-   [good] is the fault-free simulation of the batch, shared read-only
-   across domains. *)
-let inject_and_propagate ws ~good fault lanes =
+(* Computes the per-word detection row for one fault on the current
+   block into [ws.det].  [good] is the fault-free wide simulation,
+   shared read-only across domains; [lanes.(k)] masks word [k]'s valid
+   lanes.  The wide event frontier is the union of the per-word narrow
+   frontiers (a node is re-evaluated if *any* word differs, and its
+   stored faulty row is exact for every word), so each word's masked
+   output differences — hence the stats replayed from them — equal the
+   one-word computation exactly. *)
+let inject_and_propagate ws ~good ~lanes fault =
   let c = ws.c in
   reset ws;
+  Array.fill ws.det 0 ws.w 0L;
   let seeded =
     match fault.Fault.site with
     | Fault.Stem n ->
       let v = if fault.Fault.stuck then -1L else 0L in
-      if Int64.logand (Int64.logxor v good.(n)) lanes = 0L then false
+      Array.fill ws.out 0 ws.w v;
+      if not (out_differs ws good ~lanes n) then false
       else begin
-        mark_dirty ws n v;
+        mark_dirty_out ws n;
         push_fanouts ws n;
         true
       end
     | Fault.Branch (g, k) ->
-      let v = eval_gate ws good g ~pin_override:(Some (k, fault.Fault.stuck)) in
-      if Int64.logand (Int64.logxor v good.(g)) lanes = 0L then false
+      eval_gate ws good g ~pin_override:(Some (k, fault.Fault.stuck));
+      if not (out_differs ws good ~lanes g) then false
       else begin
-        mark_dirty ws g v;
+        mark_dirty_out ws g;
         push_fanouts ws g;
         true
       end
   in
-  if not seeded then 0L
-  else begin
+  if seeded then begin
     (* Every push targets a strictly larger id, so each node is popped at
        most once, with all its fanins final — no iteration needed.  The
        fault site itself is the seed and is never re-queued. *)
@@ -110,174 +163,235 @@ let inject_and_propagate ws ~good fault lanes =
       let n = Rt_util.Int_heap.pop ws.heap in
       if ws.queued.(n) then begin
         ws.queued.(n) <- false;
-        let v = eval_gate ws good n ~pin_override:None in
-        if Int64.logand (Int64.logxor v good.(n)) lanes <> 0L then begin
-          mark_dirty ws n v;
+        eval_gate ws good n ~pin_override:None;
+        if out_differs ws good ~lanes n then begin
+          mark_dirty_out ws n;
           push_fanouts ws n
         end
       end
     done;
-    let detect = ref 0L in
     Array.iter
       (fun o ->
         if ws.dirty.(o) then
-          detect := Int64.logor !detect (Int64.logand (Int64.logxor ws.fval.(o) good.(o)) lanes))
-      (Netlist.outputs c);
-    !detect
+          for k = 0 to ws.w - 1 do
+            ws.det.(k) <-
+              Int64.logor ws.det.(k)
+                (Int64.logand
+                   (Int64.logxor (BA1.unsafe_get ws.fval ((o * ws.w) + k)) (BA1.unsafe_get good ((o * ws.w) + k)))
+                   lanes.(k))
+          done)
+      (Netlist.outputs c)
   end
-
-let lowest_lane w =
-  let rec go i = if Int64.logand (Int64.shift_right_logical w i) 1L <> 0L then i else go (i + 1) in
-  go 0
-
-let popcount_64 w =
-  let open Int64 in
-  let x = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
-  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
-  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
-  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
 let c_batches = Rt_obs.counter "ppsfp.batches"
 let c_patterns = Rt_obs.counter "ppsfp.patterns"
 let c_dropped = Rt_obs.counter "ppsfp.faults_dropped"
 let h_batch = Rt_obs.histogram "ppsfp.batch_us"
 
-(* Sub-millisecond batches are not worth domain spawns (Parallel.region
-   also clamps to the core count); at ~2-10 us per fault propagation this
-   threshold puts the crossover near half a millisecond of chunk work. *)
+(* Sub-millisecond blocks are not worth parallel dispatch
+   (Parallel.sweep also clamps to the core count); at ~2-10 us per fault
+   propagation this threshold puts the crossover near half a millisecond
+   of work. *)
 let ppsfp_seq_below = 256
 
-(* Per-fault detection words depend only on the fault and the batch — never
-   on other faults — so with [jobs > 1] the live set is sharded across
-   domains (each with its own workspace) into a per-fault word table, and
-   the bookkeeping (first_detect / detect_count / drop order) replays
-   serially from that table.  The stats are therefore bit-identical to the
-   serial path for every [jobs] value — including when [Parallel.region]
-   falls back to sequential execution on small live sets or few cores. *)
-let simulate ?jobs ?(drop = true) c faults ~source ~n_patterns =
+(* Schedule faults so consecutive ones feed the same primary-output
+   cone: stable order by (nearest reachable output, site id).  A worker
+   draining a contiguous slice then repeatedly propagates through
+   overlapping gate ranges, keeping its workspace rows cache-warm.
+   Stats are accumulated per fault index, so the schedule never affects
+   results. *)
+let cone_order c faults =
+  let nearest = Cone.nearest_output c in
+  let site f =
+    match f.Fault.site with Fault.Stem n -> n | Fault.Branch (g, _) -> g
+  in
+  let nf = Array.length faults in
+  let key = Array.map (fun f -> (nearest.(site f), site f)) faults in
+  let order = Array.init nf Fun.id in
+  Array.sort
+    (fun a b ->
+      let d = compare key.(a) key.(b) in
+      if d <> 0 then d else compare a b)
+    order;
+  order
+
+let lanes_of_block blk =
+  Array.init blk.Pattern.words (fun k ->
+      if k < blk.Pattern.filled then Pattern.word_mask blk.Pattern.counts.(k) else 0L)
+
+(* Run one block's per-fault propagation for the first [todo] entries of
+   [live], writing each fault's detection row into [table] at its
+   fault-indexed row (disjoint rows, so sharding is race-free). *)
+let propagate_block ~label ~jobs ~wss ~good ~lanes ~table ~live ~todo faults =
+  let words = wss.(0).w in
+  Rt_util.Parallel.sweep ~label ~seq_below:ppsfp_seq_below ~jobs ~n:todo
+    (fun ~worker ~lo ~hi ->
+      let ws = wss.(worker) in
+      for p = lo to hi - 1 do
+        let fi = live.(p) in
+        inject_and_propagate ws ~good ~lanes faults.(fi);
+        for k = 0 to words - 1 do
+          BA1.unsafe_set table ((fi * words) + k) ws.det.(k)
+        done
+      done)
+
+let simulate ?jobs ?block_words ?(drop = true) c faults ~source ~n_patterns =
   let jobs = Rt_util.Parallel.resolve_jobs jobs in
+  let words = Pattern.resolve_block_words block_words in
   let nf = Array.length faults in
   let first_detect = Array.make nf (-1) in
   let detect_count = Array.make nf 0 in
-  let sim = Logic_sim.create c in
-  let wss = Array.init jobs (fun _ -> make_ws c) in
-  let word_of = if jobs > 1 then Array.make nf 0L else [||] in
-  let live = Array.init nf Fun.id in
+  let sim = Logic_sim.create_wide ~words c in
+  let wss = Array.init jobs (fun _ -> make_ws ~words c) in
+  let blk = Pattern.make_block ~n_inputs:(Array.length (Netlist.inputs c)) ~words in
+  let table = BA1.create Bigarray.int64 Bigarray.c_layout (max 1 (nf * words)) in
+  let live = cone_order c faults in
   let n_live = ref nf in
   let base = ref 0 in
   Rt_obs.with_span ~cat:"sim" "fault_sim" @@ fun () ->
   while !base < n_patterns && (!n_live > 0 || not drop) do
     let t_batch = Rt_obs.span_begin () in
-    let batch = source () in
-    let batch =
-      if !base + batch.Pattern.n_patterns <= n_patterns then batch
-      else begin
-        let keep = n_patterns - !base in
-        { batch with Pattern.n_patterns = keep }
-      end
-    in
-    let lanes = Pattern.lane_mask batch in
-    Logic_sim.run sim batch;
-    let good = Logic_sim.values sim in
-    if jobs > 1 then
-      Rt_util.Parallel.region ~label:"ppsfp" ~min_per_chunk:32 ~seq_below:ppsfp_seq_below ~jobs
-        ~n:!n_live (fun ~chunk ~lo ~hi ->
-          let ws = wss.(chunk) in
-          for p = lo to hi - 1 do
-            let fi = live.(p) in
-            word_of.(fi) <- inject_and_propagate ws ~good faults.(fi) lanes
-          done);
-    let dropped_before = !n_live in
-    let i = ref 0 in
-    while !i < !n_live do
-      let fi = live.(!i) in
-      let detect =
-        if jobs > 1 then word_of.(fi) else inject_and_propagate wss.(0) ~good faults.(fi) lanes
-      in
-      if Int64.equal detect 0L then incr i
-      else begin
-        if first_detect.(fi) < 0 then first_detect.(fi) <- !base + lowest_lane detect;
-        detect_count.(fi) <- detect_count.(fi) + popcount_64 detect;
-        if drop then begin
-          (* Swap-remove from the live set. *)
-          n_live := !n_live - 1;
-          live.(!i) <- live.(!n_live);
-          live.(!n_live) <- fi
+    Pattern.fill_block source blk ~needed:(n_patterns - !base);
+    let lanes = lanes_of_block blk in
+    Logic_sim.run_wide sim blk;
+    let good = Logic_sim.wide_values sim in
+    propagate_block ~label:"ppsfp" ~jobs ~wss ~good ~lanes ~table ~live ~todo:!n_live faults;
+    (* Serial word-by-word replay: within a word, detections are lane-
+       parallel; between words, drops take effect, exactly as if each
+       word had been its own batch. *)
+    let n0 = !n_live in
+    let alive = ref n0 in
+    let processed = ref 0 in
+    let w = ref 0 in
+    while !w < blk.Pattern.filled && (!alive > 0 || not drop) do
+      for p = 0 to n0 - 1 do
+        let fi = live.(p) in
+        if not (drop && first_detect.(fi) >= 0) then begin
+          let d = BA1.unsafe_get table ((fi * words) + !w) in
+          if not (Int64.equal d 0L) then begin
+            if first_detect.(fi) < 0 then
+              first_detect.(fi) <- !base + !processed + Bits.ctz d;
+            detect_count.(fi) <- detect_count.(fi) + Bits.popcount d;
+            if drop then decr alive
+          end
         end
-        else incr i
-      end
+      done;
+      processed := !processed + blk.Pattern.counts.(!w);
+      incr w
     done;
+    if drop then begin
+      (* Compact the live set in place, preserving cone order. *)
+      let k = ref 0 in
+      for p = 0 to n0 - 1 do
+        let fi = live.(p) in
+        if first_detect.(fi) < 0 then begin
+          live.(!k) <- fi;
+          incr k
+        end
+      done;
+      n_live := !k
+    end;
     Rt_obs.incr c_batches;
-    Rt_obs.add c_patterns batch.Pattern.n_patterns;
-    Rt_obs.add c_dropped (dropped_before - !n_live);
+    Rt_obs.add c_patterns !processed;
+    Rt_obs.add c_dropped (n0 - !n_live);
     Rt_obs.span_end_h ~cat:"sim" "ppsfp.batch" h_batch t_batch;
-    base := !base + batch.Pattern.n_patterns
+    base := !base + !processed
   done;
   { faults; first_detect; detect_count; patterns_run = !base }
 
-let simulate_with_responses ?jobs c faults ~source ~n_patterns =
+let simulate_with_responses ?jobs ?block_words ?(drop = false) c faults ~source ~n_patterns =
   let jobs = Rt_util.Parallel.resolve_jobs jobs in
+  let words = Pattern.resolve_block_words block_words in
   let nf = Array.length faults in
   let first_detect = Array.make nf (-1) in
   let detect_count = Array.make nf 0 in
   let responses = Array.make nf [] in
-  let sim = Logic_sim.create c in
-  let wss = Array.init jobs (fun _ -> make_ws c) in
-  let words = if jobs > 1 then Array.make nf 0L else [||] in
-  let diffs = if jobs > 1 then Array.make nf [||] else [||] in
+  let sim = Logic_sim.create_wide ~words c in
+  let wss = Array.init jobs (fun _ -> make_ws ~words c) in
+  let blk = Pattern.make_block ~n_inputs:(Array.length (Netlist.inputs c)) ~words in
+  let table = BA1.create Bigarray.int64 Bigarray.c_layout (max 1 (nf * words)) in
+  (* Per detecting fault the output-difference words must be captured
+     before the workspace is reused for the next fault; rows are
+     allocated only on detection, so the table stays sparse. *)
+  let diffs = Array.make nf [||] in
   let outputs = Netlist.outputs c in
   let n_out = min 64 (Array.length outputs) in
+  let live = cone_order c faults in
+  let n_live = ref nf in
   let base = ref 0 in
-  while !base < n_patterns do
-    let batch = source () in
-    let batch =
-      if !base + batch.Pattern.n_patterns <= n_patterns then batch
-      else { batch with Pattern.n_patterns = n_patterns - !base }
-    in
-    let lanes = Pattern.lane_mask batch in
-    Logic_sim.run sim batch;
-    let good = Logic_sim.values sim in
-    (* Per detecting lane the output-difference word must be captured
-       before the workspace is reset for the next fault. *)
-    let capture ws =
-      Array.init n_out (fun k ->
-          let o = outputs.(k) in
-          if ws.dirty.(o) then Int64.logand (Int64.logxor ws.fval.(o) good.(o)) lanes else 0L)
-    in
-    let record fi detect out_diffs =
-      if first_detect.(fi) < 0 then first_detect.(fi) <- !base + lowest_lane detect;
-      detect_count.(fi) <- detect_count.(fi) + popcount_64 detect;
-      for lane = 0 to batch.Pattern.n_patterns - 1 do
-        if Int64.logand (Int64.shift_right_logical detect lane) 1L <> 0L then begin
-          let d = ref 0L in
-          for k = 0 to n_out - 1 do
-            if Int64.logand (Int64.shift_right_logical out_diffs.(k) lane) 1L <> 0L then
-              d := Int64.logor !d (Int64.shift_left 1L k)
+  Rt_obs.with_span ~cat:"sim" "fault_sim.responses" @@ fun () ->
+  while !base < n_patterns && (!n_live > 0 || not drop) do
+    Pattern.fill_block source blk ~needed:(n_patterns - !base);
+    let lanes = lanes_of_block blk in
+    Logic_sim.run_wide sim blk;
+    let good = Logic_sim.wide_values sim in
+    Rt_util.Parallel.sweep ~label:"ppsfp.responses" ~seq_below:ppsfp_seq_below ~jobs ~n:!n_live
+      (fun ~worker ~lo ~hi ->
+        let ws = wss.(worker) in
+        for p = lo to hi - 1 do
+          let fi = live.(p) in
+          inject_and_propagate ws ~good ~lanes faults.(fi);
+          let any = ref false in
+          for k = 0 to words - 1 do
+            BA1.unsafe_set table ((fi * words) + k) ws.det.(k);
+            if not (Int64.equal ws.det.(k) 0L) then any := true
           done;
-          responses.(fi) <- (!base + lane, !d) :: responses.(fi)
+          diffs.(fi) <-
+            (if not !any then [||]
+             else
+               Array.init (n_out * words) (fun i ->
+                   let o = outputs.(i / words) and k = i mod words in
+                   if ws.dirty.(o) then
+                     Int64.logand
+                       (Int64.logxor (BA1.unsafe_get ws.fval ((o * ws.w) + k)) (BA1.unsafe_get good ((o * ws.w) + k)))
+                       lanes.(k)
+                   else 0L))
+        done);
+    let n0 = !n_live in
+    let alive = ref n0 in
+    let processed = ref 0 in
+    let w = ref 0 in
+    while !w < blk.Pattern.filled && (!alive > 0 || not drop) do
+      let cnt = blk.Pattern.counts.(!w) in
+      for p = 0 to n0 - 1 do
+        let fi = live.(p) in
+        if not (drop && first_detect.(fi) >= 0) then begin
+          let d = BA1.unsafe_get table ((fi * words) + !w) in
+          if not (Int64.equal d 0L) then begin
+            if first_detect.(fi) < 0 then
+              first_detect.(fi) <- !base + !processed + Bits.ctz d;
+            detect_count.(fi) <- detect_count.(fi) + Bits.popcount d;
+            let row = diffs.(fi) in
+            for lane = 0 to cnt - 1 do
+              if Int64.logand (Int64.shift_right_logical d lane) 1L <> 0L then begin
+                let dw = ref 0L in
+                for k = 0 to n_out - 1 do
+                  if
+                    Int64.logand (Int64.shift_right_logical row.((k * words) + !w) lane) 1L <> 0L
+                  then dw := Int64.logor !dw (Int64.shift_left 1L k)
+                done;
+                responses.(fi) <- (!base + !processed + lane, !dw) :: responses.(fi)
+              end
+            done;
+            if drop then decr alive
+          end
         end
-      done
-    in
-    if jobs > 1 then begin
-      Rt_util.Parallel.region ~label:"ppsfp.responses" ~min_per_chunk:32
-        ~seq_below:ppsfp_seq_below ~jobs ~n:nf (fun ~chunk ~lo ~hi ->
-          let ws = wss.(chunk) in
-          for fi = lo to hi - 1 do
-            let detect = inject_and_propagate ws ~good faults.(fi) lanes in
-            words.(fi) <- detect;
-            diffs.(fi) <- (if Int64.equal detect 0L then [||] else capture ws)
-          done);
-      for fi = 0 to nf - 1 do
-        if not (Int64.equal words.(fi) 0L) then record fi words.(fi) diffs.(fi)
-      done
-    end
-    else
-      for fi = 0 to nf - 1 do
-        let ws = wss.(0) in
-        let detect = inject_and_propagate ws ~good faults.(fi) lanes in
-        if not (Int64.equal detect 0L) then record fi detect (capture ws)
       done;
-    base := !base + batch.Pattern.n_patterns
+      processed := !processed + cnt;
+      incr w
+    done;
+    if drop then begin
+      let k = ref 0 in
+      for p = 0 to n0 - 1 do
+        let fi = live.(p) in
+        if first_detect.(fi) < 0 then begin
+          live.(!k) <- fi;
+          incr k
+        end
+      done;
+      n_live := !k
+    end;
+    base := !base + !processed
   done;
   let responses = Array.map List.rev responses in
   ({ faults; first_detect; detect_count; patterns_run = !base }, responses)

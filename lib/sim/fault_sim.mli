@@ -1,9 +1,14 @@
 (** Parallel-pattern single-fault propagation (PPSFP) fault simulation.
 
-    For each 64-pattern batch the good circuit is simulated once; each live
-    fault is then injected and its effect propagated event-driven through
-    its fanout cone only, 64 lanes at a time.  With fault dropping this is
-    the engine behind the paper's Tables 2 and 4 and Fig. 2. *)
+    For each block of up to [W * 64] patterns ([W] words of 64 lanes,
+    see {!Pattern.block}) the good circuit is simulated once; each live
+    fault is then injected and its effect propagated event-driven
+    through its fanout cone only, all lanes at once.  Live faults are
+    scheduled in output-cone order and sharded across the persistent
+    domain pool with work stealing; detection bookkeeping replays
+    serially word by word, so results never depend on [jobs] or
+    [block_words].  With fault dropping this is the engine behind the
+    paper's Tables 2 and 4 and Fig. 2. *)
 
 type stats = {
   faults : Rt_fault.Fault.t array;
@@ -16,6 +21,7 @@ type stats = {
 
 val simulate :
   ?jobs:int ->
+  ?block_words:int ->
   ?drop:bool ->
   Rt_circuit.Netlist.t ->
   Rt_fault.Fault.t array ->
@@ -25,15 +31,24 @@ val simulate :
 (** [drop] (default true) stops simulating a fault once detected.
 
     [jobs] (default: the [OPTPROB_JOBS] environment variable, else 1)
-    shards the per-fault injection/propagation of each batch across that
-    many domains, each with its own workspace; detection bookkeeping is
-    replayed deterministically on the caller, so the returned [stats] are
-    bit-identical for every [jobs] value (the good-circuit simulation and
-    the pattern source always run on the calling domain, preserving the
-    RNG stream). *)
+    shards the per-fault injection/propagation of each block across that
+    many pool domains, each with its own workspace; detection
+    bookkeeping is replayed deterministically on the caller, so the
+    returned [stats] are bit-identical for every [jobs] value (the
+    good-circuit simulation and the pattern source always run on the
+    calling domain, preserving the RNG stream).
+
+    [block_words] (default: the [OPTPROB_BLOCK_WORDS] environment
+    variable, else 4) is the batch width [W] in 64-pattern words.
+    Stats are bit-identical for every width; the only observable
+    difference is source consumption — the block is filled before
+    simulating, so when dropping empties the live set mid-block up to
+    [W - 1] already-pulled source batches go unused. *)
 
 val simulate_with_responses :
   ?jobs:int ->
+  ?block_words:int ->
+  ?drop:bool ->
   Rt_circuit.Netlist.t ->
   Rt_fault.Fault.t array ->
   source:Pattern.source ->
@@ -43,7 +58,14 @@ val simulate_with_responses :
     sparse response-difference stream: [(pattern_index, diff_word)] pairs
     (ascending) where bit [k] of [diff_word] says primary output [k]
     (among the first 64) differed.  Signature analysis is linear, so this
-    stream is exactly what a MISR needs to decide aliasing. *)
+    stream is exactly what a MISR needs to decide aliasing.
+
+    [drop] (default false, preserving the full response stream) enables
+    the same live-set handling as {!simulate}: a detected fault is no
+    longer simulated, so its response stream ends at its first detecting
+    word and the run stops early once every fault is detected.  With
+    [~drop:true] the returned [stats] equal [simulate ~drop:true]'s
+    bit-for-bit; [jobs]/[block_words] behave as in {!simulate}. *)
 
 val detects :
   Rt_circuit.Netlist.t -> Rt_fault.Fault.t -> bool array -> bool

@@ -22,3 +22,33 @@ val values : t -> int64 array
 
 val output_word : t -> int -> int64
 (** Value of the [k]-th primary output. *)
+
+(** {1 Wide (W x 64 lane) simulation}
+
+    Same lane semantics as {!run}, over a {!Pattern.block} — one forward
+    sweep evaluates up to [W * 64] patterns, amortizing the per-gate
+    dispatch and fanin walks over W words of sequential unboxed memory. *)
+
+type wide
+(** A reusable wide workspace bound to one netlist and word count. *)
+
+val create_wide : ?words:int -> Rt_circuit.Netlist.t -> wide
+(** [words] as per {!Pattern.resolve_block_words}. *)
+
+val wide_circuit : wide -> Rt_circuit.Netlist.t
+val wide_words : wide -> int
+
+val run_wide : wide -> Pattern.block -> unit
+(** Evaluate every node for the block (the block's word count must equal
+    [wide_words]; lanes beyond each word's count hold garbage — mask with
+    {!Pattern.word_mask}). *)
+
+val wide_values : wide -> Pattern.words
+(** Node-major value buffer — node [n]'s word [k] at [n * W + k]; shared,
+    valid until the next {!run_wide}. *)
+
+val wide_value : wide -> Rt_circuit.Netlist.node -> int -> int64
+(** [wide_value t n k] is node [n]'s lane word [k]. *)
+
+val wide_output_word : wide -> int -> int -> int64
+(** [wide_output_word t o k] is primary output [o]'s lane word [k]. *)

@@ -51,6 +51,80 @@ let constant_weight rng ~n_inputs p =
   let w = Array.make n_inputs p in
   weighted rng w
 
+(* Wide blocks: W words of up to 64 patterns each, Bigarray-backed so the
+   whole block is one flat unboxed buffer (input-major — input [i]'s W
+   words are contiguous, matching the per-input fill and the wide sim's
+   inner word loop).  A block is *filled from* the narrow source, one
+   batch per word in stream order, so the pattern sequence — and hence
+   every downstream statistic — is identical to pulling the same source
+   through the one-word path. *)
+
+type words = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type block = {
+  width : int;
+  words : int;
+  counts : int array;
+  mutable filled : int;
+  mutable total : int;
+  data : words;
+}
+
+let max_block_words = 16
+
+let default_block_words () =
+  match Sys.getenv_opt "OPTPROB_BLOCK_WORDS" with
+  | None -> 4
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some w when w >= 1 -> min w max_block_words
+     | Some _ | None -> 4)
+
+let resolve_block_words = function
+  | Some w when w >= 1 -> min w max_block_words
+  | Some _ -> 1
+  | None -> default_block_words ()
+
+let word_mask n =
+  if n >= 64 then -1L else Int64.sub (Int64.shift_left 1L n) 1L
+
+let make_block ~n_inputs ~words =
+  if words < 1 || words > max_block_words then
+    invalid_arg "Pattern.make_block: words out of range";
+  if n_inputs < 0 then invalid_arg "Pattern.make_block: negative n_inputs";
+  let data =
+    Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (max 1 (n_inputs * words))
+  in
+  Bigarray.Array1.fill data 0L;
+  { width = n_inputs; words; counts = Array.make words 0; filled = 0; total = 0; data }
+
+let fill_block src blk ~needed =
+  if needed <= 0 then invalid_arg "Pattern.fill_block: needed <= 0";
+  Array.fill blk.counts 0 blk.words 0;
+  blk.filled <- 0;
+  blk.total <- 0;
+  let remaining = ref needed in
+  let w = ref 0 in
+  while !w < blk.words && !remaining > 0 do
+    let b = src () in
+    if b.n_inputs <> blk.width then invalid_arg "Pattern.fill_block: input width mismatch";
+    (* Same per-batch truncation rule as the narrow consumers: the source
+       batch is taken whole unless fewer patterns are still needed.  Lanes
+       past [counts.(w)] carry whatever the source produced; consumers
+       mask with [word_mask]. *)
+    let count = min b.n_patterns !remaining in
+    blk.counts.(!w) <- count;
+    for i = 0 to blk.width - 1 do
+      Bigarray.Array1.set blk.data ((i * blk.words) + !w) b.bits.(i)
+    done;
+    blk.total <- blk.total + count;
+    remaining := !remaining - count;
+    incr w
+  done;
+  blk.filled <- !w
+
+let block_word blk i w = Bigarray.Array1.get blk.data ((i * blk.words) + w)
+
 let take src n =
   let rec go remaining acc =
     if remaining <= 0 then List.rev acc

@@ -1,0 +1,20 @@
+(* Branch-free word bit tricks shared by the simulation kernels.  These
+   were private helpers inside Fault_sim; the wide-word datapath calls
+   them once per 64-lane word, so they live here with total semantics
+   ([ctz 0L] = 64, where the old [lowest_lane 0L] looped forever). *)
+
+let popcount w =
+  let open Int64 in
+  let x = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let ctz w =
+  if Int64.equal w 0L then 64
+  else
+    (* Isolate the lowest set bit; its index is the popcount of the mask
+       of all strictly lower bit positions. *)
+    popcount (Int64.sub (Int64.logand w (Int64.neg w)) 1L)
+
+let lowest_bit w = Int64.logand w (Int64.neg w)

@@ -1,0 +1,13 @@
+(** Word-level bit tricks for the pattern-parallel kernels.
+
+    All functions are total — in particular {!ctz}, unlike the looping
+    lowest-lane helper it replaced, is defined on [0L]. *)
+
+val popcount : int64 -> int
+(** Number of set bits (0..64); branch-free SWAR. *)
+
+val ctz : int64 -> int
+(** Index of the least significant set bit; [64] when the word is zero. *)
+
+val lowest_bit : int64 -> int64
+(** The least significant set bit alone ([0L] for [0L]). *)

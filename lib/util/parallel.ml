@@ -1,15 +1,14 @@
-(* Chunked Domain-based parallelism.  No pool is kept alive: each parallel
-   region spawns [jobs - 1] domains and joins them before returning, so a
-   program can never hang on worker shutdown and [jobs = 1] stays on the
-   exact serial code path.
+(* Chunked Domain-based parallelism.
 
-   [run_chunks]/[map_chunks] honour the requested job count exactly (tests
-   rely on real domains being spawned); [region]/[map_region] are the
-   policy'd entry points the library's kernels use — they additionally clamp
-   to the machine's core count and fall back to sequential execution below a
-   work-size threshold, because spawning domains for sub-millisecond work
-   (or on a single-core host) only adds overhead.  Every chunk is timed as
-   an [Rt_obs] span on its executing domain. *)
+   [run_chunks]/[map_chunks] spawn [jobs - 1] fresh domains per call and
+   join them before returning (tests rely on real domains being spawned);
+   [region]/[map_region]/[sweep] are the policy'd entry points the
+   library's kernels use — they clamp to the machine's core count, fall
+   back to sequential execution below a work-size threshold, and execute
+   on the persistent [Pool] so the per-call [Domain.spawn]/[join] cost is
+   paid once per process instead of once per region (per ppsfp *batch* on
+   the hot path).  [jobs = 1] stays on the exact serial code path, and
+   every chunk is timed as an [Rt_obs] span on its executing domain. *)
 
 let max_jobs = 64
 
@@ -40,24 +39,30 @@ let c_chunks = Rt_obs.counter "parallel.chunks"
 let c_spawns = Rt_obs.counter "parallel.spawns"
 let c_seq_fallbacks = Rt_obs.counter "parallel.seq_fallbacks"
 
-let run_chunks ?(min_per_chunk = 1) ?(label = "parallel") ~jobs ~n f =
-  if n < 0 then invalid_arg "Parallel.run_chunks: negative n";
-  let jobs = max 1 (min jobs (max 1 (n / max 1 min_per_chunk))) in
-  (* Registered once per region on the caller's domain (registration takes
-     the sink mutex; the per-chunk observe itself is lock-free), so the
-     chunk-time distribution — not just the total — survives into the
-     metrics snapshot and imbalance shows up as a wide p50..p99 spread. *)
+(* Cap the job count so no chunk falls below [min_per_chunk] items. *)
+let clamp_chunk_jobs ~min_per_chunk ~jobs ~n =
+  max 1 (min jobs (max 1 (n / max 1 min_per_chunk)))
+
+(* Registered once per region on the caller's domain (registration takes
+   the sink mutex; the per-chunk observe itself is lock-free), so the
+   chunk-time distribution — not just the total — survives into the
+   metrics snapshot and imbalance shows up as a wide p50..p99 spread. *)
+let timed_chunk ~label f =
   let hist =
     if Rt_obs.enabled () then Some (Rt_obs.histogram (label ^ ".chunk_us")) else None
   in
-  let timed ~chunk ~lo ~hi =
+  fun ~chunk ~lo ~hi ->
     let t0 = Rt_obs.span_begin () in
     Rt_obs.incr c_chunks;
     f ~chunk ~lo ~hi;
     match hist with
     | Some h -> Rt_obs.span_end_h ~cat:"parallel" (label ^ ".chunk") h t0
     | None -> Rt_obs.span_end ~cat:"parallel" (label ^ ".chunk") t0
-  in
+
+let run_chunks ?(min_per_chunk = 1) ?(label = "parallel") ~jobs ~n f =
+  if n < 0 then invalid_arg "Parallel.run_chunks: negative n";
+  let jobs = clamp_chunk_jobs ~min_per_chunk ~jobs ~n in
+  let timed = timed_chunk ~label f in
   if jobs = 1 || n = 0 then (if n > 0 then timed ~chunk:0 ~lo:0 ~hi:n)
   else begin
     Rt_obs.add c_spawns (jobs - 1);
@@ -97,10 +102,44 @@ let region_jobs ~seq_below ~jobs ~n =
   if requested > 1 && eff = 1 then Rt_obs.incr c_seq_fallbacks;
   eff
 
-let region ?min_per_chunk ?(label = "parallel") ?(seq_below = 0) ~jobs ~n f =
+(* Run [jobs] chunks on the persistent pool.  One pool item per chunk,
+   grain 1: participant [k]'s queue holds exactly chunk [k], so chunk 0
+   normally lands on the caller and slow starters get their chunk stolen
+   instead of stalling the region.  Each chunk still runs exactly once
+   with its own [~chunk] index, so per-chunk workspaces and chunk-ordered
+   merges behave exactly as under the old spawn-per-region scheme. *)
+let pool_chunks ~label ~jobs ~n f =
+  let timed = timed_chunk ~label f in
+  if jobs = 1 || n = 0 then (if n > 0 then timed ~chunk:0 ~lo:0 ~hi:n)
+  else
+    Pool.run (Pool.default ()) ~grain:1 ~participants:jobs ~n:jobs
+      (fun _worker klo khi ->
+        for k = klo to khi - 1 do
+          let lo, hi = chunk_bounds ~jobs ~n k in
+          if hi > lo then timed ~chunk:k ~lo ~hi
+        done)
+
+let region_chunk_jobs ?(min_per_chunk = 1) ~seq_below ~jobs ~n () =
+  if n < 0 then invalid_arg "Parallel.region: negative n";
   let jobs = region_jobs ~seq_below ~jobs ~n in
-  Rt_obs.with_span ~cat:"parallel" label (fun () -> run_chunks ?min_per_chunk ~label ~jobs ~n f)
+  clamp_chunk_jobs ~min_per_chunk ~jobs ~n
+
+let region ?min_per_chunk ?(label = "parallel") ?(seq_below = 0) ~jobs ~n f =
+  let jobs = region_chunk_jobs ?min_per_chunk ~seq_below ~jobs ~n () in
+  Rt_obs.with_span ~cat:"parallel" label (fun () -> pool_chunks ~label ~jobs ~n f)
 
 let map_region ?min_per_chunk ?(label = "parallel") ?(seq_below = 0) ~jobs ~n f =
+  let jobs = region_chunk_jobs ?min_per_chunk ~seq_below ~jobs ~n () in
+  let out = Array.make jobs None in
+  Rt_obs.with_span ~cat:"parallel" label (fun () ->
+      pool_chunks ~label ~jobs ~n (fun ~chunk ~lo ~hi -> out.(chunk) <- Some (f ~lo ~hi)));
+  Array.to_list out |> List.filter_map Fun.id
+
+let sweep ?grain ?(label = "parallel.sweep") ?(seq_below = 0) ~jobs ~n f =
+  if n < 0 then invalid_arg "Parallel.sweep: negative n";
   let jobs = region_jobs ~seq_below ~jobs ~n in
-  Rt_obs.with_span ~cat:"parallel" label (fun () -> map_chunks ?min_per_chunk ~label ~jobs ~n f)
+  Rt_obs.with_span ~cat:"parallel" label (fun () ->
+      if jobs = 1 || n = 0 then (if n > 0 then f ~worker:0 ~lo:0 ~hi:n)
+      else
+        Pool.run ?grain (Pool.default ()) ~participants:jobs ~n
+          (fun worker lo hi -> f ~worker ~lo ~hi))

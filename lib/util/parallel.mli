@@ -1,9 +1,11 @@
 (** Chunked multicore helpers on top of [Domain] (OCaml 5, no extra deps).
 
-    Work over an index range is split into [jobs] contiguous chunks; chunk 0
-    runs on the calling domain and the rest on freshly spawned domains that
-    are always joined before the call returns.  With [jobs = 1] the callback
-    runs inline on the caller — bit-identical to a serial loop — so every
+    Work over an index range is split into [jobs] contiguous chunks.
+    {!run_chunks}/{!map_chunks} spawn fresh domains per call and join them
+    before returning; {!region}/{!map_region}/{!sweep} instead execute on
+    the persistent work-stealing {!Pool}, so domains are spawned once per
+    process and parked between regions.  With [jobs = 1] the callback runs
+    inline on the caller — bit-identical to a serial loop — so every
     [?jobs] parameter in the library defaults to the serial behaviour. *)
 
 val max_jobs : int
@@ -48,13 +50,18 @@ val region :
   ?seq_below:int ->
   jobs:int -> n:int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
 (** The policy'd parallel entry point used by the library's kernels: as
-    {!run_chunks}, but the effective job count is additionally clamped to
-    {!hardware_jobs} (spawning more domains than cores only adds overhead),
-    and when [n < seq_below] (default 0) the work runs sequentially on the
-    caller — per-call [Domain.spawn] costs dwarf small workloads.  The whole
-    region is wrapped in an [Rt_obs] span named [label]; falls back to
-    sequential while [jobs > 1] increment the ["parallel.seq_fallbacks"]
-    counter.  Results never depend on the effective job count. *)
+    {!run_chunks}, but executed on the persistent {!Pool} (domains are
+    spawned at most once per process, not per region), with the effective
+    job count additionally clamped to {!hardware_jobs} (spawning more
+    domains than cores only adds overhead), and when [n < seq_below]
+    (default 0) the work runs sequentially on the caller — per-region
+    dispatch costs dwarf small workloads.  Each chunk is still called
+    exactly once with its own [~chunk] index (work stealing moves chunks
+    between domains, never splits or repeats them).  The whole region is
+    wrapped in an [Rt_obs] span named [label]; falls back to sequential
+    while [jobs > 1] increment the ["parallel.seq_fallbacks"] counter.
+    Regions nested inside a pool worker run inline and sequentially.
+    Results never depend on the effective job count. *)
 
 val map_region :
   ?min_per_chunk:int ->
@@ -64,3 +71,19 @@ val map_region :
     chunking itself (hence the partial results) can differ from
     {!map_chunks} with the same [jobs] — callers must merge in a way that is
     chunking-independent (e.g. sum partial accumulators). *)
+
+val sweep :
+  ?grain:int ->
+  ?label:string ->
+  ?seq_below:int ->
+  jobs:int -> n:int -> (worker:int -> lo:int -> hi:int -> unit) -> unit
+(** Item-level work stealing over [0, n) on the persistent {!Pool}, for
+    kernels whose per-item cost is highly variable (e.g. per-fault event
+    propagation).  [f ~worker ~lo ~hi] is called once per claimed slice of
+    at most [grain] items (default 16); [worker] is the executing
+    participant's slot in [0, jobs_eff) and may index per-worker scratch
+    state — unlike {!region}, the same [worker] value sees many slices and
+    slice boundaries are scheduling-dependent, so per-item results must be
+    written to item-indexed (not worker-indexed) locations.  Job-count
+    policy ([seq_below], hardware clamp, seq fallback counting) matches
+    {!region}. *)

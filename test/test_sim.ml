@@ -62,6 +62,24 @@ let test_weighted_statistics () =
         Alcotest.failf "weight %d measured %.3f wanted %.2f" i measured weights.(i))
     counts
 
+let test_fill_block_truncates () =
+  let rng = Rt_util.Rng.create 9 in
+  let src = Pattern.equiprobable rng ~n_inputs:5 in
+  let blk = Pattern.make_block ~n_inputs:5 ~words:4 in
+  Pattern.fill_block src blk ~needed:150;
+  check Alcotest.int "stops at needed" 3 blk.Pattern.filled;
+  check (Alcotest.array Alcotest.int) "last word truncated" [| 64; 64; 22; 0 |] blk.Pattern.counts;
+  check Alcotest.int "total" 150 blk.Pattern.total;
+  (* Refill overwrites the previous contents entirely. *)
+  Pattern.fill_block src blk ~needed:40;
+  check Alcotest.int "one word refill" 1 blk.Pattern.filled;
+  check (Alcotest.array Alcotest.int) "refill counts" [| 40; 0; 0; 0 |] blk.Pattern.counts
+
+let test_block_resolve () =
+  check Alcotest.int "explicit wins" 8 (Pattern.resolve_block_words (Some 8));
+  check Alcotest.int "nonsense clamps to one word" 1 (Pattern.resolve_block_words (Some 0));
+  check Alcotest.int "cap" Pattern.max_block_words (Pattern.resolve_block_words (Some 10_000))
+
 (* --- Logic_sim ------------------------------------------------------------------ *)
 
 let logic_sim_vs_eval_qcheck =
@@ -79,6 +97,35 @@ let logic_sim_vs_eval_qcheck =
         for n = 0 to Netlist.size c - 1 do
           let got = Int64.logand (Int64.shift_right_logical (Logic_sim.value sim n) lane) 1L <> 0L in
           if got <> vals.(n) then ok := false
+        done
+      done;
+      !ok)
+
+let wide_sim_vs_narrow_qcheck =
+  QCheck.Test.make ~name:"wide simulation equals narrow word by word" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:6 ~gates:40 ~seed in
+      let rng = Rt_util.Rng.create seed in
+      let src = Pattern.equiprobable rng ~n_inputs:6 in
+      let batches = Array.init 3 (fun _ -> src ()) in
+      let i = ref 0 in
+      let replay () =
+        let b = batches.(!i) in
+        incr i;
+        b
+      in
+      let blk = Pattern.make_block ~n_inputs:6 ~words:3 in
+      Pattern.fill_block replay blk ~needed:192;
+      let wide = Logic_sim.create_wide ~words:3 c in
+      Logic_sim.run_wide wide blk;
+      let narrow = Logic_sim.create c in
+      let ok = ref true in
+      for w = 0 to 2 do
+        Logic_sim.run narrow batches.(w);
+        for n = 0 to Netlist.size c - 1 do
+          if not (Int64.equal (Logic_sim.value narrow n) (Logic_sim.wide_value wide n w)) then
+            ok := false
         done
       done;
       !ok)
@@ -217,6 +264,114 @@ let test_jobs_responses_identical () =
     st4.Fault_sim.detect_count;
   if r1 <> r4 then Alcotest.fail "response-difference streams differ across jobs"
 
+(* The acceptance property of the wide datapath: for every (jobs,
+   block_words) combination the stats replay to the same bits as the
+   one-word serial path — including patterns_run, whose early-exit
+   accounting is the subtlest part of the word-serial replay. *)
+let jobs_words_identity_qcheck =
+  QCheck.Test.make ~name:"stats bit-identical across jobs x block-words" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:8 ~gates:60 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let run ~jobs ~block_words ~drop =
+        let rng = Rt_util.Rng.create (seed + 7) in
+        let source = Pattern.equiprobable rng ~n_inputs:8 in
+        Fault_sim.simulate ~jobs ~block_words ~drop c faults ~source ~n_patterns:300
+      in
+      List.for_all
+        (fun drop ->
+          let reference = run ~jobs:1 ~block_words:1 ~drop in
+          List.for_all
+            (fun jobs ->
+              List.for_all
+                (fun block_words ->
+                  let s = run ~jobs ~block_words ~drop in
+                  s.Fault_sim.first_detect = reference.Fault_sim.first_detect
+                  && s.Fault_sim.detect_count = reference.Fault_sim.detect_count
+                  && s.Fault_sim.patterns_run = reference.Fault_sim.patterns_run)
+                [ 1; 4; 8 ])
+            [ 1; 2; 4 ])
+        [ true; false ])
+
+let responses_jobs_words_identity_qcheck =
+  QCheck.Test.make ~name:"responses bit-identical across jobs x block-words" ~count:4
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generators.random_circuit ~inputs:7 ~gates:40 ~seed in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let run ~jobs ~block_words ~drop =
+        let rng = Rt_util.Rng.create (seed + 3) in
+        let source = Pattern.equiprobable rng ~n_inputs:7 in
+        Fault_sim.simulate_with_responses ~jobs ~block_words ~drop c faults ~source
+          ~n_patterns:200
+      in
+      List.for_all
+        (fun drop ->
+          let ref_stats, ref_resp = run ~jobs:1 ~block_words:1 ~drop in
+          List.for_all
+            (fun jobs ->
+              List.for_all
+                (fun block_words ->
+                  let s, r = run ~jobs ~block_words ~drop in
+                  s.Fault_sim.first_detect = ref_stats.Fault_sim.first_detect
+                  && s.Fault_sim.detect_count = ref_stats.Fault_sim.detect_count
+                  && s.Fault_sim.patterns_run = ref_stats.Fault_sim.patterns_run
+                  && r = ref_resp)
+                [ 1; 4; 8 ])
+            [ 1; 2; 4 ])
+        [ false; true ])
+
+let test_responses_drop_matches_simulate () =
+  (* The flag-gated live-set handling: with ~drop:true the response run's
+     stats must equal simulate ~drop:true bit for bit, and each response
+     stream must be the prefix of the full stream ending with its first
+     detecting word. *)
+  let c = Generators.c880ish () in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let n_inputs = Array.length (Netlist.inputs c) in
+  let mk seed () =
+    let rng = Rt_util.Rng.create seed in
+    Pattern.equiprobable rng ~n_inputs
+  in
+  let st_drop, resp_drop =
+    Fault_sim.simulate_with_responses ~drop:true c faults ~source:(mk 31 ()) ~n_patterns:256
+  in
+  let plain = Fault_sim.simulate ~drop:true c faults ~source:(mk 31 ()) ~n_patterns:256 in
+  check (Alcotest.array Alcotest.int) "first_detect vs simulate" plain.Fault_sim.first_detect
+    st_drop.Fault_sim.first_detect;
+  check (Alcotest.array Alcotest.int) "detect_count vs simulate" plain.Fault_sim.detect_count
+    st_drop.Fault_sim.detect_count;
+  check Alcotest.int "patterns_run vs simulate" plain.Fault_sim.patterns_run
+    st_drop.Fault_sim.patterns_run;
+  let _, resp_full =
+    Fault_sim.simulate_with_responses ~drop:false c faults ~source:(mk 31 ())
+      ~n_patterns:256
+  in
+  Array.iteri
+    (fun fi stream ->
+      let full = resp_full.(fi) in
+      (* Prefix of the full stream... *)
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: a', y :: b' -> x = y && is_prefix a' b'
+        | _ :: _, [] -> false
+      in
+      if not (is_prefix stream full) then Alcotest.failf "fault %d: not a prefix" fi;
+      (* ...covering exactly the detections of the first detecting word. *)
+      match stream with
+      | [] -> if st_drop.Fault_sim.first_detect.(fi) >= 0 then Alcotest.failf "fault %d: empty" fi
+      | (first, _) :: _ ->
+        let word = first / 64 in
+        if first <> st_drop.Fault_sim.first_detect.(fi) then Alcotest.failf "fault %d: first" fi;
+        if List.exists (fun (i, _) -> i / 64 <> word) stream then
+          Alcotest.failf "fault %d: stream crosses its detecting word" fi;
+        let in_word = List.filter (fun (i, _) -> i / 64 = word) full in
+        if List.length stream <> List.length in_word then
+          Alcotest.failf "fault %d: missing detections in word" fi)
+    resp_drop
+
 (* --- Detect_mc --------------------------------------------------------------------- *)
 
 let test_mc_estimates () =
@@ -243,17 +398,23 @@ let () =
         [ Alcotest.test_case "of_vectors roundtrip" `Quick test_of_vectors_roundtrip;
           Alcotest.test_case "lane mask" `Quick test_lane_mask;
           Alcotest.test_case "take exact" `Quick test_take_exact;
-          Alcotest.test_case "weighted statistics" `Quick test_weighted_statistics ] );
-      ("logic-sim", [ q logic_sim_vs_eval_qcheck ]);
+          Alcotest.test_case "weighted statistics" `Quick test_weighted_statistics;
+          Alcotest.test_case "fill_block truncation" `Quick test_fill_block_truncates;
+          Alcotest.test_case "resolve_block_words policy" `Quick test_block_resolve ] );
+      ("logic-sim", [ q logic_sim_vs_eval_qcheck; q wide_sim_vs_narrow_qcheck ]);
       ( "fault-sim",
         [ q ppsfp_vs_reference_qcheck;
           Alcotest.test_case "drop keeps first_detect" `Quick test_drop_consistency;
           Alcotest.test_case "coverage accounting" `Quick test_coverage_monotone;
-          q responses_qcheck ] );
+          q responses_qcheck;
+          Alcotest.test_case "responses drop matches simulate" `Quick
+            test_responses_drop_matches_simulate ] );
       ( "multicore",
         [ Alcotest.test_case "jobs=4 stats bit-identical" `Quick test_jobs_bit_identical;
           Alcotest.test_case "jobs=4 responses bit-identical" `Quick
-            test_jobs_responses_identical ] );
+            test_jobs_responses_identical;
+          q jobs_words_identity_qcheck;
+          q responses_jobs_words_identity_qcheck ] );
       ( "monte-carlo",
         [ Alcotest.test_case "estimates p" `Quick test_mc_estimates;
           Alcotest.test_case "confidence halfwidth" `Quick test_confidence_halfwidth ] ) ]

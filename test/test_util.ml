@@ -1,4 +1,5 @@
-(* Unit and property tests for Rt_util: Rng, Bitvec, Prob, Stats, Int_heap. *)
+(* Unit and property tests for Rt_util: Rng, Bitvec, Prob, Stats, Int_heap,
+   Bits, and the Parallel/Pool multicore layer. *)
 
 module Rng = Rt_util.Rng
 module Bitvec = Rt_util.Bitvec
@@ -6,6 +7,8 @@ module Prob = Rt_util.Prob
 module Stats = Rt_util.Stats
 module Int_heap = Rt_util.Int_heap
 module Parallel = Rt_util.Parallel
+module Pool = Rt_util.Pool
+module Bits = Rt_util.Bits
 
 let check = Alcotest.check
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
@@ -222,6 +225,47 @@ let heap_qcheck =
         done;
         List.rev !out = List.sort compare xs) ]
 
+(* --- Bits ------------------------------------------------------------------ *)
+
+let popcount_ref w =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical w i) 1L <> 0L then incr c
+  done;
+  !c
+
+let ctz_ref w =
+  let rec go i = if i = 64 || Int64.logand (Int64.shift_right_logical w i) 1L <> 0L then i else go (i + 1) in
+  go 0
+
+let test_bits_edge_cases () =
+  check Alcotest.int "popcount 0" 0 (Bits.popcount 0L);
+  check Alcotest.int "popcount -1" 64 (Bits.popcount (-1L));
+  check Alcotest.int "popcount 1" 1 (Bits.popcount 1L);
+  check Alcotest.int "popcount msb" 1 (Bits.popcount Int64.min_int);
+  (* The helper this replaced looped forever on zero. *)
+  check Alcotest.int "ctz 0 is total" 64 (Bits.ctz 0L);
+  check Alcotest.int "ctz 1" 0 (Bits.ctz 1L);
+  check Alcotest.int "ctz msb" 63 (Bits.ctz Int64.min_int);
+  check Alcotest.int64 "lowest_bit 0" 0L (Bits.lowest_bit 0L);
+  check Alcotest.int64 "lowest_bit 12" 4L (Bits.lowest_bit 12L)
+
+let bits_qcheck =
+  let word =
+    QCheck.(
+      map
+        (fun (a, b) -> Int64.logxor (Int64.shift_left (Int64.of_int a) 32) (Int64.of_int b))
+        (pair int int))
+  in
+  [ QCheck.Test.make ~name:"popcount matches bit loop" ~count:500 word
+      (fun w -> Bits.popcount w = popcount_ref w);
+    QCheck.Test.make ~name:"ctz matches bit loop" ~count:500 word
+      (fun w -> Bits.ctz w = ctz_ref w);
+    QCheck.Test.make ~name:"lowest_bit isolates ctz" ~count:500 word
+      (fun w ->
+        if Int64.equal w 0L then Bits.lowest_bit w = 0L
+        else Bits.lowest_bit w = Int64.shift_left 1L (Bits.ctz w)) ]
+
 (* --- Parallel ------------------------------------------------------------------ *)
 
 let test_parallel_chunk_bounds () =
@@ -260,6 +304,102 @@ let test_parallel_resolve () =
   check Alcotest.int "explicit wins" 5 (Parallel.resolve_jobs (Some 5));
   check Alcotest.int "nonsense clamps to serial" 1 (Parallel.resolve_jobs (Some 0));
   check Alcotest.int "cap" Parallel.max_jobs (Parallel.resolve_jobs (Some 10_000))
+
+(* --- Pool ------------------------------------------------------------------ *)
+
+(* Pool.run honours [participants] exactly (the hardware clamp lives in
+   Parallel's region policy), so these tests exercise real cross-domain
+   scheduling even on a single-core host. *)
+
+let test_pool_covers_once () =
+  let p = Pool.create () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let n = 10_000 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.run p ~grain:7 ~participants:4 ~n (fun _worker lo hi ->
+          for i = lo to hi - 1 do
+            Atomic.incr hits.(i)
+          done);
+      Array.iteri
+        (fun i h -> if Atomic.get h <> 1 then Alcotest.failf "index %d visited %d times" i (Atomic.get h))
+        hits;
+      check Alcotest.int "grew exactly participants - 1 domains" 3 (Pool.size p))
+
+let test_pool_reuse_and_growth () =
+  let p = Pool.create () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let total = Atomic.make 0 in
+      Pool.run p ~participants:2 ~n:100 (fun _ lo hi -> ignore (Atomic.fetch_and_add total (hi - lo)));
+      check Alcotest.int "one worker after 2-way region" 1 (Pool.size p);
+      (* Regions reuse parked domains; a wider region grows the pool. *)
+      for _ = 1 to 20 do
+        Pool.run p ~participants:4 ~n:50 (fun _ lo hi -> ignore (Atomic.fetch_and_add total (hi - lo)))
+      done;
+      check Alcotest.int "grown once to 3 workers" 3 (Pool.size p);
+      check Alcotest.int "all items ran" (100 + (20 * 50)) (Atomic.get total))
+
+let test_pool_exception_propagates () =
+  let p = Pool.create () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      (match Pool.run p ~grain:1 ~participants:4 ~n:64 (fun _ lo _ -> if lo = 40 then failwith "boom") with
+       | () -> Alcotest.fail "expected the worker's exception"
+       | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+      (* The pool survives a failed region. *)
+      let total = Atomic.make 0 in
+      Pool.run p ~participants:4 ~n:64 (fun _ lo hi -> ignore (Atomic.fetch_and_add total (hi - lo)));
+      check Alcotest.int "next region runs everything" 64 (Atomic.get total))
+
+let test_pool_nested_runs_inline () =
+  let p = Pool.create () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let inner_total = Atomic.make 0 in
+      let saw_worker_flag = Atomic.make true in
+      Pool.run p ~grain:1 ~participants:3 ~n:12 (fun _ _ _ ->
+          if not (Pool.in_worker ()) then Atomic.set saw_worker_flag false;
+          (* A nested submission must not deadlock on the submit lock; it
+             runs the body inline. *)
+          Pool.run p ~participants:3 ~n:5 (fun w lo hi ->
+              if w <> 0 || lo <> 0 || hi <> 5 then Atomic.set saw_worker_flag false;
+              ignore (Atomic.fetch_and_add inner_total (hi - lo))));
+      check Alcotest.bool "in_worker set and nested runs inline" true (Atomic.get saw_worker_flag);
+      check Alcotest.int "nested regions all ran" (12 * 5) (Atomic.get inner_total));
+  check Alcotest.bool "in_worker cleared outside regions" false (Pool.in_worker ())
+
+let test_pool_create_teardown_no_leak () =
+  (* Repeated create/run/shutdown must terminate (join all domains) and a
+     shut-down pool must refuse further parallel work. *)
+  for _ = 1 to 10 do
+    let p = Pool.create () in
+    let total = Atomic.make 0 in
+    Pool.run p ~participants:4 ~n:256 (fun _ lo hi -> ignore (Atomic.fetch_and_add total (hi - lo)));
+    Pool.shutdown p;
+    check Alcotest.int "covered before shutdown" 256 (Atomic.get total);
+    check Alcotest.int "no domains after shutdown" 0 (Pool.size p)
+  done;
+  let p = Pool.create () in
+  Pool.shutdown p;
+  Pool.shutdown p;  (* idempotent *)
+  (match Pool.run p ~participants:2 ~n:8 (fun _ _ _ -> ()) with
+   | () -> Alcotest.fail "expected Invalid_argument after shutdown"
+   | exception Invalid_argument _ -> ());
+  (* Serial and empty regions never need domains, even shut down. *)
+  Pool.run p ~participants:1 ~n:8 (fun _ _ _ -> ());
+  Pool.run p ~participants:4 ~n:0 (fun _ _ _ -> ())
+
+let test_parallel_sweep_covers_once () =
+  let n = 5000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Parallel.sweep ~grain:13 ~jobs:4 ~n (fun ~worker:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        Atomic.incr hits.(i)
+      done);
+  Array.iteri
+    (fun i h -> if Atomic.get h <> 1 then Alcotest.failf "index %d visited %d times" i (Atomic.get h))
+    hits
 
 let parallel_map_chunks_qcheck =
   QCheck.Test.make ~name:"map_chunks sums match serial" ~count:50
@@ -303,9 +443,21 @@ let () =
           Alcotest.test_case "quantile" `Quick test_stats_quantile;
           Alcotest.test_case "geometric steps" `Quick test_geometric_steps ] );
       qsuite "heap-properties" heap_qcheck;
+      ( "bits",
+        Alcotest.test_case "edge cases" `Quick test_bits_edge_cases
+        :: List.map (QCheck_alcotest.to_alcotest ~long:false) bits_qcheck );
       ( "parallel",
         [ Alcotest.test_case "chunk bounds" `Quick test_parallel_chunk_bounds;
           Alcotest.test_case "covers every index once" `Quick test_parallel_covers_once;
           Alcotest.test_case "worker exception propagates" `Quick test_parallel_worker_exception;
           Alcotest.test_case "resolve_jobs policy" `Quick test_parallel_resolve;
-          QCheck_alcotest.to_alcotest ~long:false parallel_map_chunks_qcheck ] ) ]
+          Alcotest.test_case "sweep covers every index once" `Quick test_parallel_sweep_covers_once;
+          QCheck_alcotest.to_alcotest ~long:false parallel_map_chunks_qcheck ] );
+      ( "pool",
+        [ Alcotest.test_case "covers every index once" `Quick test_pool_covers_once;
+          Alcotest.test_case "reuses and grows domains" `Quick test_pool_reuse_and_growth;
+          Alcotest.test_case "exception propagates, pool survives" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "nested regions run inline" `Quick test_pool_nested_runs_inline;
+          Alcotest.test_case "create/teardown leaks nothing" `Quick
+            test_pool_create_teardown_no_leak ] ) ]
