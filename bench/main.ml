@@ -258,6 +258,75 @@ let run_perf () =
     results;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !collected
 
+(* --- pool telemetry measurement --------------------------------------------
+
+   One sampled jobs=4 ppsfp run through the persistent pool, with the
+   hardware clamp lifted so the measurement exercises real worker domains
+   even on a single-core host.  Records per-lane scheduler counters and
+   the utilization profile the timeline sampler saw — the jobs axis of
+   the JSON is ready for multi-core hosts where the clamp never binds. *)
+
+type pool_measurement = {
+  pm_jobs : int;
+  pm_period_ms : int;
+  pm_samples : int;
+  pm_util_peak : float;
+  pm_util_mean : float;
+  pm_lanes : (int * int * int * int * int) list;
+      (* lane, tasks, steals, stolen_from, parked_us *)
+}
+
+let measure_pool () =
+  let jobs = 4 and period_ms = 5 in
+  let saved = Sys.getenv_opt "OPTPROB_JOBS_OVERCOMMIT" in
+  Unix.putenv "OPTPROB_JOBS_OVERCOMMIT" "1";
+  Fun.protect ~finally:(fun () ->
+      Unix.putenv "OPTPROB_JOBS_OVERCOMMIT" (Option.value ~default:"" saved))
+  @@ fun () ->
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  let ctx =
+    Rt_pipeline.create
+      (Rt_pipeline.Config.exn (Rt_pipeline.Config.make ~engine:"cop" ~circuit:"c6288ish:8" ()))
+  in
+  let mult = Rt_pipeline.circuit ctx in
+  let mfaults = Rt_pipeline.fault_list ctx in
+  let n_inputs = Array.length (Rt_circuit.Netlist.inputs mult) in
+  let sampler = Rt_obs.Timeline.start ~period_ms () in
+  for seed = 1 to 3 do
+    let rng = Rt_util.Rng.create seed in
+    let source = Rt_sim.Pattern.equiprobable rng ~n_inputs in
+    ignore
+      (Rt_sim.Fault_sim.simulate ~jobs ~drop:false mult mfaults ~source ~n_patterns:1024)
+  done;
+  let samples, _dropped = Rt_obs.Timeline.stop sampler in
+  let snap = Rt_obs.counters_snapshot () in
+  let v name = Option.value ~default:0 (List.assoc_opt name snap) in
+  let lanes =
+    List.init jobs (fun k ->
+        let f field = v (Printf.sprintf "pool.d%d.%s" k field) in
+        (k, f "tasks", f "steals", f "stolen_from", f "parked_us"))
+  in
+  let utils =
+    List.filter_map
+      (fun s -> List.assoc_opt "pool.utilization" s.Rt_obs.Timeline.s_gauges)
+      samples
+  in
+  let peak = List.fold_left Float.max 0.0 utils in
+  let mean =
+    match utils with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 utils /. Float.of_int (List.length utils)
+  in
+  Rt_obs.set_enabled false;
+  Rt_obs.clear ();
+  { pm_jobs = jobs;
+    pm_period_ms = period_ms;
+    pm_samples = List.length samples;
+    pm_util_peak = peak;
+    pm_util_mean = mean;
+    pm_lanes = lanes }
+
 (* --- JSON output ----------------------------------------------------------- *)
 
 let json_escape s =
@@ -274,16 +343,32 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~mode ~experiments ~kernels ~total_seconds =
+let write_json ~path ~mode ~experiments ~kernels ~pool ~total_seconds =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"optprob-bench/1\",\n";
+  p "  \"schema\": \"optprob-bench/2\",\n";
   p "  \"mode\": \"%s\",\n" (json_escape mode);
   p "  \"jobs_env\": %d,\n" (Rt_util.Parallel.default_jobs ());
   p "  \"block_words_env\": %d,\n" (Rt_sim.Pattern.default_block_words ());
   p "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"total_seconds\": %.3f,\n" total_seconds;
+  p "  \"pool\": {\n";
+  p "    \"jobs\": %d,\n" pool.pm_jobs;
+  p "    \"sample_period_ms\": %d,\n" pool.pm_period_ms;
+  p "    \"timeline_samples\": %d,\n" pool.pm_samples;
+  p "    \"utilization\": {\"peak\": %.4f, \"mean\": %.4f},\n" pool.pm_util_peak
+    pool.pm_util_mean;
+  p "    \"domains\": [\n";
+  List.iteri
+    (fun i (lane, tasks, steals, stolen_from, parked_us) ->
+      p "      {\"lane\": %d, \"tasks\": %d, \"steals\": %d, \"stolen_from\": %d, \
+         \"parked_us\": %d}%s\n"
+        lane tasks steals stolen_from parked_us
+        (if i = List.length pool.pm_lanes - 1 then "" else ","))
+    pool.pm_lanes;
+  p "    ]\n";
+  p "  },\n";
   p "  \"experiments\": [\n";
   List.iteri
     (fun i (id, title, seconds, counters) ->
@@ -316,9 +401,12 @@ let () =
   let kernels = if perf then run_perf () else [] in
   if json then begin
     let path = "BENCH_optprob.json" in
+    let pool = measure_pool () in
+    Format.printf "@.pool (sampled jobs=%d ppsfp): utilization peak %.2f mean %.2f over %d samples@."
+      pool.pm_jobs pool.pm_util_peak pool.pm_util_mean pool.pm_samples;
     write_json ~path
       ~mode:(if full then "full" else "quick")
-      ~experiments ~kernels
+      ~experiments ~kernels ~pool
       ~total_seconds:(Rt_util.Stats.timer_elapsed t0);
     Format.printf "@.wrote %s@." path
   end

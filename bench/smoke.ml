@@ -24,7 +24,12 @@
       fail.  The width axis is chosen because it does not depend on host
       core count, unlike the jobs axis;
    6. a second jobs=4 run spawns no additional domains
-      ([parallel.spawns] flat), i.e. the domain pool persists.
+      ([parallel.spawns] flat), i.e. the domain pool persists;
+   7. the background timeline sampler is free at the workload level: the
+      fused sweep's p50 with telemetry+sampler(25 ms) stays within 1.05x
+      of telemetry-only, judged on the p50 read back from the two run
+      artifacts' metrics.json — and the sampler side's timeline.json
+      self-diffs clean through obs-diff.
 
    The timed sections run with recording OFF so the numbers measure the
    oracle/simulator, not the telemetry.  Artifacts land under an optional
@@ -259,6 +264,59 @@ let () =
   if spawns_after > spawns_warm then begin
     Printf.eprintf "bench-smoke FAIL: second jobs=4 run spawned %d extra domains\n"
       (spawns_after - spawns_warm);
+    exit 1
+  end;
+  (* --- sampler overhead ------------------------------------------------------
+     Telemetry-only vs telemetry + 25 ms timeline sampler, same fused
+     sweep.  Both runs are recorded; the gate compares the p50 each
+     artifact's metrics.json reports, so it measures exactly what a
+     sampled production run would. *)
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  let _, s_tel_only = time_collect (sweep fused) in
+  let dir_tel = write "sampler-off" s_tel_only in
+  let sampler = Rt_obs.Timeline.start ~period_ms:25 () in
+  let _, s_sampled = time_collect (sweep fused) in
+  let tl_samples, tl_dropped = Rt_obs.Timeline.stop sampler in
+  let dir_samp = write "sampler-on" s_sampled in
+  Rt_obs.Timeline.write
+    (Filename.concat dir_samp "timeline.json")
+    ~period_ms:25 ~dropped:tl_dropped tl_samples;
+  Rt_obs.set_enabled false;
+  let p50_of dir =
+    let path = Filename.concat dir "metrics.json" in
+    let ic = open_in_bin path in
+    let doc = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let j = Rt_obs.Json.parse doc in
+    match
+      Option.bind (Rt_obs.Json.member "histograms" j) (fun h ->
+          Option.bind (Rt_obs.Json.member "smoke.sweep_us" h) (fun s ->
+              Option.bind (Rt_obs.Json.member "p50" s) Rt_obs.Json.to_float))
+    with
+    | Some v -> v
+    | None -> Printf.eprintf "bench-smoke FAIL: no smoke.sweep_us p50 in %s\n" path; exit 1
+  in
+  let p50_tel = p50_of dir_tel and p50_samp = p50_of dir_samp in
+  let sampler_ratio = p50_samp /. p50_tel in
+  let sampler_thresholds = { Rt_obs.Diff.default with quantile_ratio = 1.05 } in
+  let sampler_diff =
+    Rt_obs.Diff.compare_dirs ~thresholds:sampler_thresholds dir_tel dir_samp
+  in
+  let tl_self = Rt_obs.Diff.regressions (Rt_obs.Diff.compare_dirs dir_samp dir_samp) in
+  Printf.printf "sampler overhead (fused sweep, 25 ms period):\n";
+  Printf.printf "  telemetry-only p50:         %8.3f us\n" p50_tel;
+  Printf.printf "  telemetry+sampler p50:      %8.3f us\n" p50_samp;
+  Printf.printf "  ratio (sampled / plain):    %8.3f\n" sampler_ratio;
+  Printf.printf "  timeline samples/dropped:   %d / %d\n" (List.length tl_samples) tl_dropped;
+  Printf.printf "  artifacts:                  %s {sampler-off,sampler-on}\n" out_root;
+  Rt_obs.Diff.pp_report Format.std_formatter sampler_diff;
+  if sampler_ratio > 1.05 then begin
+    Printf.eprintf "bench-smoke FAIL: sampler overhead %.3fx > 1.05x on p50\n" sampler_ratio;
+    exit 1
+  end;
+  if tl_self <> [] then begin
+    Printf.eprintf "bench-smoke FAIL: sampler-side timeline does not self-diff clean\n";
     exit 1
   end;
   Printf.printf "bench-smoke OK\n"

@@ -29,15 +29,19 @@ type obs = {
   trace : string option;
   metrics : string option;
   verbose : bool;
+  sample_ms : int option;
+  listen : int option;
   mutable t_start : float;
+  mutable sampler : Rt_obs.Timeline.sampler option;
+  mutable server : Rt_obs_http.t option;
 }
 
 let obs_dir_arg =
   Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR"
          ~doc:"Write the full run artifact (manifest.json, events.jsonl, metrics.json, \
-               metrics.prom, trace.json, convergence.json) to $(docv); compare two run \
-               directories with $(b,optprob obs-diff).  SIGUSR1 dumps a live metrics \
-               snapshot mid-run.")
+               metrics.prom, trace.json, timeline.json, convergence.json) to $(docv); \
+               compare two run directories with $(b,optprob obs-diff).  SIGUSR1 dumps a \
+               live metrics snapshot mid-run.")
 
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -52,24 +56,76 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ]
          ~doc:"Print the aggregated phase timings, counters and latency histograms to stderr.")
 
+let sample_ms_arg =
+  Arg.(value & opt (some int) None & info [ "obs-sample-ms" ] ~docv:"MS"
+         ~doc:"Start a background sampler domain snapshotting all counters and gauges \
+               (pool utilization, queue depths, GC, live faults) every $(docv) \
+               milliseconds into a bounded ring buffer, flushed to timeline.json in the \
+               --obs-dir artifact.")
+
+let listen_arg =
+  Arg.(value & opt (some int) None & info [ "obs-listen" ] ~docv:"PORT"
+         ~doc:"Serve live observability over HTTP on 127.0.0.1:$(docv) while the run is \
+               in flight: /metrics (OpenMetrics), /healthz, /snapshot (metrics JSON).  \
+               Port 0 picks an ephemeral port (printed on startup).")
+
 let obs_arg =
-  Term.(const (fun obs_dir trace metrics verbose ->
-            { obs_dir; trace; metrics; verbose; t_start = 0.0 })
-        $ obs_dir_arg $ trace_arg $ metrics_arg $ verbose_arg)
+  Term.(const (fun obs_dir trace metrics verbose sample_ms listen ->
+            { obs_dir; trace; metrics; verbose; sample_ms; listen;
+              t_start = 0.0; sampler = None; server = None })
+        $ obs_dir_arg $ trace_arg $ metrics_arg $ verbose_arg $ sample_ms_arg $ listen_arg)
 
 let obs_begin obs =
   obs.t_start <- Unix.gettimeofday ();
-  if obs.obs_dir <> None || obs.trace <> None || obs.metrics <> None || obs.verbose then
-    Rt_obs.set_enabled true;
-  match obs.obs_dir with
-  | Some dir ->
+  if obs.obs_dir <> None || obs.trace <> None || obs.metrics <> None || obs.verbose
+     || obs.sample_ms <> None || obs.listen <> None
+  then Rt_obs.set_enabled true;
+  (match obs.obs_dir with
+   | Some dir ->
+     (try
+        Sys.set_signal Sys.sigusr1
+          (Sys.Signal_handle (fun _ -> Rt_obs.Artifact.write_live ~dir))
+      with Invalid_argument _ | Sys_error _ -> ())
+   | None -> ());
+  (match obs.sample_ms with
+   | Some period_ms when period_ms >= 1 ->
+     obs.sampler <- Some (Rt_obs.Timeline.start ~period_ms ())
+   | Some bad -> failwith (Printf.sprintf "--obs-sample-ms %d: period must be >= 1" bad)
+   | None -> ());
+  match obs.listen with
+  | Some port when port >= 0 && port < 65536 ->
     (try
-       Sys.set_signal Sys.sigusr1
-         (Sys.Signal_handle (fun _ -> Rt_obs.Artifact.write_live ~dir))
-     with Invalid_argument _ | Sys_error _ -> ())
+       let srv = Rt_obs_http.start ~port () in
+       obs.server <- Some srv;
+       Format.eprintf "obs: serving /metrics /healthz /snapshot on http://127.0.0.1:%d@."
+         (Rt_obs_http.port srv)
+     with Unix.Unix_error (err, _, _) ->
+       failwith
+         (Printf.sprintf "--obs-listen %d: cannot bind (%s)" port (Unix.error_message err)))
+  | Some bad -> failwith (Printf.sprintf "--obs-listen %d: not a valid port" bad)
+  | None -> ()
+
+(* Keep the HTTP endpoint answering briefly after the artifacts are written
+   — scripted clients (make obs-live-demo, CI) race the run's natural end. *)
+let obs_linger () =
+  match Sys.getenv_opt "OPTPROB_OBS_LINGER_MS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some ms when ms > 0 -> Unix.sleepf (Float.of_int ms /. 1000.0)
+     | _ -> ())
   | None -> ()
 
 let obs_end ?(cfg : Config.t option) ?convergence obs =
+  (* stop the sampler first so its final sample lands in the timeline and
+     in the artifact snapshot below *)
+  let timeline =
+    match obs.sampler with
+    | Some s ->
+      obs.sampler <- None;
+      let samples, dropped = Rt_obs.Timeline.stop s in
+      Some (samples, dropped)
+    | None -> None
+  in
   (match obs.trace with
    | Some path ->
      Rt_obs.write_trace path;
@@ -90,7 +146,17 @@ let obs_end ?(cfg : Config.t option) ?convergence obs =
          wall_s = Unix.gettimeofday () -. obs.t_start }
      in
      Rt_obs.Artifact.write ~dir ~manifest ?convergence ();
+     (match (timeline, obs.sample_ms) with
+      | Some (samples, dropped), Some period_ms ->
+        Rt_obs.Timeline.write (Filename.concat dir "timeline.json") ~period_ms ~dropped samples
+      | _ -> ());
      Format.eprintf "wrote run artifact %s@." dir
+   | None -> ());
+  (match obs.server with
+   | Some srv ->
+     obs.server <- None;
+     obs_linger ();
+     Rt_obs_http.stop srv
    | None -> ());
   if obs.verbose then begin
     Rt_obs.sample_gc ();

@@ -20,6 +20,7 @@ type event = {
   ts_us : float;
   dur_us : float;
   tid : int;
+  args : (string * string) list;
 }
 
 type mark = {
@@ -40,10 +41,10 @@ let record ev =
 
 let span_begin () = if Atomic.get on then now_us () else Float.neg_infinity
 
-let span_end ?(cat = "span") name t0 =
+let span_end ?(cat = "span") ?(args = []) name t0 =
   if t0 > Float.neg_infinity then begin
     let dur = Float.max 0.0 (now_us () -. t0) in
-    record { name; cat; ts_us = t0; dur_us = dur; tid = (Domain.self () :> int) }
+    record { name; cat; ts_us = t0; dur_us = dur; tid = (Domain.self () :> int); args }
   end
 
 let with_span ?cat name f =
@@ -80,6 +81,49 @@ let marks () =
   let ms = !marks_rev in
   Mutex.unlock lock;
   List.rev ms
+
+(* --- track names ------------------------------------------------------------
+
+   Per-domain display names for the trace viewer.  Registration-like (not
+   gated on the enabled flag, survives [clear]): a worker domain names its
+   track once at spawn and every later trace export shows it. *)
+
+let track_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let set_track_name name =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock lock;
+  Hashtbl.replace track_names tid name;
+  Mutex.unlock lock
+
+let track_names_snapshot () =
+  Mutex.lock lock;
+  let xs = Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) track_names [] in
+  Mutex.unlock lock;
+  List.sort compare xs
+
+(* --- sample hooks -----------------------------------------------------------
+
+   Callbacks that refresh derived gauges from live state (pool utilization,
+   queue depths) right before a snapshot is taken.  Lets lower layers like
+   [Rt_util.Pool] — which depend on this module — feed the sampler, the
+   artifact writer and the HTTP responder without a reverse dependency. *)
+
+let sample_hooks : (unit -> unit) list ref = ref []
+
+let add_sample_hook f =
+  Mutex.lock lock;
+  sample_hooks := f :: !sample_hooks;
+  Mutex.unlock lock
+
+let run_sample_hooks () =
+  if Atomic.get on then begin
+    Mutex.lock lock;
+    let hs = !sample_hooks in
+    Mutex.unlock lock;
+    (* oldest first, so a later registration's writes win on shared gauges *)
+    List.iter (fun f -> try f () with _ -> ()) (List.rev hs)
+  end
 
 (* --- counters / gauges ----------------------------------------------------- *)
 
@@ -205,12 +249,12 @@ let observe_always h v =
 
 let observe h v = if Atomic.get on then observe_always h v
 
-let span_end_h ?(cat = "span") name h t0 =
+let span_end_h ?(cat = "span") ?(args = []) name h t0 =
   if t0 > Float.neg_infinity then begin
     (* One clock read feeds both the event and the histogram, so the two
        views of the span duration are identical. *)
     let dur = Float.max 0.0 (now_us () -. t0) in
-    record { name; cat; ts_us = t0; dur_us = dur; tid = (Domain.self () :> int) };
+    record { name; cat; ts_us = t0; dur_us = dur; tid = (Domain.self () :> int); args };
     observe_always h dur
   end
 
@@ -500,6 +544,12 @@ module Json = struct
     | _ -> None
 end
 
+let args_json args =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+       args)
+
 let trace_json () =
   let evs = events () in
   let ms = marks () in
@@ -512,11 +562,19 @@ let trace_json () =
     Buffer.add_string buf s
   in
   List.iter
-    (fun ev ->
+    (fun (tid, name) ->
       emit
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
-           (json_escape ev.name) (json_escape ev.cat) ev.ts_us ev.dur_us ev.tid))
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid (json_escape name)))
+    (track_names_snapshot ());
+  List.iter
+    (fun ev ->
+      let args = if ev.args = [] then "" else Printf.sprintf ",\"args\":{%s}" (args_json ev.args) in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d%s}"
+           (json_escape ev.name) (json_escape ev.cat) ev.ts_us ev.dur_us ev.tid args))
     evs;
   List.iter
     (fun m ->
@@ -540,10 +598,13 @@ let events_jsonl () =
   let lines =
     List.map
       (fun ev ->
+        let args =
+          if ev.args = [] then "" else Printf.sprintf ",\"args\":{%s}" (args_json ev.args)
+        in
         ( ev.ts_us,
           Printf.sprintf
-            "{\"type\":\"span\",\"name\":\"%s\",\"cat\":\"%s\",\"ts_us\":%.3f,\"dur_us\":%.3f,\"tid\":%d}"
-            (json_escape ev.name) (json_escape ev.cat) ev.ts_us ev.dur_us ev.tid ))
+            "{\"type\":\"span\",\"name\":\"%s\",\"cat\":\"%s\",\"ts_us\":%.3f,\"dur_us\":%.3f,\"tid\":%d%s}"
+            (json_escape ev.name) (json_escape ev.cat) ev.ts_us ev.dur_us ev.tid args ))
       (events ())
     @ List.map
         (fun m ->
@@ -659,10 +720,191 @@ let metrics_prom () =
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
+(* Strict structural lint of an OpenMetrics text exposition: family blocks
+   declared by `# TYPE`, counter samples suffixed `_total`, histogram series
+   cumulative with a `+Inf` bucket equal to `_count`, names restricted to
+   [a-zA-Z0-9_:], label values quote-escaped, one trailing `# EOF`.  Used by
+   the parse-back test and available to external checks. *)
+let prom_lint s =
+  let errs = ref [] in
+  let add m = errs := m :: !errs in
+  let errf lineno fmt =
+    Printf.ksprintf (fun m -> add (Printf.sprintf "line %d: %s" lineno m)) fmt
+  in
+  let name_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false in
+  let name_ok n =
+    n <> ""
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all name_char n
+  in
+  let value_of v =
+    match v with
+    | "+Inf" -> Some Float.infinity
+    | "-Inf" -> Some Float.neg_infinity
+    | "NaN" -> Some Float.nan
+    | _ -> float_of_string_opt v
+  in
+  (* sample line: name[{k="v",...}] value — quote-aware label scanner *)
+  let parse_sample line =
+    let len = String.length line in
+    let i = ref 0 in
+    while !i < len && name_char line.[!i] do Stdlib.incr i done;
+    let name = String.sub line 0 !i in
+    let labels = ref [] in
+    let ok = ref (name <> "") in
+    if !ok && !i < len && line.[!i] = '{' then begin
+      Stdlib.incr i;
+      let rec pairs () =
+        if !i < len && line.[!i] = '}' then Stdlib.incr i
+        else begin
+          let ks = !i in
+          while
+            !i < len
+            && (match line.[!i] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+          do
+            Stdlib.incr i
+          done;
+          let k = String.sub line ks (!i - ks) in
+          if k = "" || !i + 1 >= len || line.[!i] <> '=' || line.[!i + 1] <> '"' then ok := false
+          else begin
+            i := !i + 2;
+            let buf = Buffer.create 8 in
+            let closed = ref false in
+            while not !closed && !ok && !i < len do
+              (match line.[!i] with
+               | '"' -> closed := true
+               | '\\' ->
+                 Stdlib.incr i;
+                 if !i >= len then ok := false
+                 else (
+                   match line.[!i] with
+                   | '\\' -> Buffer.add_char buf '\\'
+                   | '"' -> Buffer.add_char buf '"'
+                   | 'n' -> Buffer.add_char buf '\n'
+                   | _ -> ok := false)
+               | c -> Buffer.add_char buf c);
+              Stdlib.incr i
+            done;
+            if not !closed then ok := false
+            else begin
+              labels := (k, Buffer.contents buf) :: !labels;
+              if !i < len && line.[!i] = ',' then begin
+                Stdlib.incr i;
+                pairs ()
+              end
+              else if !i < len && line.[!i] = '}' then Stdlib.incr i
+              else ok := false
+            end
+          end
+        end
+      in
+      pairs ()
+    end;
+    if (not !ok) || !i >= len || line.[!i] <> ' ' then None
+    else Some (name, List.rev !labels, String.sub line (!i + 1) (len - !i - 1))
+  in
+  (* family block state *)
+  let fam = ref None in
+  let seen = Hashtbl.create 16 in
+  let hist_prev = ref 0.0
+  and hist_inf = ref None
+  and hist_count = ref None
+  and fam_line = ref 0 in
+  let finish_family () =
+    match !fam with
+    | Some (n, "histogram") -> (
+      match (!hist_inf, !hist_count) with
+      | None, _ -> errf !fam_line "histogram %s: missing le=\"+Inf\" bucket" n
+      | Some _, None -> errf !fam_line "histogram %s: missing %s_count" n n
+      | Some inf, Some c ->
+        if inf <> c then errf !fam_line "histogram %s: +Inf bucket %g <> count %g" n inf c)
+    | _ -> ()
+  in
+  if s = "" || s.[String.length s - 1] <> '\n' then add "exposition does not end with a newline";
+  let lines = String.split_on_char '\n' s in
+  let n_lines = List.length lines in
+  let eof = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" then begin
+        if i <> n_lines - 1 then errf lineno "unexpected blank line"
+      end
+      else if !eof then errf lineno "content after # EOF"
+      else if line = "# EOF" then begin
+        finish_family ();
+        eof := true
+      end
+      else if line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; mname; mtype ] ->
+          finish_family ();
+          if not (name_ok mname) then errf lineno "bad metric family name %S" mname;
+          if not (List.mem mtype [ "counter"; "gauge"; "histogram"; "summary"; "info"; "unknown" ])
+          then errf lineno "bad metric type %S" mtype;
+          if Hashtbl.mem seen mname then errf lineno "duplicate family %s" mname;
+          Hashtbl.replace seen mname ();
+          fam := Some (mname, mtype);
+          hist_prev := 0.0;
+          hist_inf := None;
+          hist_count := None;
+          fam_line := lineno
+        | "#" :: ("HELP" | "UNIT") :: _ -> ()
+        | _ -> errf lineno "unrecognized comment line %S" line
+      end
+      else begin
+        match parse_sample line with
+        | None -> errf lineno "malformed sample line %S" line
+        | Some (sname, labels, vstr) ->
+          if not (name_ok sname) then errf lineno "bad sample name %S" sname;
+          (match value_of vstr with
+           | None -> errf lineno "unparseable value %S" vstr
+           | Some v -> (
+             match !fam with
+             | None -> errf lineno "sample %s before any # TYPE" sname
+             | Some (fname, "counter") ->
+               if sname <> fname ^ "_total" && sname <> fname ^ "_created" then
+                 errf lineno "counter sample %s must be %s_total" sname fname
+               else if not (v >= 0.0) then errf lineno "counter %s has non-finite or negative value" sname
+             | Some (fname, "gauge") ->
+               if sname <> fname then errf lineno "gauge sample %s outside family %s" sname fname
+             | Some (fname, "histogram") ->
+               if sname = fname ^ "_bucket" then begin
+                 (match List.assoc_opt "le" labels with
+                  | None -> errf lineno "histogram bucket without le label"
+                  | Some le ->
+                    if value_of le = None then errf lineno "unparseable le=%S" le;
+                    if le = "+Inf" then hist_inf := Some v);
+                 if v < !hist_prev then
+                   errf lineno "histogram %s buckets not cumulative (%g after %g)" fname v !hist_prev;
+                 hist_prev := v
+               end
+               else if sname = fname ^ "_sum" then ()
+               else if sname = fname ^ "_count" then begin
+                 if not (v >= 0.0) then errf lineno "negative histogram count";
+                 hist_count := Some v
+               end
+               else errf lineno "unexpected sample %s in histogram family %s" sname fname
+             | Some _ -> ()))
+      end)
+    lines;
+  if not !eof then add "missing '# EOF' terminator";
+  List.rev !errs
+
+(* Atomic artifact write: a reader polling the directory mid-run (SIGUSR1
+   snapshots, the HTTP responder's fallback, `tail -f` on metrics.prom)
+   must never see a torn file, so write a sibling temp file and rename it
+   into place — [Sys.rename] replaces atomically on POSIX. *)
 let write_file path s =
-  let oc = open_out path in
-  output_string oc s;
-  close_out oc
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try output_string oc s
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
 
 let read_file path =
   let ic = open_in_bin path in
@@ -673,6 +915,126 @@ let read_file path =
 
 let write_trace path = write_file path (trace_json ())
 let write_metrics path = write_file path (metrics_json ())
+
+(* --- timeline sampler --------------------------------------------------------
+
+   A background domain that periodically snapshots every counter and gauge
+   (after refreshing the derived ones via the sample hooks and the GC
+   gauges) into a bounded ring buffer, flushed on stop to a
+   `optprob-timeline/1` JSON document.  The ring keeps the newest
+   [capacity] samples and counts what it overwrote, so a runaway run has
+   bounded memory and an honest [dropped] figure. *)
+
+module Timeline = struct
+  type sample = {
+    s_ts_us : float;
+    s_counters : (string * int) list;
+    s_gauges : (string * float) list;
+  }
+
+  type ring = {
+    r_cap : int;
+    r_data : sample option array;
+    mutable r_pushed : int;
+    r_lock : Mutex.t;
+  }
+
+  let ring_create cap =
+    if cap < 1 then invalid_arg "Rt_obs.Timeline.ring_create: capacity must be >= 1";
+    { r_cap = cap; r_data = Array.make cap None; r_pushed = 0; r_lock = Mutex.create () }
+
+  let ring_push r s =
+    Mutex.lock r.r_lock;
+    (* clamp to keep the series strictly monotone even if the wall clock
+       steps backwards between samples *)
+    let s =
+      if r.r_pushed = 0 then s
+      else
+        match r.r_data.((r.r_pushed - 1) mod r.r_cap) with
+        | Some prev when s.s_ts_us <= prev.s_ts_us -> { s with s_ts_us = prev.s_ts_us +. 1e-3 }
+        | _ -> s
+    in
+    r.r_data.(r.r_pushed mod r.r_cap) <- Some s;
+    r.r_pushed <- r.r_pushed + 1;
+    Mutex.unlock r.r_lock
+
+  let ring_flush r =
+    Mutex.lock r.r_lock;
+    let n = Stdlib.min r.r_pushed r.r_cap in
+    let start = r.r_pushed - n in
+    let out = List.init n (fun i -> Option.get r.r_data.((start + i) mod r.r_cap)) in
+    let dropped = r.r_pushed - n in
+    Mutex.unlock r.r_lock;
+    (out, dropped)
+
+  let take_sample () =
+    run_sample_hooks ();
+    sample_gc ();
+    { s_ts_us = now_us (); s_counters = counters_snapshot (); s_gauges = gauges_snapshot () }
+
+  type sampler = {
+    ring : ring;
+    period_ms : int;
+    stop_flag : bool Atomic.t;
+    mutable domain : unit Domain.t option;
+  }
+
+  let start ?(capacity = 4096) ~period_ms () =
+    if period_ms < 1 then invalid_arg "Rt_obs.Timeline.start: period_ms must be >= 1";
+    let t =
+      { ring = ring_create capacity; period_ms; stop_flag = Atomic.make false; domain = None }
+    in
+    let d =
+      Domain.spawn (fun () ->
+          set_track_name "obs-sampler";
+          while not (Atomic.get t.stop_flag) do
+            ring_push t.ring (take_sample ());
+            (* sleep in <= 50 ms steps so stop stays prompt at long periods *)
+            let remaining = ref (Float.of_int t.period_ms /. 1000.0) in
+            while !remaining > 0.0 && not (Atomic.get t.stop_flag) do
+              let dt = Float.min 0.05 !remaining in
+              Unix.sleepf dt;
+              remaining := !remaining -. dt
+            done
+          done)
+    in
+    t.domain <- Some d;
+    t
+
+  let stop t =
+    Atomic.set t.stop_flag true;
+    (match t.domain with
+     | Some d ->
+       Domain.join d;
+       t.domain <- None
+     | None -> ());
+    (* one final sample so even a run shorter than a period flushes a
+       non-empty timeline with end-of-run values *)
+    ring_push t.ring (take_sample ());
+    ring_flush t.ring
+
+  let to_json ~period_ms ~dropped samples =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n  \"schema\": \"optprob-timeline/1\",\n";
+    Buffer.add_string buf (Printf.sprintf "  \"period_ms\": %d,\n" period_ms);
+    Buffer.add_string buf (Printf.sprintf "  \"dropped\": %d,\n" dropped);
+    Buffer.add_string buf "  \"samples\": [\n";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        let kv_int (k, v) = Printf.sprintf "\"%s\": %d" (json_escape k) v in
+        let kv_flt (k, v) = Printf.sprintf "\"%s\": %s" (json_escape k) (json_float v) in
+        Buffer.add_string buf
+          (Printf.sprintf "    {\"ts_us\": %.3f, \"counters\": {%s}, \"gauges\": {%s}}" s.s_ts_us
+             (String.concat ", " (List.map kv_int s.s_counters))
+             (String.concat ", " (List.map kv_flt s.s_gauges))))
+      samples;
+    Buffer.add_string buf "\n  ]\n}\n";
+    Buffer.contents buf
+
+  let write path ~period_ms ~dropped samples =
+    write_file path (to_json ~period_ms ~dropped samples)
+end
 
 (* --- human-readable summary ------------------------------------------------ *)
 
@@ -932,12 +1294,14 @@ module Artifact = struct
      cheap, and the files a scraper would poll. *)
   let write_live ~dir =
     mkdir_p dir;
+    run_sample_hooks ();
     sample_gc ();
     write_file (Filename.concat dir "metrics.json") (metrics_json ());
     write_file (Filename.concat dir "metrics.prom") (metrics_prom ())
 
   let write ~dir ~manifest ?convergence () =
     mkdir_p dir;
+    run_sample_hooks ();
     sample_gc ();
     write_file (Filename.concat dir "manifest.json") (manifest_json manifest);
     write_file (Filename.concat dir "events.jsonl") (events_jsonl ());
@@ -1021,7 +1385,7 @@ module Diff = struct
 
   (* Compare two keyed float lists; [gate] decides whether a pair is
      eligible for regression/improvement classification at all. *)
-  let compare_keyed ~kind ~thr ~gate ~unit_ a_list b_list =
+  let compare_keyed ?(invert = false) ~kind ~thr ~gate ~unit_ a_list b_list =
     let names =
       List.sort_uniq String.compare (List.map fst a_list @ List.map fst b_list)
     in
@@ -1031,7 +1395,12 @@ module Diff = struct
         | Some a, Some b ->
           if a = b then None
           else begin
-            let sev = if gate a b then classify thr a b else Info in
+            (* [invert] flips the regression direction for
+               higher-is-better series (e.g. pool utilization). *)
+            let sev =
+              if gate a b then (if invert then classify thr b a else classify thr a b)
+              else Info
+            in
             Some
               { severity = sev;
                 kind;
@@ -1046,6 +1415,40 @@ module Diff = struct
           Some { severity = Info; kind; name; a = Float.nan; b; detail = "only in B" }
         | None, None -> None)
       names
+
+  (* Per-gauge series statistics (mean/peak/p90) from a timeline.json. *)
+  let timeline_series j =
+    match Json.member "samples" j with
+    | Some (Json.Arr samples) ->
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun s ->
+          match Json.member "gauges" s with
+          | Some (Json.Obj gs) ->
+            List.iter
+              (fun (k, v) ->
+                match Json.to_float v with
+                | Some f ->
+                  let vs = try Hashtbl.find tbl k with Not_found -> [] in
+                  Hashtbl.replace tbl k (f :: vs)
+                | None -> ())
+              gs
+          | _ -> ())
+        samples;
+      Hashtbl.fold
+        (fun k vs acc ->
+          let n = List.length vs in
+          if n = 0 then acc
+          else begin
+            let sorted = List.sort Float.compare vs in
+            let peak = List.nth sorted (n - 1) in
+            let p90 = List.nth sorted (Stdlib.min (n - 1) ((n * 9 + 9) / 10 - 1)) in
+            let mean = List.fold_left ( +. ) 0.0 vs /. Float.of_int n in
+            (k ^ ".mean", mean) :: (k ^ ".peak", peak) :: (k ^ ".p90", p90) :: acc
+          end)
+        tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    | _ -> []
 
   let hist_quantiles fields =
     List.filter_map
@@ -1127,6 +1530,33 @@ module Diff = struct
           | None, None -> None)
         names
     in
+    let timelines =
+      (* timeline gauge series: scheduler-derived series (pool/ppsfp
+         prefixes) gate at the quantile threshold; GC/heap series are
+         environment-dependent and report-only, like plain gauges *)
+      match (load_json dir_a "timeline.json", load_json dir_b "timeline.json") with
+      | Some ja, Some jb ->
+        let sa = timeline_series ja and sb = timeline_series jb in
+        let prefixed p (k, _) =
+          String.length k >= String.length p && String.sub k 0 (String.length p) = p
+        in
+        let is_sched x = prefixed "pool." x || prefixed "ppsfp." x in
+        (* utilization is higher-is-better: a drop between runs is the
+           regression direction, unlike queue depths and latencies *)
+        let is_util = prefixed "pool.utilization" in
+        let sched l = List.filter (fun x -> is_sched x && not (is_util x)) l
+        and util l = List.filter is_util l
+        and rest l = List.filter (fun x -> not (is_sched x)) l in
+        let gate a b = Float.max (Float.abs a) (Float.abs b) >= 0.01 in
+        compare_keyed ~kind:"timeline" ~thr:t.quantile_ratio ~gate ~unit_:""
+          (sched sa) (sched sb)
+        @ compare_keyed ~invert:true ~kind:"timeline" ~thr:t.quantile_ratio ~gate ~unit_:""
+            (util sa) (util sb)
+        @ (compare_keyed ~kind:"timeline" ~thr:Float.infinity ~gate:(fun _ _ -> false) ~unit_:""
+             (rest sa) (rest sb)
+          |> List.filter (fun f -> Float.abs (ratio f.a f.b -. 1.0) > 0.25))
+      | _ -> []
+    in
     let convergence =
       let final j =
         match member "rows" j with
@@ -1168,7 +1598,7 @@ module Diff = struct
     in
     List.sort
       (fun x y -> compare (rank x) (rank y))
-      (counters @ gauges @ spans @ hists @ convergence @ manifest)
+      (counters @ gauges @ spans @ hists @ timelines @ convergence @ manifest)
 
   let regressions fs = List.filter (fun f -> f.severity = Regression) fs
 

@@ -21,6 +21,9 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
+val now_us : unit -> float
+(** Wall clock in microseconds since the epoch (the span/mark timebase). *)
+
 val clear : unit -> unit
 (** Drop all recorded spans and marks, and reset every registered counter,
     gauge and histogram to zero (registrations themselves survive —
@@ -38,6 +41,7 @@ type event = {
   ts_us : float;  (** start, microseconds since the epoch *)
   dur_us : float;
   tid : int;  (** id of the recording domain *)
+  args : (string * string) list;  (** free-form key/value pairs, shown in the trace viewer *)
 }
 
 val span_begin : unit -> float
@@ -45,8 +49,10 @@ val span_begin : unit -> float
     the matching {!span_end} is a no-op.  This is the allocation-free form
     for hot paths (per-chunk timing). *)
 
-val span_end : ?cat:string -> string -> float -> unit
-(** [span_end ~cat name t0] records the span opened by [span_begin]. *)
+val span_end : ?cat:string -> ?args:(string * string) list -> string -> float -> unit
+(** [span_end ~cat name t0] records the span opened by [span_begin].
+    [args] attach as the trace event's ["args"] object (steal origins,
+    queue ids, ...). *)
 
 val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
 (** Run a thunk inside a span.  When disabled this is just [f ()].  The span
@@ -70,6 +76,27 @@ type mark = {
 
 val mark : ?fields:(string * string) list -> string -> unit
 val marks : unit -> mark list
+
+(** {1 Track names and sample hooks} *)
+
+val set_track_name : string -> unit
+(** Name the calling domain's track in the trace viewer (a Perfetto
+    [thread_name] metadata event).  Registration-like: not gated on the
+    enabled flag and survives {!clear}; call once at domain start. *)
+
+val track_names_snapshot : unit -> (int * string) list
+(** All named tracks as [(tid, name)], sorted. *)
+
+val add_sample_hook : (unit -> unit) -> unit
+(** Register a callback that refreshes derived gauges from live state
+    (e.g. pool utilization and queue depths).  Hooks run — oldest first,
+    exceptions swallowed — right before any snapshot is taken: by the
+    {!Timeline} sampler, by {!Artifact.write}/{!Artifact.write_live} and by
+    the HTTP exposition.  Lets low layers feed snapshots without a reverse
+    dependency on their callers. *)
+
+val run_sample_hooks : unit -> unit
+(** Run all registered hooks now (no-op while disabled). *)
 
 val trace_json : unit -> string
 (** Chrome [trace_event] JSON: an object with a ["traceEvents"] array of
@@ -137,7 +164,7 @@ val histogram : string -> histogram
 val observe : histogram -> float -> unit
 (** Record one sample.  Dropped while disabled; lock-free while enabled. *)
 
-val span_end_h : ?cat:string -> string -> histogram -> float -> unit
+val span_end_h : ?cat:string -> ?args:(string * string) list -> string -> histogram -> float -> unit
 (** {!span_end} that also observes the span's duration (µs) into a
     histogram — one clock read serves both. *)
 
@@ -193,6 +220,65 @@ val metrics_prom : unit -> string
 (** OpenMetrics text exposition of counters ([_total]), gauges and
     histograms (cumulative [_bucket{le="..."}] series), terminated by
     [# EOF]. *)
+
+val prom_lint : string -> string list
+(** Strict structural check of an OpenMetrics text exposition: returns one
+    message per violation (empty list = clean).  Checks family declaration
+    order, counter [_total] suffixes, cumulative histogram buckets with a
+    [+Inf] bucket equal to [_count], metric-name characters, label-value
+    escaping and the single trailing [# EOF]. *)
+
+(** {1 Timeline sampler}
+
+    A background domain snapshotting every counter and gauge into a bounded
+    ring buffer at a fixed period — the time axis the flat metrics snapshot
+    lacks.  Each sample is taken after {!run_sample_hooks} and {!sample_gc},
+    so derived scheduler gauges are fresh.  Flushes to a
+    [optprob-timeline/1] JSON document ([timeline.json] in an artifact
+    directory); {!Diff.compare_dirs} compares gauge series between two
+    timelines. *)
+
+module Timeline : sig
+  type sample = {
+    s_ts_us : float;  (** strictly monotone within a ring *)
+    s_counters : (string * int) list;
+    s_gauges : (string * float) list;
+  }
+
+  (** Bounded ring of samples: keeps the newest [capacity], counts what it
+      overwrote.  Safe for one writer and concurrent flushers. *)
+  type ring
+
+  val ring_create : int -> ring
+  (** [ring_create capacity]; raises [Invalid_argument] when [capacity < 1]. *)
+
+  val ring_push : ring -> sample -> unit
+  (** Append a sample; its timestamp is clamped to stay strictly above the
+      previous sample's. *)
+
+  val ring_flush : ring -> sample list * int
+  (** Oldest-first retained samples and the count of overwritten ones. *)
+
+  val take_sample : unit -> sample
+  (** One snapshot now: runs the sample hooks, refreshes GC gauges, and
+      captures all counters and gauges. *)
+
+  type sampler
+
+  val start : ?capacity:int -> period_ms:int -> unit -> sampler
+  (** Spawn the sampler domain ([capacity] defaults to 4096 samples).
+      Raises [Invalid_argument] when [period_ms < 1]. *)
+
+  val stop : sampler -> sample list * int
+  (** Stop and join the sampler domain, push one final sample, and flush:
+      returns (samples oldest-first, dropped count). *)
+
+  val to_json : period_ms:int -> dropped:int -> sample list -> string
+  (** The [optprob-timeline/1] document. *)
+
+  val write : string -> period_ms:int -> dropped:int -> sample list -> unit
+  (** Atomically write {!to_json} to a file. *)
+end
 
 (** {1 JSON reader}
 
@@ -301,7 +387,7 @@ module Diff : sig
   type finding = {
     severity : severity;
     kind : string;  (** ["counter"], ["gauge"], ["span"], ["histogram"],
-                        ["convergence"] or ["manifest"] *)
+                        ["timeline"], ["convergence"] or ["manifest"] *)
     name : string;
     a : float;
     b : float;
@@ -311,8 +397,11 @@ module Diff : sig
   val compare_dirs : ?thresholds:thresholds -> string -> string -> finding list
   (** [compare_dirs a b] reads two {!Artifact} directories (A = baseline,
       B = candidate) and returns findings ranked most severe first.
-      Raises [Failure] when either directory lacks a readable
-      [metrics.json]. *)
+      When both directories carry a [timeline.json], per-gauge series
+      statistics ([<gauge>.mean]/[.peak]/[.p90]) are compared too:
+      scheduler series ([pool.*], [ppsfp.*]) gate at [quantile_ratio],
+      everything else is report-only.  Raises [Failure] when either
+      directory lacks a readable [metrics.json]. *)
 
   val regressions : finding list -> finding list
 

@@ -1,0 +1,145 @@
+(* Minimal live exposition server over the global Rt_obs sink.
+
+   One background domain, one listening socket, plain [Unix] — no
+   dependencies beyond what the library already links.  Requests are served
+   strictly one at a time (accept, answer, close): the payloads are small
+   snapshots and the expected client is a scraper polling every few
+   seconds, so concurrency would buy nothing and cost locking subtlety.
+   The accept loop wakes every 250 ms to check the stop flag, so [stop]
+   returns promptly and joins the domain. *)
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+let c_requests = Rt_obs.counter "obs.http.requests"
+
+let port t = t.port
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status content_type (String.length body)
+  in
+  let s = head ^ body in
+  let len = String.length s in
+  let rec write_all off =
+    if off < len then begin
+      let n = Unix.write_substring fd s off (len - off) in
+      if n > 0 then write_all (off + n)
+    end
+  in
+  try write_all 0 with Unix.Unix_error _ -> ()
+
+(* Read the request head (up to the blank line, 8 KiB cap, 2 s timeout) and
+   return the request line. *)
+let read_request_line fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 8192 then ()
+    else begin
+      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with Unix.Unix_error _ -> 0 in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* stop at end-of-head; a lone newline also ends a curl-less client *)
+        let rec contains i =
+          i + 3 < String.length s
+          && (String.sub s i 4 = "\r\n\r\n" || contains (i + 1))
+        in
+        if not (contains 0) then go ()
+      end
+    end
+  in
+  go ();
+  match String.index_opt (Buffer.contents buf) '\r' with
+  | Some i -> String.sub (Buffer.contents buf) 0 i
+  | None -> (
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i -> String.sub (Buffer.contents buf) 0 i
+    | None -> Buffer.contents buf)
+
+let refresh () =
+  Rt_obs.run_sample_hooks ();
+  Rt_obs.sample_gc ()
+
+let handle fd =
+  Rt_obs.incr c_requests;
+  let line = read_request_line fd in
+  match String.split_on_char ' ' line with
+  | meth :: target :: _ ->
+    let path = match String.index_opt target '?' with
+      | Some i -> String.sub target 0 i
+      | None -> target
+    in
+    if meth <> "GET" then
+      respond fd ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+        "only GET is supported\n"
+    else begin
+      match path with
+      | "/metrics" ->
+        refresh ();
+        respond fd ~status:"200 OK"
+          ~content_type:"application/openmetrics-text; version=1.0.0; charset=utf-8"
+          (Rt_obs.metrics_prom ())
+      | "/healthz" -> respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+      | "/snapshot" ->
+        refresh ();
+        respond fd ~status:"200 OK" ~content_type:"application/json" (Rt_obs.metrics_json ())
+      | _ ->
+        respond fd ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"
+    end
+  | _ -> respond fd ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+
+let rec serve t =
+  if not (Atomic.get t.stop_flag) then begin
+    (match Unix.select [ t.fd ] [] [] 0.25 with
+     | [], _, _ -> ()
+     | _ -> (
+       match Unix.accept t.fd with
+       | client, _ ->
+         (try handle client with _ -> ());
+         (try Unix.close client with Unix.Unix_error _ -> ())
+       | exception Unix.Unix_error _ -> ())
+     | exception Unix.Unix_error _ -> ());
+    serve t
+  end
+
+let start ?(addr = "127.0.0.1") ~port () =
+  (* a client closing mid-response must surface as EPIPE, not kill the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound = match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port in
+  let t = { fd; port = bound; stop_flag = Atomic.make false; domain = None } in
+  let d =
+    Domain.spawn (fun () ->
+        Rt_obs.set_track_name "obs-http";
+        serve t)
+  in
+  t.domain <- Some d;
+  t
+
+let stop t =
+  if not (Atomic.get t.stop_flag) then begin
+    Atomic.set t.stop_flag true;
+    (match t.domain with
+     | Some d ->
+       Domain.join d;
+       t.domain <- None
+     | None -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

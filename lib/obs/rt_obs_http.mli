@@ -1,0 +1,32 @@
+(** Live HTTP exposition of the global {!Rt_obs} sink.
+
+    A minimal single-threaded responder on plain [Unix] sockets — no new
+    dependencies — meant to be scraped while a long optimize/ppsfp run is
+    in flight:
+
+    - [GET /metrics]: the OpenMetrics text exposition
+      ({!Rt_obs.metrics_prom}), refreshed through the sample hooks and GC
+      gauges first, so pool utilization and queue depths are current.
+    - [GET /healthz]: ["ok"], 200 — liveness only.
+    - [GET /snapshot]: the metrics JSON document ({!Rt_obs.metrics_json}),
+      i.e. the same body the SIGUSR1 handler writes to the artifact dir.
+
+    Anything else is 404; non-GET methods are 405.  Requests are served one
+    at a time on a dedicated background domain; every response closes the
+    connection. *)
+
+type t
+
+val start : ?addr:string -> port:int -> unit -> t
+(** Bind [addr] (default ["127.0.0.1"]) at [port] ([0] picks an ephemeral
+    port — read it back with {!port}), spawn the serving domain, and
+    return immediately.  Raises [Unix.Unix_error] when the bind fails.
+    Installs a [SIGPIPE] ignore handler so disappearing clients cannot
+    kill the process. *)
+
+val port : t -> int
+(** The actually-bound port. *)
+
+val stop : t -> unit
+(** Signal the serving domain, join it (within ~250 ms), and close the
+    listening socket.  Idempotent. *)

@@ -188,6 +188,10 @@ let c_patterns = Rt_obs.counter "ppsfp.patterns"
 let c_dropped = Rt_obs.counter "ppsfp.faults_dropped"
 let h_batch = Rt_obs.histogram "ppsfp.batch_us"
 
+(* Undetected-fault population after the latest batch: the shrinking
+   workload the timeline sampler plots against pool utilization. *)
+let g_live = Rt_obs.gauge "ppsfp.live_faults"
+
 (* Sub-millisecond blocks are not worth parallel dispatch
    (Parallel.sweep also clamps to the core count); at ~2-10 us per fault
    propagation this threshold puts the crossover near half a millisecond
@@ -294,6 +298,7 @@ let simulate ?jobs ?block_words ?(drop = true) c faults ~source ~n_patterns =
     Rt_obs.incr c_batches;
     Rt_obs.add c_patterns !processed;
     Rt_obs.add c_dropped (n0 - !n_live);
+    Rt_obs.gauge_set g_live (Float.of_int !n_live);
     Rt_obs.span_end_h ~cat:"sim" "ppsfp.batch" h_batch t_batch;
     base := !base + !processed
   done;
@@ -391,6 +396,7 @@ let simulate_with_responses ?jobs ?block_words ?(drop = false) c faults ~source 
       done;
       n_live := !k
     end;
+    Rt_obs.gauge_set g_live (Float.of_int !n_live);
     base := !base + !processed
   done;
   let responses = Array.map List.rev responses in

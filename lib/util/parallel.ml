@@ -28,6 +28,16 @@ let resolve_jobs jobs =
 
 let hardware_jobs () = min max_jobs (Domain.recommended_domain_count ())
 
+(* [OPTPROB_JOBS_OVERCOMMIT=1] lifts the hardware-core clamp in
+   {!region_jobs} so a [--jobs 4] run spawns real pool domains even on a
+   single-core host — pure oversubscription, useful only to exercise the
+   scheduler telemetry (per-domain tracks, steals, parks) where the
+   machine could not otherwise show it. *)
+let overcommit () =
+  match Sys.getenv_opt "OPTPROB_JOBS_OVERCOMMIT" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
 (* Contiguous chunk [lo, hi) of [0, n) for chunk index k of [jobs]. *)
 let chunk_bounds ~jobs ~n k =
   let base = n / jobs and rem = n mod jobs in
@@ -98,7 +108,8 @@ let map_chunks ?min_per_chunk ?label ~jobs ~n f =
    measured ppsfp-on-one-core case was 4x slower at jobs=4 than serial). *)
 let region_jobs ~seq_below ~jobs ~n =
   let requested = max 1 jobs in
-  let eff = if n < seq_below then 1 else min requested (hardware_jobs ()) in
+  let cap = if overcommit () then max_jobs else hardware_jobs () in
+  let eff = if n < seq_below then 1 else min requested cap in
   if requested > 1 && eff = 1 then Rt_obs.incr c_seq_fallbacks;
   eff
 
@@ -112,7 +123,7 @@ let pool_chunks ~label ~jobs ~n f =
   let timed = timed_chunk ~label f in
   if jobs = 1 || n = 0 then (if n > 0 then timed ~chunk:0 ~lo:0 ~hi:n)
   else
-    Pool.run (Pool.default ()) ~grain:1 ~participants:jobs ~n:jobs
+    Pool.run ~label (Pool.default ()) ~grain:1 ~participants:jobs ~n:jobs
       (fun _worker klo khi ->
         for k = klo to khi - 1 do
           let lo, hi = chunk_bounds ~jobs ~n k in
@@ -141,5 +152,5 @@ let sweep ?grain ?(label = "parallel.sweep") ?(seq_below = 0) ~jobs ~n f =
   Rt_obs.with_span ~cat:"parallel" label (fun () ->
       if jobs = 1 || n = 0 then (if n > 0 then f ~worker:0 ~lo:0 ~hi:n)
       else
-        Pool.run ?grain (Pool.default ()) ~participants:jobs ~n
+        Pool.run ?grain ~label (Pool.default ()) ~participants:jobs ~n
           (fun worker lo hi -> f ~worker ~lo ~hi))

@@ -53,7 +53,10 @@ val region :
     {!run_chunks}, but executed on the persistent {!Pool} (domains are
     spawned at most once per process, not per region), with the effective
     job count additionally clamped to {!hardware_jobs} (spawning more
-    domains than cores only adds overhead), and when [n < seq_below]
+    domains than cores only adds overhead; set
+    [OPTPROB_JOBS_OVERCOMMIT=1] to lift the clamp and oversubscribe,
+    e.g. to exercise the scheduler telemetry on a single-core host),
+    and when [n < seq_below]
     (default 0) the work runs sequentially on the caller — per-region
     dispatch costs dwarf small workloads.  Each chunk is still called
     exactly once with its own [~chunk] index (work stealing moves chunks

@@ -8,10 +8,28 @@
     A region over [0, n) items is split into one contiguous queue per
     participant; queues are consumed through atomic cursors in
     grain-sized slices, and participants that run dry steal slices from
-    the other queues.  Observability: [parallel.spawns] counts domain
-    spawns (now constant per process instead of per region),
-    [pool.tasks] counts executed slices, [parallel.steals] counts the
-    stolen ones. *)
+    the other queues.
+
+    {2 Lanes and telemetry}
+
+    Every worker domain is pinned to one participant slot ("lane") for
+    its whole life — the [i]-th domain spawned is lane [i + 1], the
+    submitting domain is lane 0 — so per-domain telemetry has a stable
+    identity.  Global counters: [parallel.spawns] counts domain spawns
+    (constant per process), [pool.tasks] counts executed slices,
+    [parallel.steals] the stolen ones.  Per lane [k]:
+    [pool.d<k>.tasks], [pool.d<k>.steals] (slices lane [k] took from
+    other queues), [pool.d<k>.stolen_from] (slices other lanes took
+    from queue [k]) and [pool.d<k>.parked_us] (cumulative idle time
+    between regions).  When recording is on, each slice is a trace span
+    ["<label>.slice"] on the executing domain's named track
+    ([pool.d<k>]) carrying its origin queue and steal flag, and park
+    intervals appear as ["pool.parked"] spans with ["pool.unpark"]
+    instants.  Derived gauges [pool.utilization] (active participants /
+    usable lanes) and [pool.queue_depth.d<k>]/[pool.queue_depth.total]
+    are refreshed via an [Rt_obs] sample hook registered for the
+    {!default} pool — the timeline sampler, artifact writes and the
+    HTTP exposition all trigger it. *)
 
 type t
 
@@ -20,21 +38,25 @@ val create : unit -> t
 
 val default : unit -> t
 (** The process-wide pool used by [Parallel.region]; created on first
-    use and shut down via [at_exit]. *)
+    use and shut down via [at_exit].  Registers the pool-gauge sample
+    hook on creation. *)
 
-val run : ?grain:int -> t -> participants:int -> n:int -> (int -> int -> int -> unit) -> unit
+val run :
+  ?grain:int -> ?label:string -> t -> participants:int -> n:int ->
+  (int -> int -> int -> unit) -> unit
 (** [run t ~participants ~n body] executes [body worker lo hi] over
     disjoint slices covering [0, n), on the calling domain plus up to
     [participants - 1] pool domains, growing the pool if needed.
 
-    [worker] is the executing participant's slot in
+    [worker] is the executing participant's lane in
     [0, participants) — unique among concurrent calls, so it can index
     per-worker scratch state.  Slices are [grain] items (default 16);
     slice boundaries, and which worker runs which slice, depend on
-    scheduling.  Returns when every item has run.  If any [body] call
-    raises, the remaining slices are skipped and the first exception is
-    re-raised here.  Calls from inside a running [body] (nested
-    regions) execute [body 0 0 n] inline. *)
+    scheduling.  [label] (default ["pool"]) names the per-slice trace
+    spans ["<label>.slice"].  Returns when every item has run.  If any
+    [body] call raises, the remaining slices are skipped and the first
+    exception is re-raised here.  Calls from inside a running [body]
+    (nested regions) execute [body 0 0 n] inline. *)
 
 val in_worker : unit -> bool
 (** True while the calling domain is executing inside a {!run} body. *)
