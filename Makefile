@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: all check test bench bench-json bench-smoke trace-demo obs-demo obs-live-demo pipeline-demo clean
+.PHONY: all check test bench bench-json bench-smoke trace-demo obs-demo obs-live-demo pipeline-demo opt-demo clean
 
 all:
 	dune build
@@ -92,13 +92,23 @@ pipeline-demo:
 	  --work-dir _obs/pipeline-demo/work --obs-dir _obs/pipeline-demo/a
 	dune exec bin/main.exe -- run s1 --engine cond:8 --sweeps 2 -q \
 	  --work-dir _obs/pipeline-demo/work --obs-dir _obs/pipeline-demo/b
-	@for s in loaded faults analysis normalized optimized validated report; do \
+	@for s in loaded opt_netlist faults analysis normalized optimized validated report; do \
 	  grep -q "\"pipeline.stage.$$s.cache_hit\": 1" _obs/pipeline-demo/b/metrics.json || \
 	    { echo "pipeline-demo FAIL: stage $$s not served from cache"; exit 1; }; \
 	  grep -q "\"pipeline.stage.$$s.run\": 0" _obs/pipeline-demo/b/metrics.json || \
 	    { echo "pipeline-demo FAIL: stage $$s re-executed"; exit 1; }; \
 	done
-	@echo "pipeline-demo: second run resumed 7/7 stages from cache"
+	@echo "pipeline-demo: second run resumed 8/8 stages from cache"
+
+# Netlist-optimization demo: simplify the deliberately redundant example
+# netlist and show the per-pass removal stats; then prove the generated
+# circuits are already fixpoints (relevel only, nothing removed).
+opt-demo:
+	dune exec bin/main.exe -- simplify examples/opt_demo.bench | tee /tmp/optprob-opt-demo.out
+	@grep -q 'pass const-fold' /tmp/optprob-opt-demo.out || { echo "opt-demo FAIL: no per-pass stats"; exit 1; }
+	@grep -q 'nodes removed: 11' /tmp/optprob-opt-demo.out || { echo "opt-demo FAIL: expected 11 nodes removed"; exit 1; }
+	dune exec bin/main.exe -- simplify s1 | grep 'nodes removed'
+	@echo "opt-demo: ok"
 
 clean:
 	dune clean

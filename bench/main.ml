@@ -77,6 +77,52 @@ let run_experiments ~full ~only =
 open Bechamel
 open Toolkit
 
+(* s1's comparator cascade rebuilt with Builder folding and pruning off:
+   the (0,1,0) constant cascade assignment of slice 0 and the logic it
+   implies stay in the netlist — the redundancy the paper notes was
+   removed from the real circuits.  [Passes.run] recovers the folded
+   form; the PREPARE-sweep kernel pair below prices that recovery. *)
+let s1_redundant () =
+  let open Rt_circuit in
+  let b = Builder.create ~fold:false ~prune:false () in
+  let a_bits = Builder.inputs b "a" 24 in
+  let b_bits = Builder.inputs b "b" 24 in
+  let slice j (lt, eq, gt) =
+    let sub arr = Array.sub arr (4 * j) 4 in
+    Generators.comparator_slice_7485 b ~a:(sub a_bits) ~b:(sub b_bits) ~lt_in:lt ~eq_in:eq
+      ~gt_in:gt
+  in
+  let rec cascade j acc =
+    if j = 6 then acc
+    else begin
+      let lt, eq, gt = acc in
+      cascade (j + 1) (slice j (lt, eq, gt) |> fun (l, e, g) -> (Some l, Some e, Some g))
+    end
+  in
+  let lt, eq, gt = cascade 0 (None, None, None) in
+  let get = function Some n -> n | None -> assert false in
+  Builder.output b ~name:"a_lt_b" (get lt);
+  Builder.output b ~name:"a_eq_b" (get eq);
+  Builder.output b ~name:"a_gt_b" (get gt);
+  Builder.finalize b
+
+(* Gate-count delta the optimization stage achieves on the redundant s1,
+   reported in the JSON next to the kernel timings. *)
+type opt_measurement = {
+  om_raw_nodes : int;
+  om_raw_gates : int;
+  om_opt_nodes : int;
+  om_opt_gates : int;
+}
+
+let measure_opt () =
+  let raw = s1_redundant () in
+  let opt, _, _ = Rt_circuit.Passes.run raw in
+  { om_raw_nodes = Rt_circuit.Netlist.size raw;
+    om_raw_gates = Rt_circuit.Netlist.gate_count raw;
+    om_opt_nodes = Rt_circuit.Netlist.size opt;
+    om_opt_gates = Rt_circuit.Netlist.gate_count opt }
+
 let kernel_tests () =
   (* All kernel inputs (circuits, fault lists, oracles, hard prefixes)
      come out of pipeline stages; the kernels themselves then hammer the
@@ -171,6 +217,28 @@ let kernel_tests () =
   let big_plan = Rt_testability.Oracle.plan big_cop big_hard in
   let cofactor_pair_big = cofactor_sweep big_cop big_plan big_x in
   let two_subsets_big = two_subset_sweep big_cop big_hard big_x in
+  (* Optimized-vs-raw PREPARE sweep: the same redundant s1 netlist
+     analysed with the optimization stage off and on.  Each side uses its
+     own hard prefix — the point is the end-to-end cost of one optimizer
+     coordinate sweep on what the pipeline actually hands the engine. *)
+  let redundant = s1_redundant () in
+  let rctx opt_passes name =
+    Rt_pipeline.create
+      (Rt_pipeline.Config.exn
+         (Rt_pipeline.Config.of_netlist ~engine:"cop" ~opt_passes ~name redundant))
+  in
+  let raw_ctx = rctx [] "s1-redundant-raw" in
+  let opt_ctx = rctx Rt_circuit.Passes.default_names "s1-redundant-opt" in
+  let prep_sweep ctx =
+    let oracle = Rt_pipeline.oracle ctx in
+    let hard = (Rt_pipeline.normalized ctx).Rt_pipeline.value.Rt_pipeline.hard in
+    let xv =
+      Array.make (Array.length (Rt_circuit.Netlist.inputs (Rt_pipeline.circuit ctx))) 0.5
+    in
+    two_subset_sweep oracle hard xv
+  in
+  let prep_raw = prep_sweep raw_ctx in
+  let prep_opt = prep_sweep opt_ctx in
   [ Test.make ~name:"cop analysis (s1, 534 faults)"
       (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs cop x)));
     Test.make ~name:"exact bdd analysis (s1, 534 faults)"
@@ -187,6 +255,8 @@ let kernel_tests () =
     Test.make ~name:"cofactor sweep (cop, c2670ish) fused" (Staged.stage cofactor_pair_big);
     Test.make ~name:"cofactor sweep (cop, c2670ish) 2x subset-query"
       (Staged.stage two_subsets_big);
+    Test.make ~name:"prepare sweep (cop, s1-redundant) raw" (Staged.stage prep_raw);
+    Test.make ~name:"prepare sweep (cop, s1-redundant) optimized" (Staged.stage prep_opt);
     Test.make ~name:"logic sim 64 patterns (s1)"
       (Staged.stage (fun () -> Rt_sim.Logic_sim.run sim (source ())));
     Test.make ~name:"ppsfp 256 patterns (8x8 multiplier) jobs=1"
@@ -343,11 +413,11 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~mode ~experiments ~kernels ~pool ~total_seconds =
+let write_json ~path ~mode ~experiments ~kernels ~pool ~opt ~total_seconds =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"optprob-bench/2\",\n";
+  p "  \"schema\": \"optprob-bench/3\",\n";
   p "  \"mode\": \"%s\",\n" (json_escape mode);
   p "  \"jobs_env\": %d,\n" (Rt_util.Parallel.default_jobs ());
   p "  \"block_words_env\": %d,\n" (Rt_sim.Pattern.default_block_words ());
@@ -368,6 +438,13 @@ let write_json ~path ~mode ~experiments ~kernels ~pool ~total_seconds =
         (if i = List.length pool.pm_lanes - 1 then "" else ","))
     pool.pm_lanes;
   p "    ]\n";
+  p "  },\n";
+  p "  \"opt\": {\n";
+  p "    \"circuit\": \"s1-redundant\",\n";
+  p "    \"passes\": \"%s\"," (json_escape (String.concat "," Rt_circuit.Passes.default_names));
+  p "\n    \"raw\": {\"nodes\": %d, \"gates\": %d},\n" opt.om_raw_nodes opt.om_raw_gates;
+  p "    \"optimized\": {\"nodes\": %d, \"gates\": %d},\n" opt.om_opt_nodes opt.om_opt_gates;
+  p "    \"nodes_removed\": %d\n" (opt.om_raw_nodes - opt.om_opt_nodes);
   p "  },\n";
   p "  \"experiments\": [\n";
   List.iteri
@@ -402,11 +479,14 @@ let () =
   if json then begin
     let path = "BENCH_optprob.json" in
     let pool = measure_pool () in
+    let opt = measure_opt () in
     Format.printf "@.pool (sampled jobs=%d ppsfp): utilization peak %.2f mean %.2f over %d samples@."
       pool.pm_jobs pool.pm_util_peak pool.pm_util_mean pool.pm_samples;
+    Format.printf "opt (s1-redundant): %d -> %d nodes (%d removed)@."
+      opt.om_raw_nodes opt.om_opt_nodes (opt.om_raw_nodes - opt.om_opt_nodes);
     write_json ~path
       ~mode:(if full then "full" else "quick")
-      ~experiments ~kernels ~pool
+      ~experiments ~kernels ~pool ~opt
       ~total_seconds:(Rt_util.Stats.timer_elapsed t0);
     Format.printf "@.wrote %s@." path
   end

@@ -1,7 +1,8 @@
 (* optprob — command-line front end.
 
-   Subcommands: list, generate, analyze, optimize, simulate, run, atpg,
-   selftest, tables, obs-diff.  Every compute subcommand is a thin layer
+   Subcommands: list, generate, simplify, analyze, optimize, simulate,
+   run, atpg, selftest, tables, obs-diff.  Every compute subcommand is a
+   thin layer
    over the Rt_pipeline stage graph: it builds one validated
    Rt_pipeline.Config via the shared Cli terms, creates a pipeline
    context, and asks for the stages it needs.  With --work-dir the stage
@@ -192,7 +193,9 @@ let generate_cmd =
   in
   let run circuit out () =
     let ctx = Pipeline.create (Config.exn (Config.of_source circuit)) in
-    let c = Pipeline.circuit ctx in
+    (* the raw netlist: `generate` prints the circuit as defined, not its
+       optimized form (that's `simplify -o`) *)
+    let c = Pipeline.raw_circuit ctx in
     match out with
     | Some path ->
       Rt_circuit.Bench_format.save path c;
@@ -201,6 +204,40 @@ let generate_cmd =
   in
   Cmd.v (Cmd.info "generate" ~doc:"Emit a circuit as ISCAS-85 .bench text." ~exits)
     Term.(ret (const (fun c o () -> wrap (run c o)) $ Cli.circuit_arg $ out $ const ()))
+
+(* --- simplify --------------------------------------------------------------- *)
+
+let simplify_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the optimized netlist as .bench text to FILE.")
+  in
+  let run circuit no_opt opt_passes opt_rounds out () =
+    let opt_passes = if no_opt then Some [] else opt_passes in
+    let cfg = Config.exn (Config.of_source ?opt_passes ~opt_rounds circuit) in
+    let ctx = Pipeline.create cfg in
+    let raw = Pipeline.raw_circuit ctx in
+    let c = Pipeline.circuit ctx in
+    let stats = Pipeline.opt_stats ctx in
+    Format.printf "before: %t@." (fun ppf -> Rt_circuit.Netlist.stats raw ppf);
+    Format.printf "after:  %t@." (fun ppf -> Rt_circuit.Netlist.stats c ppf);
+    Format.printf "rounds: %d  nodes removed: %d@." stats.Rt_circuit.Passes.rounds
+      (Rt_circuit.Netlist.size raw - Rt_circuit.Netlist.size c);
+    Format.printf "%a" Rt_circuit.Passes.pp_stats stats;
+    match out with
+    | Some path ->
+      Rt_circuit.Bench_format.save path c;
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:"Run the netlist optimization passes to fixpoint and report per-pass stats." ~exits)
+    Term.(
+      ret
+        (const (fun c n p r o () -> wrap (run c n p r o))
+        $ Cli.circuit_arg $ Cli.no_opt_arg $ Cli.opt_passes_arg $ Cli.opt_rounds_arg $ out
+        $ const ()))
 
 (* --- analyze --------------------------------------------------------------- *)
 
@@ -213,6 +250,12 @@ let analyze_cmd =
     let a = (Pipeline.analysis ctx).Pipeline.value in
     let n = (Pipeline.normalized ctx).Pipeline.value in
     Format.printf "circuit:    %t@." (fun ppf -> Rt_circuit.Netlist.stats c ppf);
+    (if cfg.Config.opt_passes <> [] then
+       let removed =
+         Rt_circuit.Netlist.size (Pipeline.raw_circuit ctx) - Rt_circuit.Netlist.size c
+       in
+       if removed > 0 then Format.printf "opt:        %d nodes removed (%s)@." removed
+           (Config.opt_key cfg));
     Format.printf "faults:     %d collapsed (universe %d), %d proven redundant@."
       (Array.length faults)
       (Array.length (Rt_fault.Fault.universe c))
@@ -539,7 +582,7 @@ let () =
   let info = Cmd.info "optprob" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ list_cmd; generate_cmd; analyze_cmd; optimize_cmd; simulate_cmd; run_cmd; atpg_cmd;
-        selftest_cmd; tables_cmd; obs_diff_cmd ]
+      [ list_cmd; generate_cmd; simplify_cmd; analyze_cmd; optimize_cmd; simulate_cmd;
+        run_cmd; atpg_cmd; selftest_cmd; tables_cmd; obs_diff_cmd ]
   in
   exit (Cmd.eval group)

@@ -72,6 +72,11 @@ let representatives c faults = Array.map (fun cl -> cl.(0)) (classes c faults)
 
 let collapsed_universe c = representatives c (Fault.universe c)
 
+let collapsed_universe_back ~remap ~original ~optimized =
+  Array.map
+    (fun f -> (f, Fault.map_back ~remap ~original ~optimized f))
+    (collapsed_universe optimized)
+
 let ratio c =
   let u = Fault.universe c in
   if Array.length u = 0 then 1.0

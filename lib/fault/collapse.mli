@@ -17,5 +17,14 @@ val representatives : Rt_circuit.Netlist.t -> Fault.t array -> Fault.t array
 val collapsed_universe : Rt_circuit.Netlist.t -> Fault.t array
 (** [representatives c (Fault.universe c)]. *)
 
+val collapsed_universe_back :
+  remap:Rt_circuit.Passes.Remap.t ->
+  original:Rt_circuit.Netlist.t ->
+  optimized:Rt_circuit.Netlist.t ->
+  (Fault.t * Fault.t option) array
+(** The collapsed universe of the optimized netlist, each representative
+    paired with its original-netlist image via {!Fault.map_back} —
+    generated on the small netlist, reportable in original terms. *)
+
 val ratio : Rt_circuit.Netlist.t -> float
 (** [|collapsed| / |universe|], a quick quality metric. *)

@@ -51,6 +51,34 @@ let input_faults c =
   |> List.concat_map (fun i -> [ { site = Stem i; stuck = false }; { site = Stem i; stuck = true } ])
   |> Array.of_list
 
+let map_back ~remap ~original ~optimized f =
+  let module Remap = Rt_circuit.Passes.Remap in
+  match f.site with
+  | Stem n -> Some { f with site = Stem (Remap.back remap n) }
+  | Branch (g, k) ->
+    let og = Remap.back remap g in
+    let opt_fi = Netlist.fanin optimized g in
+    let src = opt_fi.(k) in
+    (* Occurrence rank of this pin among the gate's pins reading [src],
+       so duplicated fanins pair up positionally. *)
+    let occ = ref 0 in
+    for j = 0 to k - 1 do
+      if opt_fi.(j) = src then incr occ
+    done;
+    let found = ref None in
+    let seen = ref 0 in
+    Array.iteri
+      (fun k' oj ->
+        if !found = None && Remap.forward remap oj = Some src then
+          if !seen = !occ then found := Some (k', oj) else incr seen)
+      (Netlist.fanin original og);
+    (match !found with
+     | None -> None
+     | Some (k', oj) ->
+       if Array.length (Netlist.fanout original oj) > 1 then
+         Some { f with site = Branch (og, k') }
+       else Some { f with site = Stem oj })
+
 let pp c ppf f =
   let sa = if f.stuck then 1 else 0 in
   match f.site with

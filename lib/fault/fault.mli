@@ -32,6 +32,21 @@ val input_faults : Rt_circuit.Netlist.t -> t array
 (** Just the primary-input stem faults (the subset the paper's Lemma 2
     relies on). *)
 
+val map_back :
+  remap:Rt_circuit.Passes.Remap.t ->
+  original:Rt_circuit.Netlist.t ->
+  optimized:Rt_circuit.Netlist.t ->
+  t ->
+  t option
+(** Image of a fault on the optimized netlist in the original netlist's
+    universe.  Stems map through [Remap.back].  A branch fault maps to
+    the original gate pin whose (alias-resolved) driver carries the same
+    signal — matched by occurrence so duplicated fanins stay distinct —
+    and demotes to the stem of that pin's driver when the driver is
+    fanout-free in the original (the standard branch/stem equivalence).
+    [None] only if no original pin carries the signal, which no
+    {!Rt_circuit.Passes} rewrite produces. *)
+
 val pp : Rt_circuit.Netlist.t -> Format.formatter -> t -> unit
 val to_string : Rt_circuit.Netlist.t -> t -> string
 (** e.g. ["n42 s-a-1"] or ["n42->n57[0] s-a-0"]. *)

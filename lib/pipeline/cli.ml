@@ -66,6 +66,27 @@ let work_dir_arg =
                loads every stage from $(docv) (zero re-execution); changing an option \
                re-runs exactly the stages downstream of it.")
 
+let opt_passes_conv =
+  let parse s = msg (Config.opt_passes_of_string s) in
+  let print ppf l = Format.pp_print_string ppf (String.concat "," l) in
+  Arg.conv ~docv:"PASSES" (parse, print)
+
+let no_opt_arg =
+  Arg.(value & flag & info [ "no-opt" ]
+         ~doc:"Disable the netlist optimization stage (equivalent to \
+               $(b,--opt-passes) $(i,none) or $(b,OPTPROB_OPT=off)).")
+
+let opt_passes_arg =
+  Arg.(value & opt (some opt_passes_conv) None & info [ "opt-passes" ] ~docv:"LIST"
+         ~doc:("Comma-separated netlist optimization passes run to fixpoint before fault \
+                analysis (default: all).  Valid: "
+               ^ String.concat ", " Rt_circuit.Passes.names
+               ^ ", or $(i,none)."))
+
+let opt_rounds_arg =
+  Arg.(value & opt int 8 & info [ "opt-rounds" ] ~docv:"R"
+         ~doc:"Fixpoint round budget for the optimization passes.")
+
 let quantize grid dyadic =
   match (dyadic, grid) with
   | Some bits, _ -> Rt_optprob.Optimize.Dyadic bits
@@ -76,13 +97,15 @@ let quantize grid dyadic =
    constructor; the circuit/engine args are pre-validated by their
    converters so [Config.exn] cannot raise here. *)
 let make_config circuit engine confidence seed jobs block_words sweeps grid dyadic weights
-    patterns work_dir =
+    patterns work_dir no_opt opt_passes opt_rounds =
   let weights =
     match weights with None -> Config.Uniform | Some path -> Config.Weights_file path
   in
+  let opt_passes = if no_opt then Some [] else opt_passes in
   match
     Config.of_source ~engine ~confidence ~seed ?jobs ?block_words ~sweeps
-      ~quantize:(quantize grid dyadic) ~weights ~patterns ?work_dir circuit
+      ~quantize:(quantize grid dyadic) ~weights ~patterns ?work_dir ?opt_passes
+      ~opt_rounds circuit
   with
   | Ok cfg -> cfg
   | Error msg -> failwith msg
@@ -91,4 +114,5 @@ let config ?(default_patterns = 10_000) () =
   Term.(
     const make_config $ circuit_arg $ engine_arg $ confidence_arg $ seed_arg $ jobs_arg
     $ block_words_arg $ sweeps_arg $ grid_arg $ dyadic_arg $ weights_arg
-    $ patterns_arg ~default:default_patterns $ work_dir_arg)
+    $ patterns_arg ~default:default_patterns $ work_dir_arg $ no_opt_arg $ opt_passes_arg
+    $ opt_rounds_arg)

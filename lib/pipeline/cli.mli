@@ -19,10 +19,17 @@ val dyadic_arg : int option Term.t
 val patterns_arg : default:int -> int Term.t
 val work_dir_arg : string option Term.t
 
+val opt_passes_conv : string list Arg.conv
+(** Comma-separated pass names (did-you-mean errors at parse time). *)
+
+val no_opt_arg : bool Term.t
+val opt_passes_arg : string list option Term.t
+val opt_rounds_arg : int Term.t
+
 val quantize : float option -> int option -> Rt_optprob.Optimize.quantization
 (** Combine [--grid]/[--dyadic] into a quantization choice. *)
 
 val config : ?default_patterns:int -> unit -> Config.t Term.t
 (** The full shared config term: positional CIRCUIT plus --engine,
     --confidence, --seed, --jobs, --sweeps, --grid, --dyadic, --weights,
-    --patterns and --work-dir. *)
+    --patterns, --work-dir, --no-opt, --opt-passes and --opt-rounds. *)

@@ -33,6 +33,8 @@ type t = {
   weights : weights_source;
   patterns : int;
   work_dir : string option;
+  opt_passes : string list;  (* netlist optimization passes; [] = stage is identity *)
+  opt_rounds : int;
 }
 
 (* --- did-you-mean ---------------------------------------------------------- *)
@@ -135,6 +137,35 @@ let engine_of_string s =
     need "cond:" (fun n -> Detect.Conditioned { max_vars = n })
   else fail ()
 
+(* --- optimization-pass validation ------------------------------------------- *)
+
+let pass_names = Rt_circuit.Passes.names
+
+let validate_passes names =
+  let bad = List.find_opt (fun n -> not (List.mem n pass_names)) names in
+  match bad with
+  | None -> Ok names
+  | Some n ->
+    Error
+      (Printf.sprintf "unknown optimization pass %S%s (valid: %s, or \"none\")" n
+         (suggest pass_names n)
+         (String.concat ", " pass_names))
+
+let opt_passes_of_string s =
+  let s = String.trim s in
+  if s = "" || s = "none" || s = "off" then Ok []
+  else
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+    |> validate_passes
+
+(* OPTPROB_OPT=0/off/false/no/none turns the optimization stage off
+   globally; any other value (or unset) keeps the default pass list. *)
+let default_opt_passes () =
+  match Sys.getenv_opt "OPTPROB_OPT" with
+  | Some ("0" | "off" | "false" | "no" | "none") -> []
+  | Some _ | None -> Rt_circuit.Passes.default_names
+
 let engine_kind t =
   match engine_of_string t.engine with
   | Ok e -> e
@@ -147,28 +178,36 @@ let d = Optimize.default_options
 let of_source ?(engine = "bdd") ?(confidence = 0.95) ?(seed = 2024) ?jobs ?block_words
     ?(sweeps = d.Optimize.max_sweeps) ?(alpha = d.Optimize.alpha) ?(nf_min = d.Optimize.nf_min)
     ?(w_min = d.Optimize.w_min) ?start ?(start_jitter = d.Optimize.start_jitter)
-    ?(quantize = d.Optimize.quantize) ?(weights = Uniform) ?(patterns = 10_000) ?work_dir circuit
-    =
+    ?(quantize = d.Optimize.quantize) ?(weights = Uniform) ?(patterns = 10_000) ?work_dir
+    ?opt_passes ?(opt_rounds = 8) circuit =
+  let opt_passes = match opt_passes with Some l -> l | None -> default_opt_passes () in
   match engine_of_string engine with
   | Error _ as e -> e
-  | Ok _ ->
-    Ok
-      { circuit; engine; confidence; seed; jobs; block_words; sweeps; alpha; nf_min; w_min;
-        start; start_jitter; quantize; weights; patterns; work_dir }
+  | Ok _ -> (
+    match validate_passes opt_passes with
+    | Error _ as e -> e
+    | Ok opt_passes ->
+      if opt_rounds < 0 then
+        Error (Printf.sprintf "opt_rounds must be >= 0 (got %d)" opt_rounds)
+      else
+        Ok
+          { circuit; engine; confidence; seed; jobs; block_words; sweeps; alpha; nf_min; w_min;
+            start; start_jitter; quantize; weights; patterns; work_dir; opt_passes; opt_rounds })
 
 let make ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-    ?start_jitter ?quantize ?weights ?patterns ?work_dir ~circuit () =
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ~circuit () =
   match circuit_of_string circuit with
   | Error _ as e -> e
   | Ok source ->
     of_source ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-      ?start_jitter ?quantize ?weights ?patterns ?work_dir source
+      ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds source
 
 let of_netlist ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-    ?start_jitter ?quantize ?weights ?patterns ?work_dir ~name netlist =
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ~name netlist =
   let digest = Digest.to_hex (Digest.string (Rt_circuit.Bench_format.to_string netlist)) in
   of_source ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-    ?start_jitter ?quantize ?weights ?patterns ?work_dir (Inline { name; netlist; digest })
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds
+    (Inline { name; netlist; digest })
 
 let exn = function
   | Ok v -> v
@@ -185,6 +224,12 @@ let optimize_options t =
     nf_min = t.nf_min;
     start = t.start;
     start_jitter = t.start_jitter }
+
+let resolve_passes t = List.filter_map Rt_circuit.Passes.by_name t.opt_passes
+
+let opt_key t =
+  if t.opt_passes = [] then "opt=off"
+  else Printf.sprintf "passes=%s;rounds=%d" (String.concat "," t.opt_passes) t.opt_rounds
 
 let resolve_weights t c =
   match t.weights with

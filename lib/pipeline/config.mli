@@ -41,6 +41,11 @@ type t = {
   weights : weights_source;  (** the weights the ANALYSIS stage evaluates *)
   patterns : int;  (** validation fault-simulation pattern count *)
   work_dir : string option;  (** artifact store root; [None] = in-memory only *)
+  opt_passes : string list;
+      (** {!Rt_circuit.Passes} names run by the [opt_netlist] stage, in
+          order; [[]] makes the stage the identity.  Default: every pass,
+          unless [OPTPROB_OPT] is [0]/[off]/[false]/[no]/[none]. *)
+  opt_rounds : int;  (** fixpoint round budget for the pass driver (default 8) *)
 }
 
 val make :
@@ -59,6 +64,8 @@ val make :
   ?weights:weights_source ->
   ?patterns:int ->
   ?work_dir:string ->
+  ?opt_passes:string list ->
+  ?opt_rounds:int ->
   circuit:string ->
   unit ->
   (t, string) result
@@ -83,6 +90,8 @@ val of_source :
   ?weights:weights_source ->
   ?patterns:int ->
   ?work_dir:string ->
+  ?opt_passes:string list ->
+  ?opt_rounds:int ->
   circuit_source ->
   (t, string) result
 (** Like {!make} for an already-validated circuit source. *)
@@ -103,6 +112,8 @@ val of_netlist :
   ?weights:weights_source ->
   ?patterns:int ->
   ?work_dir:string ->
+  ?opt_passes:string list ->
+  ?opt_rounds:int ->
   name:string ->
   Rt_circuit.Netlist.t ->
   (t, string) result
@@ -115,6 +126,11 @@ val circuit_of_string : string -> (circuit_source, string) result
 val engine_of_string : string -> (Rt_testability.Detect.engine, string) result
 (** Both reject unknown names with a did-you-mean message. *)
 
+val opt_passes_of_string : string -> (string list, string) result
+(** Comma-separated {!Rt_circuit.Passes} names ([""], ["none"] and
+    ["off"] mean no passes); unknown names are rejected with a
+    did-you-mean message. *)
+
 val engine_usage : string
 (** One-line summary of the engine grammar (for --help texts). *)
 
@@ -123,6 +139,9 @@ val load_circuit : circuit_source -> Rt_circuit.Netlist.t
 val engine_kind : t -> Rt_testability.Detect.engine
 val optimize_options : t -> Rt_optprob.Optimize.options
 val resolve_weights : t -> Rt_circuit.Netlist.t -> float array
+
+val resolve_passes : t -> Rt_circuit.Passes.pass list
+(** The validated [opt_passes] names resolved to actual passes. *)
 
 (** {1 Artifact keying}
 
@@ -135,6 +154,10 @@ val circuit_key : circuit_source -> string
 
 val weights_key : t -> string
 val optimize_key : t -> string
+
+val opt_key : t -> string
+(** ["opt=off"] when [opt_passes = []], else the pass list and round
+    budget — the config slice of the [opt_netlist] stage key. *)
 
 val edit_distance : string -> string -> int
 (** Levenshtein distance (exposed for tests). *)

@@ -1,6 +1,7 @@
-(* The typed stage graph: Loaded -> Faults -> Analysis -> Normalized ->
-   Optimized -> Validated -> Report, each with explicit inputs, a pure
-   [run] and a serialised, content-addressed artifact (see Store).
+(* The typed stage graph: Loaded -> Opt_netlist -> Faults -> Analysis ->
+   Normalized -> Optimized -> Validated -> Report, each with explicit
+   inputs, a pure [run] and a serialised, content-addressed artifact (see
+   Store).
 
    A context memoises stage results in memory and, when the config has a
    work_dir, consults the artifact store first — so a run resumed after a
@@ -15,6 +16,12 @@ module Normalize = Rt_optprob.Normalize
 module Optimize = Rt_optprob.Optimize
 
 type 'a staged = { value : 'a; digest : string; from_cache : bool }
+
+type opt_netlist = {
+  on_netlist : Rt_circuit.Netlist.t;
+  on_remap : Rt_circuit.Passes.Remap.t;
+  on_stats : Rt_circuit.Passes.stats;
+}
 
 type analysis = {
   pf : float array;
@@ -43,7 +50,10 @@ type validated = {
 
 type report = {
   r_circuit : string;
-  r_stats : string;
+  r_stats : string;  (* of the netlist the engines actually ran on *)
+  r_raw_stats : string;  (* of the loaded netlist, pre-optimization *)
+  r_opt_key : string;
+  r_nodes_removed : int;
   r_engine : string;
   r_inputs : int;
   r_faults : int;
@@ -59,6 +69,7 @@ type t = {
   config : Config.t;
   store : Store.t option;
   mutable s_loaded : Rt_circuit.Netlist.t staged option;
+  mutable s_opt : opt_netlist staged option;
   mutable s_faults : Rt_fault.Fault.t array staged option;
   mutable s_oracle : Detect.oracle option;
   mutable s_analysis : analysis staged option;
@@ -73,6 +84,7 @@ let create config =
   { config;
     store = Option.map Store.create config.Config.work_dir;
     s_loaded = None;
+    s_opt = None;
     s_faults = None;
     s_oracle = None;
     s_analysis = None;
@@ -96,7 +108,9 @@ let stage_index stage =
     | [] -> 0
     | s :: rest -> if s = stage then i else find (i + 1) rest
   in
-  find 1 [ "loaded"; "faults"; "analysis"; "optimized"; "validated"; "simulated"; "report" ]
+  find 1
+    [ "loaded"; "opt_netlist"; "faults"; "analysis"; "optimized"; "validated"; "simulated";
+      "report" ]
 
 let exec t ~stage ~parts compute =
   let key = Store.key ~stage ~parts in
@@ -144,15 +158,36 @@ let loaded t =
     ~parts:[ Config.circuit_key t.config.Config.circuit ]
     (fun () -> Config.load_circuit t.config.Config.circuit)
 
-let circuit t = (loaded t).value
+let raw_circuit t = (loaded t).value
+
+(* The optimization stage always exists (stable stage count and cache
+   behaviour); with [opt_passes = []] the pass driver is the identity and
+   the artifact is just the loaded netlist under an "opt=off" key. *)
+let opt_netlist t =
+  let l = loaded t in
+  memo
+    (fun t -> t.s_opt)
+    (fun t s -> t.s_opt <- Some s)
+    t ~stage:"opt_netlist"
+    ~parts:[ Config.opt_key t.config; l.digest ]
+    (fun () ->
+      let passes = Config.resolve_passes t.config in
+      let c, remap, stats =
+        Rt_circuit.Passes.run ~rounds:t.config.Config.opt_rounds ~passes l.value
+      in
+      { on_netlist = c; on_remap = remap; on_stats = stats })
+
+let circuit t = (opt_netlist t).value.on_netlist
+let remap t = (opt_netlist t).value.on_remap
+let opt_stats t = (opt_netlist t).value.on_stats
 
 let faults t =
-  let l = loaded t in
+  let op = opt_netlist t in
   memo
     (fun t -> t.s_faults)
     (fun t s -> t.s_faults <- Some s)
-    t ~stage:"faults" ~parts:[ l.digest ]
-    (fun () -> Rt_fault.Collapse.collapsed_universe l.value)
+    t ~stage:"faults" ~parts:[ op.digest ]
+    (fun () -> Rt_fault.Collapse.collapsed_universe op.value.on_netlist)
 
 let fault_list t = (faults t).value
 
@@ -166,16 +201,16 @@ let oracle t =
     o
 
 let analysis t =
-  let l = loaded t in
+  let op = opt_netlist t in
   let f = faults t in
   memo
     (fun t -> t.s_analysis)
     (fun t s -> t.s_analysis <- Some s)
     t ~stage:"analysis"
-    ~parts:[ t.config.Config.engine; Config.weights_key t.config; l.digest; f.digest ]
+    ~parts:[ t.config.Config.engine; Config.weights_key t.config; op.digest; f.digest ]
     (fun () ->
       let o = oracle t in
-      let x = Config.resolve_weights t.config l.value in
+      let x = Config.resolve_weights t.config op.value.on_netlist in
       { pf = Detect.probs o x;
         a_weights = x;
         proven_redundant = Detect.proven_redundant o;
@@ -272,6 +307,7 @@ let sim_stats t (v : validated) =
 
 let report t =
   let l = loaded t in
+  let op = opt_netlist t in
   let f = faults t in
   let a = analysis t in
   let n = normalized t in
@@ -281,10 +317,15 @@ let report t =
     (fun t -> t.s_report)
     (fun t s -> t.s_report <- Some s)
     t ~stage:"report"
-    ~parts:[ l.digest; f.digest; a.digest; n.digest; o.digest; v.digest ]
+    ~parts:[ l.digest; op.digest; f.digest; a.digest; n.digest; o.digest; v.digest ]
     (fun () ->
       { r_circuit = Config.circuit_name t.config.Config.circuit;
-        r_stats = Format.asprintf "%t" (fun ppf -> Rt_circuit.Netlist.stats l.value ppf);
+        r_stats =
+          Format.asprintf "%t" (fun ppf -> Rt_circuit.Netlist.stats op.value.on_netlist ppf);
+        r_raw_stats = Format.asprintf "%t" (fun ppf -> Rt_circuit.Netlist.stats l.value ppf);
+        r_opt_key = Config.opt_key t.config;
+        r_nodes_removed =
+          Rt_circuit.Netlist.size l.value - Rt_circuit.Netlist.size op.value.on_netlist;
         r_engine = a.value.engine_desc;
         r_inputs = Array.length (Rt_circuit.Netlist.inputs l.value);
         r_faults = Array.length f.value;
@@ -303,10 +344,13 @@ type outcome = {
   o_stages : (string * bool) list;  (* stage name, served from cache *)
 }
 
-let stage_names = [ "loaded"; "faults"; "analysis"; "normalized"; "optimized"; "validated"; "report" ]
+let stage_names =
+  [ "loaded"; "opt_netlist"; "faults"; "analysis"; "normalized"; "optimized"; "validated";
+    "report" ]
 
 let run ?progress ?recorder t =
   let l = loaded t in
+  let op = opt_netlist t in
   let f = faults t in
   let a = analysis t in
   let n = normalized t in
@@ -316,6 +360,7 @@ let run ?progress ?recorder t =
   { o_report = r;
     o_stages =
       [ ("loaded", l.from_cache);
+        ("opt_netlist", op.from_cache);
         ("faults", f.from_cache);
         ("analysis", a.from_cache);
         ("normalized", n.from_cache);
@@ -335,6 +380,9 @@ let pp_stages ppf outcome =
 
 let pp_report ppf r =
   Format.fprintf ppf "circuit:        %s (%s)@." r.r_circuit r.r_stats;
+  if r.r_opt_key <> "opt=off" then
+    Format.fprintf ppf "opt:            %s; %d nodes removed (raw: %s)@." r.r_opt_key
+      r.r_nodes_removed r.r_raw_stats;
   Format.fprintf ppf "engine:         %s@." r.r_engine;
   Format.fprintf ppf "faults:         %d collapsed, %d proven redundant@." r.r_faults
     r.r_redundant;

@@ -3,11 +3,18 @@
     Stages and their inputs (the paper's procedure, §4):
 
     {v
-    Loaded ──> Faults ──> Analysis ──> Normalized ──> Optimized ──> Validated ──> Report
+    Loaded ──> Opt_netlist ──> Faults ──> Analysis ──> Normalized ──> Optimized
+      ──> Validated ──> Report
     v}
 
     - [Loaded]: the netlist (generator, .bench file or inline).
-    - [Faults]: the collapsed single-stuck-at universe.
+    - [Opt_netlist]: the {!Rt_circuit.Passes} fixpoint simplification of
+      the loaded netlist (identity when [opt_passes = []]); every
+      downstream stage consumes this netlist.  Keyed by the pass list and
+      round budget ({!Config.opt_key}).
+    - [Faults]: the collapsed single-stuck-at universe (of the optimized
+      netlist; names survive optimization, so faults print in
+      original-netlist terms).
     - [Analysis]: detection probabilities at the config's weights, plus
       the engine's redundancy/exactness masks (the ANALYSIS step).
     - [Normalized]: required test length [N] and the hardest-fault prefix
@@ -28,6 +35,12 @@ type 'a staged = {
   value : 'a;
   digest : string;  (** content address; feeds downstream stage keys *)
   from_cache : bool;
+}
+
+type opt_netlist = {
+  on_netlist : Rt_circuit.Netlist.t;  (** what every downstream stage runs on *)
+  on_remap : Rt_circuit.Passes.Remap.t;  (** loaded-netlist ids -> optimized ids *)
+  on_stats : Rt_circuit.Passes.stats;
 }
 
 type analysis = {
@@ -57,7 +70,10 @@ type validated = {
 
 type report = {
   r_circuit : string;
-  r_stats : string;
+  r_stats : string;  (** of the (optimized) netlist the engines ran on *)
+  r_raw_stats : string;  (** of the loaded netlist *)
+  r_opt_key : string;  (** {!Config.opt_key} of the run *)
+  r_nodes_removed : int;
   r_engine : string;
   r_inputs : int;
   r_faults : int;
@@ -80,6 +96,7 @@ val config : t -> Config.t
     Each returns the staged artifact, computing (and persisting) on demand. *)
 
 val loaded : t -> Rt_circuit.Netlist.t staged
+val opt_netlist : t -> opt_netlist staged
 val faults : t -> Rt_fault.Fault.t array staged
 val analysis : t -> analysis staged
 val normalized : t -> normalized staged
@@ -104,6 +121,13 @@ val report : t -> report staged
 (** {1 Convenience} *)
 
 val circuit : t -> Rt_circuit.Netlist.t
+(** The {e optimized} netlist — what faults, oracles and simulation use. *)
+
+val raw_circuit : t -> Rt_circuit.Netlist.t
+(** The loaded netlist, before optimization passes. *)
+
+val remap : t -> Rt_circuit.Passes.Remap.t
+val opt_stats : t -> Rt_circuit.Passes.stats
 val fault_list : t -> Rt_fault.Fault.t array
 
 val oracle : t -> Rt_testability.Detect.oracle

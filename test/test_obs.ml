@@ -13,6 +13,24 @@ module Generators = Rt_circuit.Generators
 
 let check = Alcotest.check
 
+(* Scratch directories live under the system temp dir (never the repo
+   root, where leftovers would show up as stray untracked files). *)
+let scratch_dir =
+  let n = ref 0 in
+  fun tag ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "optprob-obs-%s-%d-%d" tag (Unix.getpid ()) !n)
+    in
+    (* A stale dir from a recycled pid would leak old artifacts into
+       directory-level comparisons. *)
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end;
+    dir
+
 (* Every test starts from a clean, disabled sink; the suite is sequential
    so the global state is not contended between tests. *)
 let with_obs f () =
@@ -402,7 +420,7 @@ let read_file path =
 
 let test_artifact_roundtrip =
   with_obs @@ fun () ->
-  let dir = "tmp-obs-artifact" in
+  let dir = scratch_dir "artifact" in
   Obs.with_span ~cat:"phase" "work" (fun () -> Obs.mark "checkpoint" ~fields:[ ("k", "v") ]);
   Obs.incr (Obs.counter "test.artifact.queries");
   Obs.observe (Obs.histogram "test.artifact.lat_us") 42.0;
@@ -485,7 +503,7 @@ let trace_with_dur dur =
 
 let test_obs_diff =
   with_obs @@ fun () ->
-  let dir_a = "tmp-obs-diff-a" and dir_b = "tmp-obs-diff-b" in
+  let dir_a = scratch_dir "diff-a" and dir_b = scratch_dir "diff-b" in
   let samples = Array.init 200 (fun i -> 10.0 +. Float.of_int (i mod 50)) in
   let h = Obs.histogram "test.diff.lat_us" in
   Array.iter (Obs.observe h) samples;
@@ -716,7 +734,7 @@ let test_prom_lint =
 
 let test_artifact_atomic =
   with_obs @@ fun () ->
-  let dir = "tmp-obs-atomic" in
+  let dir = scratch_dir "atomic" in
   Obs.incr (Obs.counter "test.atomic.c");
   Obs.Artifact.write ~dir ~manifest:test_manifest ();
   Obs.Artifact.write_live ~dir;
@@ -818,7 +836,7 @@ let timeline_samples util =
 
 let test_timeline_diff =
   with_obs @@ fun () ->
-  let dir_a = "tmp-obs-tdiff-a" and dir_b = "tmp-obs-tdiff-b" in
+  let dir_a = scratch_dir "tdiff-a" and dir_b = scratch_dir "tdiff-b" in
   Obs.incr (Obs.counter "test.tdiff.c");
   Obs.Artifact.write ~dir:dir_a ~manifest:test_manifest ();
   Obs.Artifact.write ~dir:dir_b ~manifest:test_manifest ();

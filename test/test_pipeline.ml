@@ -27,19 +27,22 @@ let fresh_dir =
 (* --- golden equivalence ------------------------------------------------------
 
    The pipeline's optimize path must produce bit-for-bit the weights of the
-   wiring it replaced: load -> collapse -> Detect.make ?jobs -> Optimize.run
-   with the CLI's default options.  Checked for every engine family and for
-   jobs 1 vs 4 (results must be jobs-independent). *)
+   wiring it replaced: load -> [Passes.run] -> collapse -> Detect.make ?jobs
+   -> Optimize.run with the CLI's default options.  Checked for every engine
+   family and for jobs 1 vs 4 (results must be jobs-independent), both with
+   the default optimization passes and with --no-opt (which must reproduce
+   the pre-refactor wiring exactly). *)
 
 let golden_engines =
   [ "cop"; "cond:3"; "bdd:200000"; "stafan:2048"; "mc:2048" ]
 
-let legacy_weights ~engine ~jobs circuit_name =
+let legacy_weights ~engine ~jobs ~opt circuit_name =
   let c =
     match Rt_circuit.Generators.by_name circuit_name with
     | Some g -> g ()
     | None -> Alcotest.failf "unknown golden circuit %s" circuit_name
   in
+  let c = if opt then (fun (c, _, _) -> c) (Rt_circuit.Passes.run c) else c in
   let faults = Rt_fault.Collapse.collapsed_universe c in
   let engine_kind =
     match Config.engine_of_string engine with
@@ -55,11 +58,11 @@ let legacy_weights ~engine ~jobs circuit_name =
   in
   (Optimize.run ~options oracle).Optimize.weights
 
-let pipeline_weights ~engine ~jobs circuit_name =
+let pipeline_weights ~engine ~jobs ~opt_passes circuit_name =
   let cfg =
     Config.exn
       (Config.make ~engine ~confidence:0.95 ~jobs ~sweeps:3
-         ~quantize:(Optimize.Grid 0.05) ~circuit:circuit_name ())
+         ~quantize:(Optimize.Grid 0.05) ~opt_passes ~circuit:circuit_name ())
   in
   let ctx = Pipeline.create cfg in
   (Pipeline.optimized ctx).Pipeline.value.Optimize.weights
@@ -67,15 +70,32 @@ let pipeline_weights ~engine ~jobs circuit_name =
 let test_golden () =
   List.iter
     (fun engine ->
-      let reference = legacy_weights ~engine ~jobs:1 "c432ish" in
+      let reference =
+        legacy_weights ~engine ~jobs:1 ~opt:true "c432ish"
+      in
       List.iter
         (fun jobs ->
-          let got = pipeline_weights ~engine ~jobs "c432ish" in
+          let got =
+            pipeline_weights ~engine ~jobs
+              ~opt_passes:Rt_circuit.Passes.default_names "c432ish"
+          in
           check
             Alcotest.(array (float 0.0))
             (Printf.sprintf "weights identical (%s, jobs=%d)" engine jobs)
             reference got)
         [ 1; 4 ])
+    golden_engines
+
+let test_golden_noopt () =
+  (* --no-opt reproduces the pre-refactor wiring bit-for-bit. *)
+  List.iter
+    (fun engine ->
+      let reference = legacy_weights ~engine ~jobs:1 ~opt:false "c432ish" in
+      let got = pipeline_weights ~engine ~jobs:1 ~opt_passes:[] "c432ish" in
+      check
+        Alcotest.(array (float 0.0))
+        (Printf.sprintf "no-opt pipeline = legacy wiring (%s)" engine)
+        reference got)
     golden_engines
 
 let test_golden_legacy_jobs () =
@@ -86,9 +106,68 @@ let test_golden_legacy_jobs () =
       check
         Alcotest.(array (float 0.0))
         (Printf.sprintf "legacy jobs-invariant (%s)" engine)
-        (legacy_weights ~engine ~jobs:1 "c432ish")
-        (legacy_weights ~engine ~jobs:4 "c432ish"))
+        (legacy_weights ~engine ~jobs:1 ~opt:false "c432ish")
+        (legacy_weights ~engine ~jobs:4 ~opt:false "c432ish"))
     [ "cop"; "bdd:200000" ]
+
+(* --- optimization-stage transparency -----------------------------------------
+
+   The acceptance gate: on a netlist that is already a pass fixpoint, the
+   opt_netlist stage is the identity (driver idempotence), so EVERY
+   statistic — detection probabilities, optimizer weights and J-trajectory,
+   ppsfp first-detect / detect-count, coverage — must be bit-identical
+   between the optimized and unoptimized paths, for every engine and every
+   (jobs, block_words) in {1,4} x {1,8}. *)
+
+let bits64 = Alcotest.(array int64)
+let fbits a = Array.map Int64.bits_of_float a
+let lbits l = fbits (Array.of_list l)
+
+let test_opt_transparency () =
+  let base =
+    match Rt_circuit.Generators.by_name "s1" with
+    | Some g -> g ()
+    | None -> Alcotest.fail "s1 generator missing"
+  in
+  let pre, _, _ = Rt_circuit.Passes.run base in
+  let stats_of ~engine ~jobs ~block_words opt_passes =
+    let cfg =
+      Config.exn
+        (Config.of_netlist ~engine ~jobs ~block_words ~sweeps:2 ~patterns:256 ~opt_passes
+           ~name:"pre-optimized-s1" pre)
+    in
+    let t = Pipeline.create cfg in
+    let a = (Pipeline.analysis t).Pipeline.value in
+    let o = (Pipeline.optimized t).Pipeline.value in
+    let v = (Pipeline.validated t).Pipeline.value in
+    (a, o, v)
+  in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun (jobs, block_words) ->
+          let tag fmt =
+            Printf.sprintf "%s (%s, jobs=%d, W=%d)" fmt engine jobs block_words
+          in
+          let a1, o1, v1 =
+            stats_of ~engine ~jobs ~block_words Rt_circuit.Passes.default_names
+          in
+          let a0, o0, v0 = stats_of ~engine ~jobs ~block_words [] in
+          check bits64 (tag "pf bit-identical") (fbits a0.Pipeline.pf) (fbits a1.Pipeline.pf);
+          check bits64 (tag "weights bit-identical")
+            (fbits o0.Optimize.weights) (fbits o1.Optimize.weights);
+          check bits64 (tag "J-trajectory bit-identical")
+            (lbits o0.Optimize.j_history) (lbits o1.Optimize.j_history);
+          check bits64 (tag "N-trajectory bit-identical")
+            (lbits o0.Optimize.history) (lbits o1.Optimize.history);
+          check Alcotest.(array int) (tag "first_detect identical")
+            v0.Pipeline.first_detect v1.Pipeline.first_detect;
+          check Alcotest.(array int) (tag "detect_count identical")
+            v0.Pipeline.detect_count v1.Pipeline.detect_count;
+          check bits64 (tag "coverage bit-identical")
+            (fbits [| v0.Pipeline.coverage |]) (fbits [| v1.Pipeline.coverage |]))
+        [ (1, 1); (1, 8); (4, 1); (4, 8) ])
+    [ "cop"; "cond:2"; "bdd:100000"; "stafan:512"; "mc:512" ]
 
 (* --- cache resume (qcheck) ---------------------------------------------------
 
@@ -145,8 +224,8 @@ let test_seed_invalidation () =
   check
     Alcotest.(list (pair string bool))
     "only validated+report re-run on a seed bump"
-    [ ("loaded", true); ("faults", true); ("analysis", true); ("normalized", true);
-      ("optimized", true); ("validated", false); ("report", false) ]
+    [ ("loaded", true); ("opt_netlist", true); ("faults", true); ("analysis", true);
+      ("normalized", true); ("optimized", true); ("validated", false); ("report", false) ]
     (stage_flags second);
   (* And returning to the first seed is a full cache hit again. *)
   let third = Pipeline.run (Pipeline.create (cfg 1)) in
@@ -165,8 +244,8 @@ let test_engine_invalidation () =
   check
     Alcotest.(list (pair string bool))
     "engine change re-runs analysis and everything downstream"
-    [ ("loaded", true); ("faults", true); ("analysis", false); ("normalized", false);
-      ("optimized", false); ("validated", false); ("report", false) ]
+    [ ("loaded", true); ("opt_netlist", true); ("faults", true); ("analysis", false);
+      ("normalized", false); ("optimized", false); ("validated", false); ("report", false) ]
     (stage_flags second)
 
 let test_engine_early_cutoff () =
@@ -181,8 +260,8 @@ let test_engine_early_cutoff () =
   ignore (Pipeline.run (Pipeline.create (cfg "cop")));
   let second = Pipeline.run (Pipeline.create (cfg "cond:2")) in
   check Alcotest.(list (pair string bool)) "equivalent engine cuts off at normalized"
-    [ ("loaded", true); ("faults", true); ("analysis", false); ("normalized", false);
-      ("optimized", true); ("validated", true); ("report", false) ]
+    [ ("loaded", true); ("opt_netlist", true); ("faults", true); ("analysis", false);
+      ("normalized", false); ("optimized", true); ("validated", true); ("report", false) ]
     (stage_flags second)
 
 let test_cache_hit_counters () =
@@ -257,6 +336,27 @@ let test_did_you_mean_engine () =
    | Ok _ -> Alcotest.fail "wrong stafan parse"
    | Error m -> Alcotest.fail m)
 
+let test_did_you_mean_opt_passes () =
+  let m = error_of (Config.opt_passes_of_string "const-folt") in
+  check Alcotest.bool "suggests const-fold" true
+    (contains ~sub:{|did you mean "const-fold"|} m);
+  check Alcotest.bool "lists valid passes" true (contains ~sub:"dead-cone" m);
+  (* the bad name is rejected even in the middle of a list *)
+  let m = error_of (Config.opt_passes_of_string "dead-cone,relevell") in
+  check Alcotest.bool "suggests relevel" true (contains ~sub:{|"relevel"|} m);
+  (* and through the config constructor *)
+  let m =
+    error_of (Config.make ~opt_passes:[ "identty" ] ~circuit:"s1" ())
+  in
+  check Alcotest.bool "constructor suggests identity" true
+    (contains ~sub:{|did you mean "identity"|} m);
+  (match Config.opt_passes_of_string "none" with
+   | Ok [] -> ()
+   | Ok _ | Error _ -> Alcotest.fail {|"none" parses to no passes|});
+  match Config.opt_passes_of_string " const-fold , identity " with
+  | Ok [ "const-fold"; "identity" ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "whitespace-tolerant pass list"
+
 let test_edit_distance () =
   check Alcotest.int "identical" 0 (Config.edit_distance "cop" "cop");
   check Alcotest.int "one substitution" 1 (Config.edit_distance "bdd" "bdd:");
@@ -273,9 +373,15 @@ let test_valid_circuits_parse () =
 let () =
   Alcotest.run "rt_pipeline"
     [ ( "golden",
-        [ Alcotest.test_case "pipeline = pre-refactor wiring, all engines, jobs 1/4" `Slow
+        [ Alcotest.test_case "pipeline = legacy wiring + passes, all engines, jobs 1/4" `Slow
             test_golden;
+          Alcotest.test_case "no-opt pipeline = pre-refactor wiring, all engines" `Slow
+            test_golden_noopt;
           Alcotest.test_case "legacy path jobs-invariant" `Slow test_golden_legacy_jobs ] );
+      ( "opt-transparency",
+        [ Alcotest.test_case
+            "opt on/off bit-identical on a fixpoint netlist (engines x jobs x W)" `Slow
+            test_opt_transparency ] );
       ( "cache",
         [ QCheck_alcotest.to_alcotest cache_hit_qcheck;
           Alcotest.test_case "cache-hit counters on resume" `Quick test_cache_hit_counters;
@@ -290,5 +396,6 @@ let () =
       ( "validation",
         [ Alcotest.test_case "circuit did-you-mean" `Quick test_did_you_mean_circuit;
           Alcotest.test_case "engine did-you-mean" `Quick test_did_you_mean_engine;
+          Alcotest.test_case "opt-passes did-you-mean" `Quick test_did_you_mean_opt_passes;
           Alcotest.test_case "edit distance" `Quick test_edit_distance;
           Alcotest.test_case "valid circuit specs parse" `Quick test_valid_circuits_parse ] ) ]
