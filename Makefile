@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the pre-commit gate.
 
-.PHONY: all check test bench bench-json bench-smoke trace-demo obs-demo obs-live-demo pipeline-demo opt-demo clean
+.PHONY: all check test bench bench-json bench-smoke trace-demo obs-demo obs-live-demo obs-history-demo pipeline-demo opt-demo clean
 
 all:
 	dune build
@@ -21,8 +21,11 @@ bench-json:
 # two subset queries, and obs-diff (1.5x quantile gate) must not flag the
 # fused side against the two-query baseline.  Artifacts land under
 # _obs/smoke/{baseline,fused} for upload or manual `optprob obs-diff`.
+# The finished run is also ingested into the run registry (second arg) and
+# gated against the promoted baseline record there — the first run ever
+# bootstrap-promotes itself.
 bench-smoke:
-	dune exec bench/smoke.exe -- _obs/smoke
+	dune exec bench/smoke.exe -- _obs/smoke _obs/registry
 
 # Sanity-check the observability surface end to end: run one optimize with
 # tracing on and make sure the trace is non-empty, valid JSON.
@@ -81,6 +84,37 @@ obs-live-demo:
 	@grep -q 'pool.d1' _obs/live/trace.json || { echo "obs-live-demo FAIL: no per-domain tracks"; exit 1; }
 	dune exec bin/main.exe -- obs-diff _obs/live _obs/live -q
 	@echo "obs-live-demo: live /metrics + /healthz + /snapshot, timeline and per-domain tracks ok"
+
+# Longitudinal-history demo and acceptance gate for the run registry:
+# three identical pipeline runs auto-ingest into a fresh registry, which
+# must then list exactly 3 records, render a 3-point pipeline.total_us
+# trend with a sparkline, and baseline-diff the newest run against the
+# promoted first one through the registry.  Thresholds are deliberately
+# loose (10x) — the demo proves the plumbing, not machine speed.
+obs-history-demo:
+	rm -rf _obs/history-demo
+	for i in 1 2 3; do \
+	  dune exec bin/main.exe -- run s1 --engine cond:8 --sweeps 2 -q \
+	    --obs-dir _obs/history-demo/run$$i \
+	    --obs-registry _obs/history-demo/registry || exit 1; \
+	done
+	@n=$$(dune exec bin/main.exe -- obs list --ids \
+	  --obs-registry _obs/history-demo/registry | wc -l); \
+	  test "$$n" -eq 3 || { echo "obs-history-demo FAIL: expected 3 records, got $$n"; exit 1; }
+	dune exec bin/main.exe -- obs trend pipeline.total_us \
+	  --obs-registry _obs/history-demo/registry | tee /tmp/optprob-history-trend.out
+	@grep -q '3 point(s)' /tmp/optprob-history-trend.out || \
+	  { echo "obs-history-demo FAIL: trend is not a 3-point series"; exit 1; }
+	@grep -q 'spark:' /tmp/optprob-history-trend.out || \
+	  { echo "obs-history-demo FAIL: no sparkline"; exit 1; }
+	first=$$(dune exec bin/main.exe -- obs list --ids \
+	  --obs-registry _obs/history-demo/registry | head -n 1); \
+	  dune exec bin/main.exe -- obs baseline promote $$first \
+	    --obs-registry _obs/history-demo/registry
+	dune exec bin/main.exe -- obs diff --baseline \
+	  --obs-registry _obs/history-demo/registry \
+	  --max-span-ratio 10 --max-quantile-ratio 10 --max-counter-ratio 10
+	@echo "obs-history-demo: 3 ingested runs, 3-point trend, baseline diff ok"
 
 # Resumable-pipeline gate: the same `optprob run` twice against one
 # --work-dir.  The second run must execute zero stages — verified from its

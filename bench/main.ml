@@ -10,13 +10,18 @@
      dune exec bench/main.exe -- --no-perf    skip the Bechamel section
      dune exec bench/main.exe -- --json       also write BENCH_optprob.json
                                               (kernel ns/run + per-experiment
-                                              wall-clock, machine readable) *)
+                                              wall-clock, machine readable)
+     dune exec bench/main.exe -- --registry D also ingest this bench run into
+                                              the run registry at D (bare
+                                              --registry uses the default
+                                              _obs/registry convention) *)
 
 let parse_args () =
   let full = ref (Sys.getenv_opt "OPTPROB_BENCH_FULL" = Some "1") in
   let only = ref None in
   let perf = ref true in
   let json = ref false in
+  let registry = ref None in
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -31,10 +36,17 @@ let parse_args () =
     | "--only" :: ids :: rest ->
       only := Some (String.split_on_char ',' ids);
       go rest
+    | "--registry" :: dir :: rest
+      when not (String.length dir >= 2 && String.sub dir 0 2 = "--") ->
+      registry := Some dir;
+      go rest
+    | "--registry" :: rest ->
+      registry := Some (Rt_obs_registry.default_dir ());
+      go rest
     | _ :: rest -> go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!full, !only, !perf, !json)
+  (!full, !only, !perf, !json, !registry)
 
 (* Runs each experiment individually (so its wall-clock is attributable),
    prints its table, and returns [(id, title, seconds, counters)] in run
@@ -468,8 +480,49 @@ let write_json ~path ~mode ~experiments ~kernels ~pool ~opt ~total_seconds =
   p "}\n";
   close_out oc
 
+(* Record the finished bench run — per-experiment wall-clock as a latency
+   histogram, the work counters each experiment burned, kernel ns/run as
+   gauges — as a transient artifact and ingest it into the run registry,
+   so `optprob obs trend bench.experiment_us.p50` works across bench
+   invocations without any separate tooling. *)
+let ingest_run ~registry ~experiments ~kernels ~total_seconds =
+  let sanitize name =
+    String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                          || (c >= '0' && c <= '9') || c = '.' then c else '_')
+      name
+  in
+  Rt_obs.set_enabled true;
+  Rt_obs.clear ();
+  let h = Rt_obs.histogram "bench.experiment_us" in
+  List.iter
+    (fun (id, _title, seconds, counters) ->
+      Rt_obs.observe h (seconds *. 1e6);
+      Rt_obs.gauge_set (Rt_obs.gauge (Printf.sprintf "bench.%s.s" (sanitize id))) seconds;
+      List.iter (fun (name, v) -> Rt_obs.add (Rt_obs.counter name) v) counters)
+    experiments;
+  List.iter
+    (fun (name, ns) ->
+      Rt_obs.gauge_set (Rt_obs.gauge ("bench.kernel." ^ sanitize name ^ ".ns")) ns)
+    kernels;
+  let dir = Filename.concat registry (Printf.sprintf "tmp-bench.%d" (Unix.getpid ())) in
+  Rt_obs.Artifact.write ~dir
+    ~manifest:(Rt_obs.Artifact.make_manifest ~argv:Sys.argv ~wall_s:total_seconds ())
+    ();
+  Rt_obs.clear ();
+  Rt_obs.set_enabled false;
+  let r = Rt_obs_registry.ingest ~registry ~obs_dir:dir () in
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  match r with
+  | Ok id -> Format.printf "@.registry: ingested %s into %s@." id registry
+  | Error e -> Format.eprintf "@.registry: ingest failed: %s@." e
+
 let () =
-  let full, only, perf, json = parse_args () in
+  let full, only, perf, json, registry = parse_args () in
   Format.printf "optprob reproduction harness (%s mode)@."
     (if full then "full paper-scale" else "quick");
   let t0 = Rt_util.Stats.timer_start () in
@@ -489,4 +542,9 @@ let () =
       ~experiments ~kernels ~pool ~opt
       ~total_seconds:(Rt_util.Stats.timer_elapsed t0);
     Format.printf "@.wrote %s@." path
-  end
+  end;
+  match registry with
+  | None -> ()
+  | Some reg ->
+    ingest_run ~registry:reg ~experiments ~kernels
+      ~total_seconds:(Rt_util.Stats.timer_elapsed t0)

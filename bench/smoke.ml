@@ -26,16 +26,27 @@
    6. a second jobs=4 run spawns no additional domains
       ([parallel.spawns] flat), i.e. the domain pool persists;
    7. the background timeline sampler is free at the workload level: the
-      fused sweep's p50 with telemetry+sampler(25 ms) stays within 1.05x
-      of telemetry-only, judged on the p50 read back from the two run
-      artifacts' metrics.json — and the sampler side's timeline.json
-      self-diffs clean through obs-diff.
+      fused sweep's raw-sample p50 with telemetry+sampler(25 ms) stays
+      within 1.25x of telemetry-only, the p50s read back from the two run
+      artifacts' metrics.json land within one log bucket of each other —
+      and the sampler side's timeline.json self-diffs clean through
+      obs-diff.
+
+   Finally the whole smoke run is ingested into the persistent run
+   registry (argv.(2), default the OPTPROB_OBS_REGISTRY/_obs/registry
+   convention; pass "-" to skip):
+   8. the first ever run bootstrap-promotes itself as the baseline;
+      every later run is diffed against the promoted baseline record and
+      fails on histogram (3x, cross-runner noise allowance) or counter
+      (1.5x, counters are deterministic) regressions, and the
+      smoke.sweep_us.p50 trend over the registry history is printed with
+      its step-change verdict.
 
    The timed sections run with recording OFF so the numbers measure the
    oracle/simulator, not the telemetry.  Artifacts land under an optional
-   argv root (default _obs/smoke) as <root>/{baseline,fused} and
-   <root>/{ppsfp-wide,ppsfp-narrow}, ready for CI upload or a manual
-   `optprob obs-diff`.
+   argv root (default _obs/smoke) as <root>/{baseline,fused},
+   <root>/{ppsfp-wide,ppsfp-narrow} and <root>/run (the ingested one),
+   ready for CI upload or a manual `optprob obs-diff`.
 
    Exits nonzero on any violation.  Run with: make bench-smoke *)
 
@@ -127,11 +138,10 @@ let () =
   (* Write both sides as run artifacts and let obs-diff judge the perf
      gate: baseline dir = 2x subset queries, candidate dir = fused. *)
   let manifest side =
-    { Rt_obs.Artifact.argv = [| "bench-smoke"; side |];
-      engine = Some "cop";
-      seed = None;
-      jobs = None;
-      wall_s = Rt_util.Stats.timer_elapsed t_run }
+    Rt_obs.Artifact.make_manifest ~engine:"cop"
+      ~argv:[| "bench-smoke"; side |]
+      ~wall_s:(Rt_util.Stats.timer_elapsed t_run)
+      ()
   in
   let write side samples =
     let h = Rt_obs.histogram "smoke.sweep_us" in
@@ -298,25 +308,153 @@ let () =
     | None -> Printf.eprintf "bench-smoke FAIL: no smoke.sweep_us p50 in %s\n" path; exit 1
   in
   let p50_tel = p50_of dir_tel and p50_samp = p50_of dir_samp in
-  let sampler_ratio = p50_samp /. p50_tel in
-  let sampler_thresholds = { Rt_obs.Diff.default with quantile_ratio = 1.05 } in
+  (* The artifact p50s are quantized by the histogram's log buckets
+     (adjacent boundaries ~1.78x apart), so a tight band on them flips a
+     coin whenever the sweep straddles a bucket edge.  The numeric gate
+     therefore runs on the exact medians of the raw per-call samples
+     (1.25x, room for scheduler noise at the ~1 ms scale); the artifact
+     read-back keeps its own guard — the two p50s must land within one
+     bucket of each other — so the recorded story cannot drift from the
+     measured one. *)
+  let raw_median a =
+    let s = Array.copy a in
+    Array.sort Float.compare s;
+    s.(Array.length s / 2)
+  in
+  let sampler_ratio = raw_median s_sampled /. raw_median s_tel_only in
+  let artifact_ratio = p50_samp /. p50_tel in
+  let sampler_thresholds = { Rt_obs.Diff.default with quantile_ratio = 1.8 } in
   let sampler_diff =
     Rt_obs.Diff.compare_dirs ~thresholds:sampler_thresholds dir_tel dir_samp
   in
   let tl_self = Rt_obs.Diff.regressions (Rt_obs.Diff.compare_dirs dir_samp dir_samp) in
   Printf.printf "sampler overhead (fused sweep, 25 ms period):\n";
-  Printf.printf "  telemetry-only p50:         %8.3f us\n" p50_tel;
-  Printf.printf "  telemetry+sampler p50:      %8.3f us\n" p50_samp;
-  Printf.printf "  ratio (sampled / plain):    %8.3f\n" sampler_ratio;
+  Printf.printf "  telemetry-only p50:         %8.3f us (artifact %8.3f)\n"
+    (raw_median s_tel_only) p50_tel;
+  Printf.printf "  telemetry+sampler p50:      %8.3f us (artifact %8.3f)\n"
+    (raw_median s_sampled) p50_samp;
+  Printf.printf "  ratio (sampled / plain):    %8.3f (artifact %8.3f)\n"
+    sampler_ratio artifact_ratio;
   Printf.printf "  timeline samples/dropped:   %d / %d\n" (List.length tl_samples) tl_dropped;
   Printf.printf "  artifacts:                  %s {sampler-off,sampler-on}\n" out_root;
   Rt_obs.Diff.pp_report Format.std_formatter sampler_diff;
-  if sampler_ratio > 1.05 then begin
-    Printf.eprintf "bench-smoke FAIL: sampler overhead %.3fx > 1.05x on p50\n" sampler_ratio;
+  if sampler_ratio > 1.25 then begin
+    Printf.eprintf "bench-smoke FAIL: sampler overhead %.3fx > 1.25x on raw p50\n" sampler_ratio;
+    exit 1
+  end;
+  if artifact_ratio > 1.8 then begin
+    Printf.eprintf
+      "bench-smoke FAIL: artifact p50s more than one bucket apart (%.3fx)\n" artifact_ratio;
     exit 1
   end;
   if tl_self <> [] then begin
     Printf.eprintf "bench-smoke FAIL: sampler-side timeline does not self-diff clean\n";
     exit 1
+  end;
+  (* --- run registry ----------------------------------------------------------
+     Ingest the whole smoke run into the persistent registry and gate
+     against the promoted baseline record.  The first run ever seen
+     bootstrap-promotes itself; after that, histograms get a lenient 3x
+     band (cross-runner latency noise) while counters — deterministic for
+     a fixed workload — keep the default 1.5x. *)
+  let module Reg = Rt_obs_registry in
+  let registry =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else Reg.default_dir ()
+  in
+  if registry <> "-" then begin
+    Rt_obs.set_enabled true;
+    Rt_obs.clear ();
+    let h_sweep = Rt_obs.histogram "smoke.sweep_us" in
+    Array.iter (Rt_obs.observe h_sweep) s_fused;
+    let h_ppsfp = Rt_obs.histogram "smoke.ppsfp_us" in
+    Array.iter (Rt_obs.observe h_ppsfp) s_wide;
+    (* One recorded pass per kernel puts the deterministic counters
+       (oracle.*, ppsfp.batches) next to the latency histograms. *)
+    sweep fused ();
+    ignore (sim ~jobs:1 ~block_words:8 ~drop:false ());
+    let dir_run = Filename.concat out_root "run" in
+    Rt_obs.Artifact.write ~dir:dir_run
+      ~manifest:
+        (Rt_obs.Artifact.make_manifest ~engine:"cop" ~circuit:"s1" ~block_words:8
+           ~argv:Sys.argv
+           ~wall_s:(Rt_util.Stats.timer_elapsed t_run)
+           ())
+      ();
+    Rt_obs.clear ();
+    Rt_obs.set_enabled false;
+    let id =
+      match Reg.ingest ~registry ~obs_dir:dir_run () with
+      | Ok id -> id
+      | Error e ->
+        Printf.eprintf "bench-smoke FAIL: registry ingest: %s\n" e;
+        exit 1
+    in
+    Printf.printf "registry (%s):\n" registry;
+    Printf.printf "  ingested:                   %s\n" id;
+    (match Reg.promoted ~registry with
+     | None -> (
+       match Reg.promote ~registry id with
+       | Ok () -> Printf.printf "  baseline:                   %s (bootstrap promote)\n" id
+       | Error e ->
+         Printf.eprintf "bench-smoke FAIL: baseline promote: %s\n" e;
+         exit 1)
+     | Some base when base = id -> ()
+     | Some base ->
+       let tmp = Filename.concat registry (Printf.sprintf "tmp-smoke.%d" (Unix.getpid ())) in
+       let cleanup () =
+         (try
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat tmp f) with Sys_error _ -> ())
+              (Sys.readdir tmp)
+          with Sys_error _ -> ());
+         try Unix.rmdir tmp with Unix.Unix_error _ -> ()
+       in
+       (match Reg.materialize ~registry ~dir:tmp base with
+        | Ok () -> ()
+        | Error e ->
+          cleanup ();
+          Printf.eprintf "bench-smoke FAIL: baseline materialize: %s\n" e;
+          exit 1);
+       let thresholds = { Rt_obs.Diff.default with quantile_ratio = 3.0; span_ratio = 3.0 } in
+       let base_diff = Rt_obs.Diff.compare_dirs ~thresholds tmp dir_run in
+       cleanup ();
+       Printf.printf "  baseline:                   %s\n" base;
+       Rt_obs.Diff.pp_report Format.std_formatter base_diff;
+       (* Gate on what is stable across runners: work counters (exact for a
+          fixed workload, 1.5x default band) and the two aggregate smoke.*
+          latency histograms at 3x.  Kernel-internal micro-latency
+          histograms (p99 buckets of a few us) and span wall-clocks stay
+          report-only — they swing more than any honest band under CI
+          noise. *)
+       let is_smoke name =
+         String.length name >= 6 && String.sub name 0 6 = "smoke."
+       in
+       let gated =
+         List.filter
+           (fun f ->
+             f.Rt_obs.Diff.kind = "counter"
+             || (f.Rt_obs.Diff.kind = "histogram" && is_smoke f.Rt_obs.Diff.name))
+           (Rt_obs.Diff.regressions base_diff)
+       in
+       if gated <> [] then begin
+         Printf.eprintf
+           "bench-smoke FAIL: %d regression(s) vs promoted baseline %s\n"
+           (List.length gated) base;
+         exit 1
+       end);
+    let series = Reg.series ~registry "smoke.sweep_us.p50" in
+    let vals = Array.of_list (List.map (fun p -> p.Reg.p_value) series.Reg.s_points) in
+    Printf.printf "  smoke.sweep_us.p50 trend:   %s  (%d run(s), p50 %.1f us)\n"
+      (Reg.sparkline vals) (Array.length vals) series.Reg.s_p50;
+    match Reg.step_changes vals with
+    | [] -> ()
+    | steps ->
+      List.iter
+        (fun s ->
+          Printf.printf "  step change:                run %d/%d %s to %.1f us (median %.1f)\n"
+            (s.Reg.st_index + 1) (Array.length vals)
+            (if s.Reg.st_up then "up" else "down")
+            s.Reg.st_value s.Reg.st_median)
+        steps
   end;
   Printf.printf "bench-smoke OK\n"

@@ -1,8 +1,9 @@
 (* optprob — command-line front end.
 
    Subcommands: list, generate, simplify, analyze, optimize, simulate,
-   run, atpg, selftest, tables, obs-diff.  Every compute subcommand is a
-   thin layer
+   run, atpg, selftest, tables, obs-diff, and the `obs` family
+   (list/show/ingest/trend/baseline/diff/gc) over the persistent run
+   registry.  Every compute subcommand is a thin layer
    over the Rt_pipeline stage graph: it builds one validated
    Rt_pipeline.Config via the shared Cli terms, creates a pipeline
    context, and asks for the stages it needs.  With --work-dir the stage
@@ -13,6 +14,7 @@ open Cmdliner
 module Pipeline = Rt_pipeline
 module Config = Rt_pipeline.Config
 module Cli = Rt_pipeline.Cli
+module Registry = Rt_obs_registry
 
 (* --- observability flags ---------------------------------------------------
    Shared by the compute-heavy subcommands.  The unified form is
@@ -32,10 +34,16 @@ type obs = {
   verbose : bool;
   sample_ms : int option;
   listen : int option;
+  registry : string option;  (* "" = the default registry directory *)
   mutable t_start : float;
   mutable sampler : Rt_obs.Timeline.sampler option;
   mutable server : Rt_obs_http.t option;
 }
+
+let resolve_registry obs =
+  match obs.registry with
+  | Some "" -> Some (Registry.default_dir ())
+  | other -> other
 
 let obs_dir_arg =
   Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR"
@@ -70,16 +78,26 @@ let listen_arg =
                in flight: /metrics (OpenMetrics), /healthz, /snapshot (metrics JSON).  \
                Port 0 picks an ephemeral port (printed on startup).")
 
+let registry_flag_arg =
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+       & info [ "obs-registry" ] ~docv:"DIR"
+         ~env:(Cmd.Env.info "OPTPROB_OBS_REGISTRY")
+         ~doc:"Ingest this run's observability artifact into the persistent run registry \
+               at $(docv) when it completes (bare flag: $(b,_obs/registry), or \
+               $(b,OPTPROB_OBS_REGISTRY)).  Query the history with $(b,optprob obs) \
+               list/show/trend/diff.")
+
 let obs_arg =
-  Term.(const (fun obs_dir trace metrics verbose sample_ms listen ->
-            { obs_dir; trace; metrics; verbose; sample_ms; listen;
+  Term.(const (fun obs_dir trace metrics verbose sample_ms listen registry ->
+            { obs_dir; trace; metrics; verbose; sample_ms; listen; registry;
               t_start = 0.0; sampler = None; server = None })
-        $ obs_dir_arg $ trace_arg $ metrics_arg $ verbose_arg $ sample_ms_arg $ listen_arg)
+        $ obs_dir_arg $ trace_arg $ metrics_arg $ verbose_arg $ sample_ms_arg $ listen_arg
+        $ registry_flag_arg)
 
 let obs_begin obs =
   obs.t_start <- Unix.gettimeofday ();
   if obs.obs_dir <> None || obs.trace <> None || obs.metrics <> None || obs.verbose
-     || obs.sample_ms <> None || obs.listen <> None
+     || obs.sample_ms <> None || obs.listen <> None || obs.registry <> None
   then Rt_obs.set_enabled true;
   (match obs.obs_dir with
    | Some dir ->
@@ -96,9 +114,11 @@ let obs_begin obs =
   match obs.listen with
   | Some port when port >= 0 && port < 65536 ->
     (try
-       let srv = Rt_obs_http.start ~port () in
+       let registry = resolve_registry obs in
+       let srv = Rt_obs_http.start ?registry ~port () in
        obs.server <- Some srv;
-       Format.eprintf "obs: serving /metrics /healthz /snapshot on http://127.0.0.1:%d@."
+       Format.eprintf "obs: serving /metrics /healthz /snapshot%s on http://127.0.0.1:%d@."
+         (if registry <> None then " /runs /trend" else "")
          (Rt_obs_http.port srv)
      with Unix.Unix_error (err, _, _) ->
        failwith
@@ -115,6 +135,23 @@ let obs_linger () =
      | Some ms when ms > 0 -> Unix.sleepf (Float.of_int ms /. 1000.0)
      | _ -> ())
   | None -> ()
+
+(* The manifest carries the full config slice (engine, seed, jobs, circuit,
+   patterns, block_words, opt_passes, opt_rounds) so registry queries and
+   trend filters never have to re-parse argv. *)
+let manifest_of_cfg ?(cfg : Config.t option) obs =
+  let f g = Option.map g cfg in
+  Rt_obs.Artifact.make_manifest
+    ?engine:(f (fun c -> c.Config.engine))
+    ?seed:(f (fun c -> c.Config.seed))
+    ?jobs:(Option.bind cfg (fun c -> c.Config.jobs))
+    ?circuit:(f (fun c -> Config.circuit_name c.Config.circuit))
+    ?patterns:(f (fun c -> c.Config.patterns))
+    ?block_words:(Option.bind cfg (fun c -> c.Config.block_words))
+    ?opt_passes:(f (fun c -> c.Config.opt_passes))
+    ?opt_rounds:(f (fun c -> c.Config.opt_rounds))
+    ~argv:Sys.argv
+    ~wall_s:(Unix.gettimeofday () -. obs.t_start) ()
 
 let obs_end ?(cfg : Config.t option) ?convergence obs =
   (* stop the sampler first so its final sample lands in the timeline and
@@ -137,22 +174,39 @@ let obs_end ?(cfg : Config.t option) ?convergence obs =
      Rt_obs.write_metrics path;
      Format.eprintf "wrote metrics %s@." path
    | None -> ());
+  let write_artifact dir =
+    Rt_obs.Artifact.write ~dir ~manifest:(manifest_of_cfg ?cfg obs) ?convergence ();
+    match (timeline, obs.sample_ms) with
+    | Some (samples, dropped), Some period_ms ->
+      Rt_obs.Timeline.write (Filename.concat dir "timeline.json") ~period_ms ~dropped samples
+    | _ -> ()
+  in
   (match obs.obs_dir with
    | Some dir ->
-     let manifest =
-       { Rt_obs.Artifact.argv = Sys.argv;
-         engine = Option.map (fun (c : Config.t) -> c.Config.engine) cfg;
-         seed = Option.map (fun (c : Config.t) -> c.Config.seed) cfg;
-         jobs = Option.bind cfg (fun (c : Config.t) -> c.Config.jobs);
-         wall_s = Unix.gettimeofday () -. obs.t_start }
-     in
-     Rt_obs.Artifact.write ~dir ~manifest ?convergence ();
-     (match (timeline, obs.sample_ms) with
-      | Some (samples, dropped), Some period_ms ->
-        Rt_obs.Timeline.write (Filename.concat dir "timeline.json") ~period_ms ~dropped samples
-      | _ -> ());
+     write_artifact dir;
      Format.eprintf "wrote run artifact %s@." dir
    | None -> ());
+  (* flag-gated auto-ingest: every completed run lands in the registry *)
+  (match resolve_registry obs with
+   | None -> ()
+   | Some reg ->
+     let ingest dir =
+       match Registry.ingest ~registry:reg ~obs_dir:dir () with
+       | Ok id -> Format.eprintf "registry: ingested %s into %s@." id reg
+       | Error msg -> Format.eprintf "registry: ingest failed: %s@." msg
+     in
+     (match obs.obs_dir with
+      | Some dir -> ingest dir
+      | None ->
+        (* no --obs-dir: write a transient artifact just long enough to
+           ingest it *)
+        let tmp = Filename.concat reg (Printf.sprintf "tmp-ingest.%d" (Unix.getpid ())) in
+        write_artifact tmp;
+        ingest tmp;
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat tmp f) with Sys_error _ -> ())
+          (try Sys.readdir tmp with Sys_error _ -> [||]);
+        (try Unix.rmdir tmp with Unix.Unix_error _ -> ())));
   (match obs.server with
    | Some srv ->
      obs.server <- None;
@@ -496,15 +550,8 @@ let selftest_cmd =
 
 (* --- obs-diff ---------------------------------------------------------------- *)
 
-let obs_diff_cmd =
-  let dir_a =
-    Arg.(required & pos 0 (some dir) None & info [] ~docv:"A"
-           ~doc:"Baseline run artifact directory (from --obs-dir).")
-  in
-  let dir_b =
-    Arg.(required & pos 1 (some dir) None & info [] ~docv:"B"
-           ~doc:"Candidate run artifact directory (from --obs-dir).")
-  in
+(* Threshold flags shared by `obs-diff` and `obs diff`. *)
+let diff_thresholds_term =
   let d = Rt_obs.Diff.default in
   let span_ratio =
     Arg.(value & opt float d.Rt_obs.Diff.span_ratio & info [ "max-span-ratio" ] ~docv:"R"
@@ -524,21 +571,33 @@ let obs_diff_cmd =
     Arg.(value & opt float d.Rt_obs.Diff.min_span_us & info [ "min-span-us" ] ~docv:"US"
            ~doc:"Noise floor: ignore span totals below $(docv) microseconds in both runs.")
   in
-  let quiet =
-    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit status; print nothing.")
+  Term.(
+    const (fun span_ratio quantile_ratio counter_ratio min_span_us ->
+        { Rt_obs.Diff.default with
+          Rt_obs.Diff.span_ratio;
+          quantile_ratio;
+          counter_ratio;
+          min_span_us })
+    $ span_ratio $ quantile_ratio $ counter_ratio $ min_span_us)
+
+let diff_quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit status; print nothing.")
+
+let run_diff ~thresholds ~quiet a b =
+  let findings = Rt_obs.Diff.compare_dirs ~thresholds a b in
+  if not quiet then Rt_obs.Diff.pp_report Format.std_formatter findings;
+  if Rt_obs.Diff.regressions findings <> [] then exit 3
+
+let obs_diff_cmd =
+  let dir_a =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"A"
+           ~doc:"Baseline run artifact directory (from --obs-dir).")
   in
-  let run a b span_ratio quantile_ratio counter_ratio min_span_us quiet () =
-    let thresholds =
-      { Rt_obs.Diff.default with
-        Rt_obs.Diff.span_ratio;
-        quantile_ratio;
-        counter_ratio;
-        min_span_us }
-    in
-    let findings = Rt_obs.Diff.compare_dirs ~thresholds a b in
-    if not quiet then Rt_obs.Diff.pp_report Format.std_formatter findings;
-    if Rt_obs.Diff.regressions findings <> [] then exit 3
+  let dir_b =
+    Arg.(required & pos 1 (some dir) None & info [] ~docv:"B"
+           ~doc:"Candidate run artifact directory (from --obs-dir).")
   in
+  let run a b thresholds quiet () = run_diff ~thresholds ~quiet a b in
   let exits = Cmd.Exit.info 3 ~doc:"on regressions past the configured thresholds." :: exits in
   Cmd.v
     (Cmd.info "obs-diff"
@@ -547,9 +606,370 @@ let obs_diff_cmd =
        ~exits)
     Term.(
       ret
-        (const (fun a b sr qr cr ms q () -> wrap (run a b sr qr cr ms q))
-        $ dir_a $ dir_b $ span_ratio $ quantile_ratio $ counter_ratio $ min_span_us $ quiet
+        (const (fun a b th q () -> wrap (run a b th q))
+        $ dir_a $ dir_b $ diff_thresholds_term $ diff_quiet_arg
         $ const ()))
+
+(* --- obs: the run-registry subcommand family --------------------------------- *)
+
+let registry_dir_arg =
+  Arg.(value & opt string (Registry.default_dir ())
+       & info [ "obs-registry" ] ~docv:"DIR"
+         ~doc:"Registry root directory (default: $(b,OPTPROB_OBS_REGISTRY) when set, \
+               else $(b,_obs/registry)).")
+
+let filter_args =
+  let engine =
+    Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Only runs whose manifest engine equals $(docv).")
+  in
+  let circuit =
+    Arg.(value & opt (some string) None & info [ "circuit" ] ~docv:"NAME"
+           ~doc:"Only runs whose manifest circuit equals $(docv).")
+  in
+  let git_rev =
+    Arg.(value & opt (some string) None & info [ "git-rev" ] ~docv:"REV"
+           ~doc:"Only runs whose git revision starts with $(docv).")
+  in
+  let config =
+    Arg.(value & opt_all string [] & info [ "config" ] ~docv:"K=V"
+           ~doc:"Only runs whose manifest config slice contains $(docv) \
+                 (repeatable; e.g. $(b,--config jobs=4 --config block_words=8)).")
+  in
+  Term.(const (fun e c g kvs -> (e, c, g, kvs)) $ engine $ circuit $ git_rev $ config)
+
+(* parse --config K=V pairs inside [wrap] so a bad pair is a clean error *)
+let make_filter (f_engine, f_circuit, f_git_rev, kvs) =
+  let pair kv =
+    match String.index_opt kv '=' with
+    | Some i -> (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+    | None -> failwith (Printf.sprintf "--config %s: expected K=V" kv)
+  in
+  { Registry.f_engine; f_circuit; f_git_rev; f_config = List.map pair kvs }
+
+let short_rev rev = if String.length rev > 8 then String.sub rev 0 8 else rev
+
+let obs_list_cmd =
+  let ids_only =
+    Arg.(value & flag & info [ "ids" ] ~doc:"Print record ids only (for scripting).")
+  in
+  let run reg fargs ids_only () =
+    let sums = Registry.list ~filter:(make_filter fargs) ~registry:reg () in
+    if ids_only then List.iter (fun (s : Registry.summary) -> print_endline s.Registry.id) sums
+    else begin
+      Format.printf "%-24s %-20s %-12s %-10s %-9s %s@." "ID" "WHEN(UTC)" "CIRCUIT" "ENGINE"
+        "GIT" "WALL_S";
+      List.iter
+        (fun (s : Registry.summary) ->
+          let tm = Unix.gmtime s.Registry.ts in
+          Format.printf "%-24s %04d-%02d-%02d %02d:%02d:%02d   %-12s %-10s %-9s %.2f@."
+            s.Registry.id (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+            tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+            (Option.value ~default:"-" s.Registry.circuit)
+            (Option.value ~default:"-" s.Registry.engine)
+            (short_rev s.Registry.git_rev) s.Registry.wall_s)
+        sums;
+      Format.printf "%d record(s) in %s%s@." (List.length sums) reg
+        (match Registry.promoted ~registry:reg with
+         | Some id -> Printf.sprintf " (baseline %s)" id
+         | None -> "")
+    end
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List registry records, oldest first, with optional filters." ~exits)
+    Term.(
+      ret
+        (const (fun r f i () -> wrap (run r f i))
+        $ registry_dir_arg $ filter_args $ ids_only $ const ()))
+
+let obs_show_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Record id.")
+  in
+  let run reg id () =
+    match Registry.load ~registry:reg id with
+    | Error msg -> failwith msg
+    | Ok r ->
+      let s = r.Registry.r_summary in
+      let tm = Unix.gmtime s.Registry.ts in
+      Format.printf "id:       %s@." s.Registry.id;
+      Format.printf "ingested: %04d-%02d-%02d %02d:%02d:%02d UTC@." (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec;
+      Format.printf "git_rev:  %s@." s.Registry.git_rev;
+      Format.printf "wall_s:   %.3f@." s.Registry.wall_s;
+      if s.Registry.config <> [] then begin
+        Format.printf "config:@.";
+        List.iter (fun (k, v) -> Format.printf "  %-14s %s@." k v) s.Registry.config
+      end;
+      Format.printf "metrics (%d):@." (List.length r.Registry.r_metrics);
+      List.iter (fun (k, v) -> Format.printf "  %-44s %.6g@." k v) r.Registry.r_metrics
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Show one record: identity, config slice and all derived metrics."
+       ~exits)
+    Term.(ret (const (fun r i () -> wrap (run r i)) $ registry_dir_arg $ id_arg $ const ()))
+
+let obs_ingest_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"A run artifact directory (from --obs-dir).")
+  in
+  let id_arg =
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID"
+           ~doc:"Pin the record id instead of generating one.")
+  in
+  let run reg dir id () =
+    match Registry.ingest ?id ~registry:reg ~obs_dir:dir () with
+    | Ok id -> Format.printf "ingested %s as %s@." dir id
+    | Error msg -> failwith msg
+  in
+  Cmd.v
+    (Cmd.info "ingest" ~doc:"Ingest an --obs-dir artifact directory into the registry." ~exits)
+    Term.(
+      ret
+        (const (fun r d i () -> wrap (run r d i))
+        $ registry_dir_arg $ dir_arg $ id_arg $ const ()))
+
+let obs_trend_cmd =
+  let metric_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"METRIC"
+           ~doc:"Derived metric name, e.g. $(b,pipeline.total_us), $(b,wall_s), \
+                 $(b,oracle.query.us.p90), $(b,span.optimize.us) — see \
+                 $(b,optprob obs show ID) for everything a record carries.")
+  in
+  let last_arg =
+    Arg.(value & opt int 30 & info [ "last" ] ~docv:"N" ~doc:"Use the last $(docv) runs.")
+  in
+  let window_arg =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"W"
+           ~doc:"Trailing window width for the step-change detector.")
+  in
+  let step_k_arg =
+    Arg.(value & opt float 4.0 & info [ "step-k" ] ~docv:"K"
+           ~doc:"Flag a point deviating more than $(docv) robust sigmas (1.4826*MAD) \
+                 from the trailing-window median.")
+  in
+  let step_rel_arg =
+    Arg.(value & opt float 0.25 & info [ "step-rel" ] ~docv:"F"
+           ~doc:"Relative noise floor: never flag a deviation below $(docv)*|median|.")
+  in
+  let invert_arg =
+    Arg.(value & flag & info [ "invert" ]
+           ~doc:"Treat the metric as higher-is-better (downward steps gate).")
+  in
+  let gate_arg =
+    Arg.(value & flag & info [ "gate" ]
+           ~doc:"Exit 3 when the newest point is a flagged regression step.")
+  in
+  let run reg fargs metric last window k rel invert gate () =
+    let filter = make_filter fargs in
+    let series = Registry.series ~filter ~last ~registry:reg metric in
+    let pts = series.Registry.s_points in
+    if pts = [] then Format.printf "trend %s: no data points in %s@." metric reg
+    else begin
+      Format.printf "trend %s (%d point(s), registry %s):@." metric (List.length pts) reg;
+      List.iter
+        (fun (p : Registry.point) ->
+          Format.printf "  %-24s %.6g@." p.Registry.p_id p.Registry.p_value)
+        pts;
+      let values =
+        Array.of_list (List.map (fun (p : Registry.point) -> p.Registry.p_value) pts)
+      in
+      Format.printf "  spark: %s@." (Registry.sparkline values);
+      Format.printf "  mean %.4g  p50 %.4g  p90 %.4g@." series.Registry.s_mean
+        series.Registry.s_p50 series.Registry.s_p90;
+      let steps = Registry.step_changes ~window ~k ~rel values in
+      if steps = [] then Format.printf "  step changes: none@."
+      else
+        List.iter
+          (fun (st : Registry.step) ->
+            let p = List.nth pts st.Registry.st_index in
+            Format.printf "  step at %s: %.4g vs trailing median %.4g (%s, x%.2g over threshold)@."
+              p.Registry.p_id st.Registry.st_value st.Registry.st_median
+              (if st.Registry.st_up then "up" else "down")
+              st.Registry.st_ratio)
+          steps;
+      if gate then begin
+        let newest = Array.length values - 1 in
+        let bad =
+          List.exists
+            (fun (st : Registry.step) ->
+              st.Registry.st_index = newest
+              && (if invert then not st.Registry.st_up else st.Registry.st_up))
+            steps
+        in
+        if bad then begin
+          Format.printf "trend gate: REGRESSION on the newest run@.";
+          exit 3
+        end
+        else Format.printf "trend gate: ok@."
+      end
+    end
+  in
+  let exits = Cmd.Exit.info 3 ~doc:"with --gate, when the newest run regressed." :: exits in
+  Cmd.v
+    (Cmd.info "trend"
+       ~doc:"Time series of one metric over the registry: values, sparkline, mean/p50/p90 \
+             and robust step-change detection."
+       ~exits)
+    Term.(
+      ret
+        (const (fun r f m l w k rl i g () -> wrap (run r f m l w k rl i g))
+        $ registry_dir_arg $ filter_args $ metric_arg $ last_arg $ window_arg $ step_k_arg
+        $ step_rel_arg $ invert_arg $ gate_arg $ const ()))
+
+let obs_baseline_cmd =
+  let show_term =
+    Term.(
+      ret
+        (const (fun reg () ->
+             wrap (fun () ->
+                 match Registry.promoted ~registry:reg with
+                 | Some id -> Format.printf "%s@." id
+                 | None -> Format.printf "no baseline promoted@."))
+        $ registry_dir_arg $ const ()))
+  in
+  let promote_cmd =
+    let id_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Record id.")
+    in
+    let run reg id () =
+      match Registry.promote ~registry:reg id with
+      | Ok () -> Format.printf "baseline: %s@." id
+      | Error msg -> failwith msg
+    in
+    Cmd.v (Cmd.info "promote" ~doc:"Promote a record as the baseline." ~exits)
+      Term.(ret (const (fun r i () -> wrap (run r i)) $ registry_dir_arg $ id_arg $ const ()))
+  in
+  let clear_cmd =
+    let run reg () =
+      Registry.clear_baseline ~registry:reg;
+      Format.printf "baseline cleared@."
+    in
+    Cmd.v (Cmd.info "clear" ~doc:"Drop the promoted baseline." ~exits)
+      Term.(ret (const (fun r () -> wrap (run r)) $ registry_dir_arg $ const ()))
+  in
+  let show_cmd =
+    Cmd.v (Cmd.info "show" ~doc:"Print the promoted baseline id." ~exits) show_term
+  in
+  Cmd.group ~default:show_term
+    (Cmd.info "baseline" ~doc:"Manage the promoted baseline record." ~exits)
+    [ promote_cmd; show_cmd; clear_cmd ]
+
+let obs_reg_diff_cmd =
+  let side_a =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"A"
+           ~doc:"Baseline side: a record id or an artifact directory.  With --baseline \
+                 this is the candidate (defaults to the newest record).")
+  in
+  let side_b =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"B"
+           ~doc:"Candidate side: a record id or an artifact directory.")
+  in
+  let baseline_flag =
+    Arg.(value & flag & info [ "baseline" ]
+           ~doc:"Diff against the promoted baseline instead of an explicit pair.")
+  in
+  let run reg use_baseline a b thresholds quiet () =
+    let cleanups = ref [] in
+    let tmp_n = ref 0 in
+    (* a side is an existing directory, else a registry record id expanded
+       into a temporary artifact directory *)
+    let resolve name =
+      if Sys.file_exists name && Sys.is_directory name then name
+      else begin
+        let dir =
+          Filename.concat reg
+            (Printf.sprintf "tmp-diff.%d.%d" (Unix.getpid ()) (Stdlib.incr tmp_n; !tmp_n))
+        in
+        match Registry.materialize ~registry:reg ~dir name with
+        | Ok () ->
+          cleanups := dir :: !cleanups;
+          dir
+        | Error msg -> failwith msg
+      end
+    in
+    let cleanup () =
+      List.iter
+        (fun dir ->
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            (try Sys.readdir dir with Sys_error _ -> [||]);
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+        !cleanups
+    in
+    let name_a, name_b =
+      if use_baseline then begin
+        let bid =
+          match Registry.promoted ~registry:reg with
+          | Some id -> id
+          | None ->
+            failwith "no baseline promoted (run `optprob obs baseline promote ID` first)"
+        in
+        let candidate =
+          match (a, b) with
+          | _, Some x | Some x, None -> x
+          | None, None -> (
+            match List.rev (Registry.list ~registry:reg ()) with
+            | s :: _ -> s.Registry.id
+            | [] -> failwith ("registry is empty: " ^ reg))
+        in
+        (bid, candidate)
+      end
+      else
+        match (a, b) with
+        | Some a, Some b -> (a, b)
+        | _ -> failwith "give two sides (A B) or --baseline"
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+        run_diff ~thresholds ~quiet (resolve name_a) (resolve name_b))
+  in
+  let exits = Cmd.Exit.info 3 ~doc:"on regressions past the configured thresholds." :: exits in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two registry records (or artifact directories), or the newest run against \
+             the promoted baseline, with the obs-diff engine and thresholds."
+       ~exits)
+    Term.(
+      ret
+        (const (fun r bl a b th q () -> wrap (run r bl a b th q))
+        $ registry_dir_arg $ baseline_flag $ side_a $ side_b $ diff_thresholds_term
+        $ diff_quiet_arg $ const ()))
+
+let obs_gc_cmd =
+  let keep_arg =
+    Arg.(value & opt (some int) None & info [ "keep" ] ~docv:"N"
+           ~doc:"Keep only the newest $(docv) records.")
+  in
+  let max_age_arg =
+    Arg.(value & opt (some float) None & info [ "max-age-days" ] ~docv:"D"
+           ~doc:"Drop records older than $(docv) days.")
+  in
+  let run reg keep max_age_days () =
+    if keep = None && max_age_days = None then
+      failwith "nothing to do: give --keep and/or --max-age-days";
+    let removed =
+      Registry.gc ?keep ?max_age_s:(Option.map (fun d -> d *. 86400.0) max_age_days)
+        ~registry:reg ()
+    in
+    Format.printf "obs gc: removed %d record(s), %d left@." removed
+      (List.length (Registry.list ~registry:reg ()))
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Apply retention to the registry (the promoted baseline always survives)." ~exits)
+    Term.(
+      ret
+        (const (fun r k a () -> wrap (run r k a))
+        $ registry_dir_arg $ keep_arg $ max_age_arg $ const ()))
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"The persistent run registry: history, trends, baselines and regression gates."
+       ~exits)
+    [ obs_list_cmd; obs_show_cmd; obs_ingest_cmd; obs_trend_cmd; obs_baseline_cmd;
+      obs_reg_diff_cmd; obs_gc_cmd ]
 
 (* --- tables ------------------------------------------------------------------ *)
 
@@ -583,6 +1003,6 @@ let () =
   let group =
     Cmd.group info
       [ list_cmd; generate_cmd; simplify_cmd; analyze_cmd; optimize_cmd; simulate_cmd;
-        run_cmd; atpg_cmd; selftest_cmd; tables_cmd; obs_diff_cmd ]
+        run_cmd; atpg_cmd; selftest_cmd; tables_cmd; obs_diff_cmd; obs_cmd ]
   in
   exit (Cmd.eval group)

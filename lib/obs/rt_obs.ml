@@ -542,6 +542,39 @@ module Json = struct
   let to_string = function
     | Str s -> Some s
     | _ -> None
+
+  let print (j : t) : string =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num f -> Buffer.add_string buf (json_float f)
+      | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (json_escape s);
+        Buffer.add_char buf '"'
+      | Arr xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          xs;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (json_escape k);
+            Buffer.add_string buf "\":";
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+    in
+    go j;
+    Buffer.contents buf
 end
 
 let args_json args =
@@ -1229,8 +1262,18 @@ module Artifact = struct
     engine : string option;
     seed : int option;
     jobs : int option;
+    circuit : string option;
+    patterns : int option;
+    block_words : int option;
+    opt_passes : string list option;
+    opt_rounds : int option;
     wall_s : float;
   }
+
+  let make_manifest ?engine ?seed ?jobs ?circuit ?patterns ?block_words ?opt_passes
+      ?opt_rounds ~argv ~wall_s () =
+    { argv; engine; seed; jobs; circuit; patterns; block_words; opt_passes; opt_rounds;
+      wall_s }
 
   let rec mkdir_p dir =
     if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
@@ -1275,13 +1318,24 @@ module Artifact = struct
       String.concat ", "
         (Array.to_list (Array.map (fun a -> Printf.sprintf "\"%s\"" (json_escape a)) m.argv))
     in
+    let opt_list = function
+      | Some l ->
+        Printf.sprintf "[%s]"
+          (String.concat ", " (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) l))
+      | None -> "null"
+    in
     String.concat ""
-      [ "{\n  \"schema\": \"optprob-manifest/1\",\n";
+      [ "{\n  \"schema\": \"optprob-manifest/2\",\n";
         Printf.sprintf "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
         Printf.sprintf "  \"argv\": [%s],\n" argv;
         Printf.sprintf "  \"engine\": %s,\n" (opt_str m.engine);
         Printf.sprintf "  \"seed\": %s,\n" (opt_int m.seed);
         Printf.sprintf "  \"jobs\": %s,\n" (opt_int m.jobs);
+        Printf.sprintf "  \"circuit\": %s,\n" (opt_str m.circuit);
+        Printf.sprintf "  \"patterns\": %s,\n" (opt_int m.patterns);
+        Printf.sprintf "  \"block_words\": %s,\n" (opt_int m.block_words);
+        Printf.sprintf "  \"opt_passes\": %s,\n" (opt_list m.opt_passes);
+        Printf.sprintf "  \"opt_rounds\": %s,\n" (opt_int m.opt_rounds);
         Printf.sprintf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
         Printf.sprintf "  \"hostname\": \"%s\",\n"
           (json_escape (try Unix.gethostname () with _ -> "unknown"));

@@ -300,6 +300,10 @@ module Json : sig
   val member : string -> t -> t option
   val to_float : t -> float option
   val to_string : t -> string option
+
+  val print : t -> string
+  (** Serialize back to JSON text (compact, [parse]-roundtrippable; non-finite
+      numbers print as [null]/[1e999] like the rest of the emitters). *)
 end
 
 (** {1 Convergence recorder}
@@ -351,8 +355,19 @@ module Artifact : sig
     engine : string option;
     seed : int option;
     jobs : int option;
+    circuit : string option;
+    patterns : int option;
+    block_words : int option;
+    opt_passes : string list option;
+    opt_rounds : int option;
     wall_s : float;
   }
+
+  val make_manifest :
+    ?engine:string -> ?seed:int -> ?jobs:int -> ?circuit:string -> ?patterns:int ->
+    ?block_words:int -> ?opt_passes:string list -> ?opt_rounds:int ->
+    argv:string array -> wall_s:float -> unit -> manifest
+  (** Construction helper: every config-slice field defaults to absent. *)
 
   val git_rev : unit -> string
   (** [$OPTPROB_GIT_REV] if set, else the commit hash from [.git/HEAD]

@@ -11,6 +11,7 @@
 type t = {
   fd : Unix.file_descr;
   port : int;
+  registry : string option;
   stop_flag : bool Atomic.t;
   mutable domain : unit Domain.t option;
 }
@@ -69,15 +70,127 @@ let refresh () =
   Rt_obs.run_sample_hooks ();
   Rt_obs.sample_gc ()
 
-let handle fd =
+(* "/trend?metric=a.b&last=5" -> ("/trend", [("metric","a.b");("last","5")]).
+   No %-decoding: metric and id names are plain [a-zA-Z0-9._-]. *)
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+    let path = String.sub target 0 i in
+    let query = String.sub target (i + 1) (String.length target - i - 1) in
+    let params =
+      List.filter_map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some j ->
+            Some (String.sub kv 0 j, String.sub kv (j + 1) (String.length kv - j - 1))
+          | None -> if kv = "" then None else Some (kv, ""))
+        (String.split_on_char '&' query)
+    in
+    (path, params)
+
+let prom_label_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let openmetrics_ct = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+let runs_body ~registry ~prom =
+  let module R = Rt_obs_registry in
+  let module J = Rt_obs.Json in
+  let sums = R.list ~registry () in
+  if prom then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "# TYPE optprob_run_info gauge\n";
+    List.iter
+      (fun (s : R.summary) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "optprob_run_info{run=\"%s\",git_rev=\"%s\",circuit=\"%s\",engine=\"%s\"} 1\n"
+             (prom_label_escape s.R.id)
+             (prom_label_escape s.R.git_rev)
+             (prom_label_escape (Option.value ~default:"" s.R.circuit))
+             (prom_label_escape (Option.value ~default:"" s.R.engine))))
+      sums;
+    Buffer.add_string buf "# TYPE optprob_run_wall_seconds gauge\n";
+    List.iter
+      (fun (s : R.summary) ->
+        Buffer.add_string buf
+          (Printf.sprintf "optprob_run_wall_seconds{run=\"%s\"} %.17g\n"
+             (prom_label_escape s.R.id) s.R.wall_s))
+      sums;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+  end
+  else begin
+    let opt = function Some v -> J.Str v | None -> J.Null in
+    J.print
+      (J.Obj
+         [ ("schema", J.Str "optprob-runs/1");
+           ( "runs",
+             J.Arr
+               (List.map
+                  (fun (s : R.summary) ->
+                    J.Obj
+                      [ ("id", J.Str s.R.id);
+                        ("ts", J.Num s.R.ts);
+                        ("git_rev", J.Str s.R.git_rev);
+                        ("circuit", opt s.R.circuit);
+                        ("engine", opt s.R.engine);
+                        ("wall_s", J.Num s.R.wall_s) ])
+                  sums) ) ])
+    ^ "\n"
+  end
+
+let trend_body ~registry ~metric ~last ~prom =
+  let module R = Rt_obs_registry in
+  let module J = Rt_obs.Json in
+  let series = R.series ~last ~registry metric in
+  if prom then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "# TYPE optprob_trend gauge\n";
+    List.iter
+      (fun (p : R.point) ->
+        Buffer.add_string buf
+          (Printf.sprintf "optprob_trend{metric=\"%s\",run=\"%s\"} %.17g\n"
+             (prom_label_escape metric) (prom_label_escape p.R.p_id) p.R.p_value))
+      series.R.s_points;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+  end
+  else
+    J.print
+      (J.Obj
+         [ ("schema", J.Str "optprob-trend/1");
+           ("metric", J.Str metric);
+           ( "points",
+             J.Arr
+               (List.map
+                  (fun (p : R.point) ->
+                    J.Obj
+                      [ ("id", J.Str p.R.p_id); ("ts", J.Num p.R.p_ts);
+                        ("value", J.Num p.R.p_value) ])
+                  series.R.s_points) );
+           ("mean", J.Num series.R.s_mean);
+           ("p50", J.Num series.R.s_p50);
+           ("p90", J.Num series.R.s_p90) ])
+    ^ "\n"
+
+let handle t fd =
   Rt_obs.incr c_requests;
   let line = read_request_line fd in
   match String.split_on_char ' ' line with
   | meth :: target :: _ ->
-    let path = match String.index_opt target '?' with
-      | Some i -> String.sub target 0 i
-      | None -> target
-    in
+    let path, params = split_target target in
+    let prom = List.assoc_opt "format" params = Some "prom" in
     if meth <> "GET" then
       respond fd ~status:"405 Method Not Allowed" ~content_type:"text/plain"
         "only GET is supported\n"
@@ -85,13 +198,49 @@ let handle fd =
       match path with
       | "/metrics" ->
         refresh ();
-        respond fd ~status:"200 OK"
-          ~content_type:"application/openmetrics-text; version=1.0.0; charset=utf-8"
-          (Rt_obs.metrics_prom ())
+        respond fd ~status:"200 OK" ~content_type:openmetrics_ct (Rt_obs.metrics_prom ())
       | "/healthz" -> respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
       | "/snapshot" ->
         refresh ();
         respond fd ~status:"200 OK" ~content_type:"application/json" (Rt_obs.metrics_json ())
+      | "/runs" -> (
+        match t.registry with
+        | None ->
+          respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "no registry configured\n"
+        | Some registry ->
+          let body = try runs_body ~registry ~prom with _ -> "" in
+          if body = "" then
+            respond fd ~status:"500 Internal Server Error" ~content_type:"text/plain"
+              "registry read failed\n"
+          else
+            respond fd ~status:"200 OK"
+              ~content_type:(if prom then openmetrics_ct else "application/json")
+              body)
+      | "/trend" -> (
+        match t.registry with
+        | None ->
+          respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "no registry configured\n"
+        | Some registry -> (
+          match List.assoc_opt "metric" params with
+          | None | Some "" ->
+            respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
+              "missing ?metric=NAME\n"
+          | Some metric ->
+            let last =
+              match Option.bind (List.assoc_opt "last" params) int_of_string_opt with
+              | Some n when n > 0 -> n
+              | _ -> 30
+            in
+            let body = try trend_body ~registry ~metric ~last ~prom with _ -> "" in
+            if body = "" then
+              respond fd ~status:"500 Internal Server Error" ~content_type:"text/plain"
+                "registry read failed\n"
+            else
+              respond fd ~status:"200 OK"
+                ~content_type:(if prom then openmetrics_ct else "application/json")
+                body))
       | _ ->
         respond fd ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"
     end
@@ -104,14 +253,14 @@ let rec serve t =
      | _ -> (
        match Unix.accept t.fd with
        | client, _ ->
-         (try handle client with _ -> ());
+         (try handle t client with _ -> ());
          (try Unix.close client with Unix.Unix_error _ -> ())
        | exception Unix.Unix_error _ -> ())
      | exception Unix.Unix_error _ -> ());
     serve t
   end
 
-let start ?(addr = "127.0.0.1") ~port () =
+let start ?(addr = "127.0.0.1") ?registry ~port () =
   (* a client closing mid-response must surface as EPIPE, not kill the
      process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -124,7 +273,7 @@ let start ?(addr = "127.0.0.1") ~port () =
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
   let bound = match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port in
-  let t = { fd; port = bound; stop_flag = Atomic.make false; domain = None } in
+  let t = { fd; port = bound; registry; stop_flag = Atomic.make false; domain = None } in
   let d =
     Domain.spawn (fun () ->
         Rt_obs.set_track_name "obs-http";

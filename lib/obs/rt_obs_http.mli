@@ -10,6 +10,15 @@
     - [GET /healthz]: ["ok"], 200 — liveness only.
     - [GET /snapshot]: the metrics JSON document ({!Rt_obs.metrics_json}),
       i.e. the same body the SIGUSR1 handler writes to the artifact dir.
+    - [GET /runs]: run summaries from the configured {!Rt_obs_registry}
+      (JSON [optprob-runs/1]; [?format=prom] switches to an OpenMetrics
+      exposition, terminated by [# EOF] like [/metrics]).  404 when the
+      server was started without a registry.
+    - [GET /trend?metric=NAME]: the registry time series of one derived
+      metric over the last [last] runs (default 30; [?last=N] overrides),
+      as JSON [optprob-trend/1] or, with [?format=prom], an
+      [optprob_trend{metric=...,run=...}] gauge family.  400 without a
+      [metric] parameter; 404 without a registry.
 
     Anything else is 404; non-GET methods are 405.  Requests are served one
     at a time on a dedicated background domain; every response closes the
@@ -17,12 +26,13 @@
 
 type t
 
-val start : ?addr:string -> port:int -> unit -> t
+val start : ?addr:string -> ?registry:string -> port:int -> unit -> t
 (** Bind [addr] (default ["127.0.0.1"]) at [port] ([0] picks an ephemeral
     port — read it back with {!port}), spawn the serving domain, and
-    return immediately.  Raises [Unix.Unix_error] when the bind fails.
-    Installs a [SIGPIPE] ignore handler so disappearing clients cannot
-    kill the process. *)
+    return immediately.  [registry] enables the [/runs] and [/trend]
+    endpoints over that {!Rt_obs_registry} directory.  Raises
+    [Unix.Unix_error] when the bind fails.  Installs a [SIGPIPE] ignore
+    handler so disappearing clients cannot kill the process. *)
 
 val port : t -> int
 (** The actually-bound port. *)

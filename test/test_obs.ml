@@ -401,11 +401,10 @@ let test_with_span_h =
 (* --- run artifacts ---------------------------------------------------------- *)
 
 let test_manifest =
-  { Obs.Artifact.argv = [| "optprob"; "optimize"; "s1" |];
-    engine = Some "cop";
-    seed = Some 7;
-    jobs = Some 2;
-    wall_s = 0.25 }
+  Obs.Artifact.make_manifest ~engine:"cop" ~seed:7 ~jobs:2 ~circuit:"s1" ~patterns:64
+    ~block_words:8 ~opt_passes:[ "fold"; "prune" ] ~opt_rounds:2
+    ~argv:[| "optprob"; "optimize"; "s1" |]
+    ~wall_s:0.25 ()
 
 let jmember name j =
   match Obs.Json.member name j with
@@ -428,7 +427,7 @@ let test_artifact_roundtrip =
   (* manifest.json *)
   let m = Obs.Json.parse (read_file (Filename.concat dir "manifest.json")) in
   (match jmember "schema" m with
-   | Obs.Json.Str "optprob-manifest/1" -> ()
+   | Obs.Json.Str "optprob-manifest/2" -> ()
    | _ -> Alcotest.fail "manifest schema");
   (match jmember "argv" m with
    | Obs.Json.Arr l -> check Alcotest.int "argv arity" 3 (List.length l)
@@ -439,6 +438,22 @@ let test_artifact_roundtrip =
   (match jmember "seed" m with
    | Obs.Json.Num 7.0 -> ()
    | _ -> Alcotest.fail "seed");
+  (* the v2 config slice parses back *)
+  (match jmember "circuit" m with
+   | Obs.Json.Str "s1" -> ()
+   | _ -> Alcotest.fail "circuit");
+  (match jmember "patterns" m with
+   | Obs.Json.Num 64.0 -> ()
+   | _ -> Alcotest.fail "patterns");
+  (match jmember "block_words" m with
+   | Obs.Json.Num 8.0 -> ()
+   | _ -> Alcotest.fail "block_words");
+  (match jmember "opt_passes" m with
+   | Obs.Json.Arr [ Obs.Json.Str "fold"; Obs.Json.Str "prune" ] -> ()
+   | _ -> Alcotest.fail "opt_passes");
+  (match jmember "opt_rounds" m with
+   | Obs.Json.Num 2.0 -> ()
+   | _ -> Alcotest.fail "opt_rounds");
   (match jmember "host_cores" m with
    | Obs.Json.Num c -> check Alcotest.bool "host cores positive" true (c >= 1.0)
    | _ -> Alcotest.fail "host_cores");
