@@ -251,6 +251,26 @@ let kernel_tests () =
   in
   let prep_raw = prep_sweep raw_ctx in
   let prep_opt = prep_sweep opt_ctx in
+  (* n-detection objective cost: one full PREPARE+MINIMIZE coordinate
+     sweep — two subset queries plus a Newton solve per input — under the
+     paper's single-detect objective vs the 2-detect Poisson tail.  Same
+     circuit, engine and hard prefix on both sides, so the gap is the
+     per-term objective evaluation inside MINIMIZE alone. *)
+  let s1_norm = (Rt_pipeline.normalized s1).Rt_pipeline.value in
+  let objective_sweep objective () =
+    for i = 0 to n_inputs - 1 do
+      let x' = Array.copy x in
+      x'.(i) <- 0.0;
+      let p0 = Rt_testability.Detect.probs_subset cop s1_norm.Rt_pipeline.hard x' in
+      x'.(i) <- 1.0;
+      let p1 = Rt_testability.Detect.probs_subset cop s1_norm.Rt_pipeline.hard x' in
+      ignore
+        (Sys.opaque_identity
+           (Rt_optprob.Minimize.newton ~objective ~n:s1_norm.Rt_pipeline.n_required ~p0 ~p1 0.5))
+    done
+  in
+  let prep_single = objective_sweep Rt_optprob.Objective.single in
+  let prep_ndetect = objective_sweep (Rt_optprob.Objective.n_detect ~k:2) in
   [ Test.make ~name:"cop analysis (s1, 534 faults)"
       (Staged.stage (fun () -> ignore (Rt_testability.Detect.probs cop x)));
     Test.make ~name:"exact bdd analysis (s1, 534 faults)"
@@ -269,6 +289,10 @@ let kernel_tests () =
       (Staged.stage two_subsets_big);
     Test.make ~name:"prepare sweep (cop, s1-redundant) raw" (Staged.stage prep_raw);
     Test.make ~name:"prepare sweep (cop, s1-redundant) optimized" (Staged.stage prep_opt);
+    Test.make ~name:"prepare+minimize sweep (cop, s1) objective=single"
+      (Staged.stage prep_single);
+    Test.make ~name:"prepare+minimize sweep (cop, s1) objective=ndetect:2"
+      (Staged.stage prep_ndetect);
     Test.make ~name:"logic sim 64 patterns (s1)"
       (Staged.stage (fun () -> Rt_sim.Logic_sim.run sim (source ())));
     Test.make ~name:"ppsfp 256 patterns (8x8 multiplier) jobs=1"

@@ -137,7 +137,8 @@ let obs_linger () =
   | None -> ()
 
 (* The manifest carries the full config slice (engine, seed, jobs, circuit,
-   patterns, block_words, opt_passes, opt_rounds) so registry queries and
+   patterns, block_words, opt_passes, opt_rounds, objective) so registry
+   queries and
    trend filters never have to re-parse argv. *)
 let manifest_of_cfg ?(cfg : Config.t option) obs =
   let f g = Option.map g cfg in
@@ -150,6 +151,7 @@ let manifest_of_cfg ?(cfg : Config.t option) obs =
     ?block_words:(Option.bind cfg (fun c -> c.Config.block_words))
     ?opt_passes:(f (fun c -> c.Config.opt_passes))
     ?opt_rounds:(f (fun c -> c.Config.opt_rounds))
+    ?objective:(f (fun c -> Config.objective_key c))
     ~argv:Sys.argv
     ~wall_s:(Unix.gettimeofday () -. obs.t_start) ()
 
@@ -366,7 +368,8 @@ let optimize_cmd =
         ~progress:(fun ~sweep ~n -> Format.printf "sweep %d: N = %.3e@." sweep n)
         ?recorder ctx
     in
-    let report = staged.Pipeline.value in
+    let opt = staged.Pipeline.value in
+    let report = opt.Pipeline.opt_report in
     if staged.Pipeline.from_cache then
       Format.printf "optimized stage served from the work-dir artifact (cache hit)@.";
     (match (conv, recorder) with
@@ -376,14 +379,29 @@ let optimize_cmd =
      | _ -> ());
     Format.printf "@.engine:        %s@."
       (Pipeline.analysis ctx).Pipeline.value.Pipeline.engine_desc;
+    if cfg.Config.objective <> "single" then
+      Format.printf "objective:      %s@." cfg.Config.objective;
     Format.printf "N conventional: %.3e@." report.Rt_optprob.Optimize.n_initial;
     Format.printf "N optimized:    %.3e  (gain x%.0f)@." report.Rt_optprob.Optimize.n_final
       (Rt_optprob.Optimize.improvement report);
+    (match opt.Pipeline.opt_two_stage with
+     | Some ts ->
+       Format.printf "two-stage:      N1=%d (%d survivors) + N2=%s = %s vs single %.3e@."
+         ts.Rt_optprob.Optimize.ts_n1 ts.Rt_optprob.Optimize.ts_survivors
+         (if Float.is_finite ts.Rt_optprob.Optimize.ts_n2 then
+            Printf.sprintf "%.3e" ts.Rt_optprob.Optimize.ts_n2
+          else "inf")
+         (if Float.is_finite ts.Rt_optprob.Optimize.ts_total then
+            Printf.sprintf "%.3e" ts.Rt_optprob.Optimize.ts_total
+          else "inf")
+         ts.Rt_optprob.Optimize.ts_single_n
+     | None -> ());
     let c = Pipeline.circuit ctx in
-    Format.printf "weights:@.%a" (Rt_optprob.Weights_io.pp c) report.Rt_optprob.Optimize.weights;
+    let weights = Pipeline.opt_weights opt in
+    Format.printf "weights:@.%a" (Rt_optprob.Weights_io.pp c) weights;
     (match out with
      | Some path ->
-       Rt_optprob.Weights_io.save path c report.Rt_optprob.Optimize.weights;
+       Rt_optprob.Weights_io.save path c weights;
        Format.printf "wrote %s@." path
      | None -> ());
     if partition then begin

@@ -1174,14 +1174,15 @@ module Convergence = struct
     n : float;
     y : float array;
     pf : hsnap option;
+    objective : string;
   }
 
   type t = { mutable rows_rev : row list }
 
   let create () = { rows_rev = [] }
 
-  let record t ?pf ~stage ~sweep ~j ~n ~y () =
-    t.rows_rev <- { stage; sweep; j; n; y = Array.copy y; pf } :: t.rows_rev
+  let record t ?pf ?(objective = "single") ~stage ~sweep ~j ~n ~y () =
+    t.rows_rev <- { stage; sweep; j; n; y = Array.copy y; pf; objective } :: t.rows_rev
 
   let rows t = List.rev t.rows_rev
 
@@ -1191,7 +1192,7 @@ module Convergence = struct
     let rows = rows t in
     let width = match rows with [] -> 0 | r :: _ -> Array.length r.y in
     let buf = Buffer.create 1024 in
-    Buffer.add_string buf "stage,sweep,j_n,n";
+    Buffer.add_string buf "stage,objective,sweep,j_n,n";
     for i = 0 to width - 1 do
       Buffer.add_string buf (Printf.sprintf ",y%d" i)
     done;
@@ -1201,7 +1202,8 @@ module Convergence = struct
     Buffer.add_char buf '\n';
     List.iter
       (fun r ->
-        Buffer.add_string buf (Printf.sprintf "%s,%d,%.17g,%.17g" r.stage r.sweep r.j r.n);
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%s,%d,%.17g,%.17g" r.stage r.objective r.sweep r.j r.n);
         Array.iter (fun y -> Buffer.add_string buf (Printf.sprintf ",%.17g" y)) r.y;
         (match r.pf with
          | Some s ->
@@ -1223,8 +1225,9 @@ module Convergence = struct
       (fun i r ->
         if i > 0 then Buffer.add_string buf ",\n";
         Buffer.add_string buf
-          (Printf.sprintf "    {\"stage\": \"%s\", \"sweep\": %d, \"j_n\": %.17g, \"n\": %s, \"y\": [%s]"
-             (json_escape r.stage) r.sweep r.j (json_float r.n)
+          (Printf.sprintf
+             "    {\"stage\": \"%s\", \"objective\": \"%s\", \"sweep\": %d, \"j_n\": %.17g, \"n\": %s, \"y\": [%s]"
+             (json_escape r.stage) (json_escape r.objective) r.sweep r.j (json_float r.n)
              (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.17g") r.y))));
         (match r.pf with
          | Some s ->
@@ -1267,13 +1270,14 @@ module Artifact = struct
     block_words : int option;
     opt_passes : string list option;
     opt_rounds : int option;
+    objective : string option;
     wall_s : float;
   }
 
   let make_manifest ?engine ?seed ?jobs ?circuit ?patterns ?block_words ?opt_passes
-      ?opt_rounds ~argv ~wall_s () =
+      ?opt_rounds ?objective ~argv ~wall_s () =
     { argv; engine; seed; jobs; circuit; patterns; block_words; opt_passes; opt_rounds;
-      wall_s }
+      objective; wall_s }
 
   let rec mkdir_p dir =
     if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
@@ -1336,6 +1340,7 @@ module Artifact = struct
         Printf.sprintf "  \"block_words\": %s,\n" (opt_int m.block_words);
         Printf.sprintf "  \"opt_passes\": %s,\n" (opt_list m.opt_passes);
         Printf.sprintf "  \"opt_rounds\": %s,\n" (opt_int m.opt_rounds);
+        Printf.sprintf "  \"objective\": %s,\n" (opt_str m.objective);
         Printf.sprintf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
         Printf.sprintf "  \"hostname\": \"%s\",\n"
           (json_escape (try Unix.gethostname () with _ -> "unknown"));

@@ -323,6 +323,7 @@ module Convergence : sig
     n : float;  (** required test length *)
     y : float array;  (** the weight vector *)
     pf : hsnap option;  (** distribution of [p_f(X)] over detectable faults *)
+    objective : string;  (** objective key the row's [j]/[n] were computed under *)
   }
 
   type t
@@ -330,14 +331,15 @@ module Convergence : sig
   val create : unit -> t
 
   val record :
-    t -> ?pf:hsnap -> stage:string -> sweep:int -> j:float -> n:float -> y:float array ->
-    unit -> unit
+    t -> ?pf:hsnap -> ?objective:string -> stage:string -> sweep:int -> j:float ->
+    n:float -> y:float array -> unit -> unit
+  (** [objective] defaults to ["single"]. *)
 
   val rows : t -> row list
   (** Oldest first. *)
 
   val to_csv : t -> string
-  (** Header [stage,sweep,j_n,n,y0,...,pf_count,pf_min,pf_p1,...,pf_max];
+  (** Header [stage,objective,sweep,j_n,n,y0,...,pf_count,pf_min,pf_p1,...,pf_max];
       floats printed with full precision so the final [n] round-trips
       exactly. *)
 
@@ -360,12 +362,14 @@ module Artifact : sig
     block_words : int option;
     opt_passes : string list option;
     opt_rounds : int option;
+    objective : string option;  (** optimization objective spec, e.g. ["ndetect:2"] *)
     wall_s : float;
   }
 
   val make_manifest :
     ?engine:string -> ?seed:int -> ?jobs:int -> ?circuit:string -> ?patterns:int ->
     ?block_words:int -> ?opt_passes:string list -> ?opt_rounds:int ->
+    ?objective:string ->
     argv:string array -> wall_s:float -> unit -> manifest
   (** Construction helper: every config-slice field defaults to absent. *)
 

@@ -111,7 +111,7 @@ let config_slice manifest =
     List.filter_map
       (fun x -> x)
       [ str "engine"; str "circuit"; int "seed"; int "jobs"; int "patterns";
-        int "block_words"; passes; int "opt_rounds" ]
+        int "block_words"; passes; int "opt_rounds"; str "objective" ]
     |> List.sort compare
 
 let summary_of_doc ~id doc =

@@ -6,7 +6,8 @@ type result = {
 
 let h_iters = Rt_obs.histogram "minimize.newton_iterations"
 
-let newton ?(lo = 0.01) ?(hi = 0.99) ?(tol = 1e-6) ?(max_iter = 60) ~n ~p0 ~p1 y_start =
+let newton ?(objective = Objective.single) ?(lo = 0.01) ?(hi = 0.99) ?(tol = 1e-6)
+    ?(max_iter = 60) ~n ~p0 ~p1 y_start =
   if lo >= hi then invalid_arg "Minimize.newton: empty interval";
   let observed r =
     Rt_obs.observe h_iters (Float.of_int r.iterations);
@@ -14,15 +15,16 @@ let newton ?(lo = 0.01) ?(hi = 0.99) ?(tol = 1e-6) ?(max_iter = 60) ~n ~p0 ~p1 y
   in
   observed
   @@
-  let deriv y = Objective.derivatives_along ~n ~p0 ~p1 y in
-  (* Convexity: J' is non-decreasing.  Track a bracket [a, b] with
-     J'(a) <= 0 <= J'(b) when one exists; fall back to the boundary when
-     J' keeps one sign over the whole interval. *)
+  let deriv y = objective.Objective.derivatives_along ~n ~p0 ~p1 y in
+  let value y = objective.Objective.value_along ~n ~p0 ~p1 y in
+  (* Convexity: J' is non-decreasing on the contract region (globally for
+     the paper objective).  Track a bracket [a, b] with J'(a) <= 0 <= J'(b)
+     when one exists; fall back to the boundary when J' keeps one sign over
+     the whole interval. *)
   let d_lo, _ = deriv lo in
   let d_hi, _ = deriv hi in
-  if d_lo >= 0.0 then { y = lo; objective = Objective.value_along ~n ~p0 ~p1 lo; iterations = 0 }
-  else if d_hi <= 0.0 then
-    { y = hi; objective = Objective.value_along ~n ~p0 ~p1 hi; iterations = 0 }
+  if d_lo >= 0.0 then { y = lo; objective = value lo; iterations = 0 }
+  else if d_hi <= 0.0 then { y = hi; objective = value hi; iterations = 0 }
   else begin
     let a = ref lo and b = ref hi in
     let y = ref (Rt_util.Prob.clamp ~lo ~hi y_start) in
@@ -41,5 +43,5 @@ let newton ?(lo = 0.01) ?(hi = 0.99) ?(tol = 1e-6) ?(max_iter = 60) ~n ~p0 ~p1 y
       if Float.abs (next -. !y) < tol || !b -. !a < tol then finished := true;
       y := next
     done;
-    { y = !y; objective = Objective.value_along ~n ~p0 ~p1 !y; iterations = !iters }
+    { y = !y; objective = value !y; iterations = !iters }
   end

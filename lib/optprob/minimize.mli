@@ -1,11 +1,14 @@
 (** One-dimensional minimisation of the objective along a coordinate —
     the paper's MINIMIZE procedure (eq. 15).
 
-    [J_N(X, y|i)] is strictly convex in [y] (Lemma 3) and, because the
-    input stuck-at faults are in [F], diverges from the optimum towards
-    the boundary (Lemma 2), so the minimum over [[lo, hi]] is unique:
-    Newton iteration [y <- y - J'/J''] with a bisection safeguard always
-    converges to it. *)
+    For the paper objective, [J_N(X, y|i)] is strictly convex in [y]
+    (Lemma 3) and, because the input stuck-at faults are in [F], diverges
+    from the optimum towards the boundary (Lemma 2), so the minimum over
+    [[lo, hi]] is unique: Newton iteration [y <- y - J'/J''] with a
+    bisection safeguard always converges to it.  Other {!Objective}
+    instances are convex on their contract region; the bisection safeguard
+    keeps the search convergent to a coordinate-local minimum outside
+    it. *)
 
 type result = {
   y : float;  (** the minimising weight *)
@@ -14,6 +17,7 @@ type result = {
 }
 
 val newton :
+  ?objective:Objective.t ->
   ?lo:float ->
   ?hi:float ->
   ?tol:float ->
@@ -25,4 +29,6 @@ val newton :
   result
 (** [newton ~n ~p0 ~p1 y_start] minimises over [[lo, hi]] (default
     [[0.01, 0.99]], [tol = 1e-6], [max_iter = 60]).  [p0]/[p1] are the
-    cofactor detection probabilities of the relevant faults. *)
+    cofactor detection probabilities of the relevant faults.  [objective]
+    (default {!Objective.single}) supplies the restricted value and its
+    derivatives. *)

@@ -5,7 +5,7 @@ type t = {
   nf : int;
 }
 
-let run ?(confidence = 0.95) ?(nf_min = 8) pfs =
+let run ?(objective = Objective.single) ?(confidence = 0.95) ?(nf_min = 8) pfs =
   if confidence <= 0.0 || confidence >= 1.0 then invalid_arg "Normalize.run: confidence";
   Rt_obs.with_span ~cat:"phase" "normalize" @@ fun () ->
   let all = Array.init (Array.length pfs) Fun.id in
@@ -23,15 +23,19 @@ let run ?(confidence = 0.95) ?(nf_min = 8) pfs =
   else begin
     let q = -.Float.log confidence in
     let p i = pfs.(sorted_idx.(i)) in
-    (* J_M bounds from a z-prefix; z is 1-based count. *)
+    let term = objective.Objective.term in
+    (* J_M bounds from a z-prefix; z is 1-based count.  Validity rests on
+       the protocol's monotonicity contract: the per-fault miss term is
+       decreasing in p, so the faults beyond the sorted prefix each
+       contribute at most the term of fault z. *)
     let l z m =
       let acc = ref 0.0 in
-      for i = 0 to z - 1 do acc := !acc +. Float.exp (-.p i *. m) done;
+      for i = 0 to z - 1 do acc := !acc +. term ~n:m ~p:(p i) done;
       !acc
     in
     let u z m =
       if z >= n_det then l z m
-      else l z m +. (Float.of_int (n_det - z) *. Float.exp (-.p z *. m))
+      else l z m +. (Float.of_int (n_det - z) *. term ~n:m ~p:(p z))
     in
     (* Decide J_M <= q using as small a prefix as possible; returns
        (meets, z_used). *)

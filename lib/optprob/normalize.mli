@@ -7,9 +7,12 @@
     nothing numerically to [J_N], so one optimisation step only needs the
     [nf]-prefix of the sorted fault list.
 
-    Bounds on [J_M] from a sorted ascending prefix of [z] faults:
-    [l(z,M) = sum_{i<=z} exp(-p_i M)]         (lower bound)
-    [u(z,M) = l(z,M) + (n-z) exp(-p_{z+1} M)] (upper bound)
+    Bounds on [J_M] from a sorted ascending prefix of [z] faults, with
+    [F] the objective's per-fault miss term ([exp] for the paper
+    objective; any {!Objective.t} whose term is decreasing in [p]
+    and [M] works):
+    [l(z,M) = sum_{i<=z} F(p_i M)]         (lower bound)
+    [u(z,M) = l(z,M) + (n-z) F(p_{z+1} M)] (upper bound)
     Interval section on [M] with adaptive [z] yields [N] and [nf]. *)
 
 type t = {
@@ -23,9 +26,12 @@ type t = {
   nf : int;  (** Number of relevant (hardest) faults at [N]. *)
 }
 
-val run : ?confidence:float -> ?nf_min:int -> float array -> t
+val run : ?objective:Objective.t -> ?confidence:float -> ?nf_min:int -> float array -> t
 (** [run pfs] with default confidence 0.95 and at least [nf_min] (default 8)
-    relevant faults retained. *)
+    relevant faults retained.  [objective] (default {!Objective.single})
+    supplies the per-fault miss term the bound search sums — an n-detection
+    objective needs a longer test to drive the same faults below the
+    confidence budget, so [n] depends on it. *)
 
 val hard_indices : t -> int array
 (** The [nf] relevant fault indices (prefix of [sorted_idx]). *)

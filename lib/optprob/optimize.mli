@@ -31,6 +31,12 @@ type options = {
           [start] is [None] (0.06).  The exact symmetric point is a saddle
           for equality-comparator cones — coordinate descent needs the tie
           broken. *)
+  objective : Objective.t;
+      (** what the sweep minimises ({!Objective.single}).  Flows into
+          NORMALIZE (the required [N] depends on the per-fault miss term)
+          and every MINIMIZE step; telemetry is recorded per objective key
+          ([objective.<key>.runs], [optimize.sweep_us.<key>], with [':']
+          mapped to ['_'] in metric names). *)
 }
 
 val default_options : options
@@ -57,6 +63,7 @@ val run :
   ?options:options ->
   ?progress:(sweep:int -> n:float -> unit) ->
   ?recorder:Rt_obs.Convergence.t ->
+  ?keep:bool array ->
   Rt_testability.Detect.oracle ->
   report
 (** Optimise the input probabilities for the oracle's circuit and fault
@@ -65,7 +72,68 @@ val run :
     The [recorder], when given, receives one row for the starting point
     (stage ["initial"], the jittered start), one per sweep (in the same
     order as [history]), and one for the quantised final weights (stage
-    ["final"], whose [n] equals [n_final]). *)
+    ["final"], whose [n] equals [n_final]); each row carries the
+    objective's key.  [keep], when given, restricts the optimization to
+    the marked faults (one flag per fault, in fault-array order): the rest
+    are masked to [p_f = 0], exactly how NORMALIZE treats faults outside
+    the population — this is the two-stage driver's survivors hook. *)
 
 val improvement : report -> float
 (** [n_initial / n_final] — the paper reports orders of magnitude here. *)
+
+(** {2 Two-stage adaptive design}
+
+    In the spirit of adaptive two-stage clinical trial designs
+    (BinaryTwoStageDesigns): commit only [N1] patterns to the stage-1
+    weights, observe (by ppsfp fault simulation) which hard faults
+    actually survived, and re-optimise stage 2 for the survivors only —
+    the stage-2 weight vector concentrates on the faults that chance left
+    over, so the expected total [N1 + N2] can undercut any fixed
+    single-stage budget.  The grid of candidate splits always contains
+    [N1 = 0], whose design degenerates to the single-stage one, so the
+    chosen design is never worse than single-stage by construction. *)
+
+type candidate = {
+  cand_n1 : int;  (** stage-1 pattern budget *)
+  cand_survivors : int;  (** detectable faults not detected within [cand_n1] *)
+  cand_n2 : float;  (** required stage-2 length for the survivors *)
+  cand_total : float;  (** [cand_n1 + cand_n2] — the design's expected total *)
+}
+
+type two_stage_report = {
+  ts_stage1 : report;  (** the single-stage design (also the [N1 = 0] candidate) *)
+  ts_n1 : int;
+  ts_survivors : int;
+  ts_stage2 : report option;
+      (** [None] when the chosen split is degenerate ([N1 = 0], single-stage)
+          or stage 1 already detected everything. *)
+  ts_n2 : float;
+  ts_total : float;  (** expected total patterns of the chosen design *)
+  ts_single_n : float;  (** the single-stage [n_final], for comparison *)
+  ts_weights : float array;  (** stage-2 weights (stage-1's when degenerate) *)
+  ts_candidates : candidate list;  (** every split evaluated, ascending [cand_n1] *)
+}
+
+val default_n1_grid : float list
+(** Stage-1 budget candidates as fractions of the single-stage [N]
+    ([0.0; 0.1; 0.25; 0.5; 0.75]). *)
+
+val two_stage :
+  ?options:options ->
+  ?n1_grid:float list ->
+  ?n1:int ->
+  ?seed:int ->
+  ?sim_cap:int ->
+  ?jobs:int ->
+  ?block_words:int ->
+  ?progress:(sweep:int -> n:float -> unit) ->
+  ?recorder:Rt_obs.Convergence.t ->
+  Rt_testability.Detect.oracle ->
+  two_stage_report
+(** [two_stage oracle] runs the single-stage design, then searches the
+    stage split.  [n1] pins the stage-1 budget instead of searching
+    [n1_grid]; [seed] makes the stage-1 simulated patterns deterministic;
+    [sim_cap] (65536) bounds the per-candidate simulation cost — grid
+    candidates above it are skipped.  [jobs]/[block_words] are passed to
+    the ppsfp fault simulator.  [options.objective] applies to both
+    stages. *)

@@ -87,6 +87,17 @@ let opt_rounds_arg =
   Arg.(value & opt int 8 & info [ "opt-rounds" ] ~docv:"R"
          ~doc:"Fixpoint round budget for the optimization passes.")
 
+(* Validated at parse time so a typo renders as a cmdliner usage error
+   carrying the shared did-you-mean suggestion. *)
+let objective_conv =
+  let parse s = msg (Result.map (fun _ -> s) (Config.objective_of_string s)) in
+  Arg.conv ~docv:"OBJECTIVE" (parse, Format.pp_print_string)
+
+let objective_arg =
+  Arg.(value & opt (some objective_conv) None & info [ "objective" ] ~docv:"OBJECTIVE"
+         ~doc:("Optimization objective: " ^ Config.objective_usage
+               ^ ".  $(i,single) is the paper objective; $(i,ndetect:K) minimises the                   expected number of faults detected fewer than K times;                   $(i,twostage[:N1]) searches (or pins) an adaptive two-stage split.                   Default: $(b,OPTPROB_OBJECTIVE) or $(i,single)."))
+
 let quantize grid dyadic =
   match (dyadic, grid) with
   | Some bits, _ -> Rt_optprob.Optimize.Dyadic bits
@@ -97,7 +108,7 @@ let quantize grid dyadic =
    constructor; the circuit/engine args are pre-validated by their
    converters so [Config.exn] cannot raise here. *)
 let make_config circuit engine confidence seed jobs block_words sweeps grid dyadic weights
-    patterns work_dir no_opt opt_passes opt_rounds =
+    patterns work_dir no_opt opt_passes opt_rounds objective =
   let weights =
     match weights with None -> Config.Uniform | Some path -> Config.Weights_file path
   in
@@ -105,7 +116,7 @@ let make_config circuit engine confidence seed jobs block_words sweeps grid dyad
   match
     Config.of_source ~engine ~confidence ~seed ?jobs ?block_words ~sweeps
       ~quantize:(quantize grid dyadic) ~weights ~patterns ?work_dir ?opt_passes
-      ~opt_rounds circuit
+      ~opt_rounds ?objective circuit
   with
   | Ok cfg -> cfg
   | Error msg -> failwith msg
@@ -115,4 +126,4 @@ let config ?(default_patterns = 10_000) () =
     const make_config $ circuit_arg $ engine_arg $ confidence_arg $ seed_arg $ jobs_arg
     $ block_words_arg $ sweeps_arg $ grid_arg $ dyadic_arg $ weights_arg
     $ patterns_arg ~default:default_patterns $ work_dir_arg $ no_opt_arg $ opt_passes_arg
-    $ opt_rounds_arg)
+    $ opt_rounds_arg $ objective_arg)

@@ -26,10 +26,16 @@ val no_opt_arg : bool Term.t
 val opt_passes_arg : string list option Term.t
 val opt_rounds_arg : int Term.t
 
+val objective_conv : string Arg.conv
+(** Objective spec, validated at parse time (did-you-mean errors). *)
+
+val objective_arg : string option Term.t
+
 val quantize : float option -> int option -> Rt_optprob.Optimize.quantization
 (** Combine [--grid]/[--dyadic] into a quantization choice. *)
 
 val config : ?default_patterns:int -> unit -> Config.t Term.t
 (** The full shared config term: positional CIRCUIT plus --engine,
     --confidence, --seed, --jobs, --sweeps, --grid, --dyadic, --weights,
-    --patterns, --work-dir, --no-opt, --opt-passes and --opt-rounds. *)
+    --patterns, --work-dir, --no-opt, --opt-passes, --opt-rounds and
+    --objective. *)

@@ -35,6 +35,7 @@ type t = {
   work_dir : string option;
   opt_passes : string list;  (* netlist optimization passes; [] = stage is identity *)
   opt_rounds : int;
+  objective : string;  (* validated spec, e.g. "single", "ndetect:2", "twostage:512" *)
 }
 
 (* --- did-you-mean ---------------------------------------------------------- *)
@@ -137,6 +138,66 @@ let engine_of_string s =
     need "cond:" (fun n -> Detect.Conditioned { max_vars = n })
   else fail ()
 
+(* --- objective validation ---------------------------------------------------- *)
+
+type objective_kind =
+  | Single
+  | N_detect of int
+  | Two_stage of int option
+
+let objective_families = [ "single"; "ndetect"; "twostage" ]
+
+let objective_usage = "single | ndetect:K | twostage[:N1]"
+
+let objective_of_string s =
+  let fail () =
+    let family = match String.index_opt s ':' with Some i -> String.sub s 0 i | None -> s in
+    Error
+      (Printf.sprintf "unknown objective %S%s (valid: %s)" s
+         (suggest objective_families family) objective_usage)
+  in
+  let int_after prefix =
+    int_of_string_opt (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  in
+  if s = "single" then Ok Single
+  else if s = "twostage" then Ok (Two_stage None)
+  else if String.length s > 8 && String.sub s 0 8 = "ndetect:" then begin
+    match int_after "ndetect:" with
+    | Some k when k >= 1 -> Ok (N_detect k)
+    | Some _ -> Error (Printf.sprintf "objective %S: K must be >= 1 (valid: %s)" s objective_usage)
+    | None -> fail ()
+  end
+  else if String.length s > 9 && String.sub s 0 9 = "twostage:" then begin
+    match int_after "twostage:" with
+    | Some n1 when n1 >= 0 -> Ok (Two_stage (Some n1))
+    | Some _ -> Error (Printf.sprintf "objective %S: N1 must be >= 0 (valid: %s)" s objective_usage)
+    | None -> fail ()
+  end
+  else fail ()
+
+(* OPTPROB_OBJECTIVE gives the default objective spec, mirroring
+   OPTPROB_OPT for the optimization stage; unset or empty means "single".
+   Invalid values are rejected at config construction, not here. *)
+let default_objective () =
+  match Sys.getenv_opt "OPTPROB_OBJECTIVE" with
+  | Some s when String.trim s <> "" -> String.trim s
+  | Some _ | None -> "single"
+
+let objective_kind t =
+  match objective_of_string t.objective with
+  | Ok k -> k
+  | Error msg -> invalid_arg ("Config.objective_kind: " ^ msg)
+
+(* The Objective.t instance the analysis (NORMALIZE/MINIMIZE) layers use.
+   A two-stage design optimizes the paper objective within each stage, so
+   its analysis instance is [single]. *)
+let objective_instance t =
+  match objective_kind t with
+  | Single | Two_stage _ -> Rt_optprob.Objective.single
+  | N_detect k -> Rt_optprob.Objective.n_detect ~k
+
+let objective_key t = t.objective
+
 (* --- optimization-pass validation ------------------------------------------- *)
 
 let pass_names = Rt_circuit.Passes.names
@@ -179,34 +240,42 @@ let of_source ?(engine = "bdd") ?(confidence = 0.95) ?(seed = 2024) ?jobs ?block
     ?(sweeps = d.Optimize.max_sweeps) ?(alpha = d.Optimize.alpha) ?(nf_min = d.Optimize.nf_min)
     ?(w_min = d.Optimize.w_min) ?start ?(start_jitter = d.Optimize.start_jitter)
     ?(quantize = d.Optimize.quantize) ?(weights = Uniform) ?(patterns = 10_000) ?work_dir
-    ?opt_passes ?(opt_rounds = 8) circuit =
+    ?opt_passes ?(opt_rounds = 8) ?objective circuit =
   let opt_passes = match opt_passes with Some l -> l | None -> default_opt_passes () in
+  let objective = match objective with Some s -> s | None -> default_objective () in
   match engine_of_string engine with
   | Error _ as e -> e
   | Ok _ -> (
     match validate_passes opt_passes with
     | Error _ as e -> e
-    | Ok opt_passes ->
-      if opt_rounds < 0 then
-        Error (Printf.sprintf "opt_rounds must be >= 0 (got %d)" opt_rounds)
-      else
-        Ok
-          { circuit; engine; confidence; seed; jobs; block_words; sweeps; alpha; nf_min; w_min;
-            start; start_jitter; quantize; weights; patterns; work_dir; opt_passes; opt_rounds })
+    | Ok opt_passes -> (
+      match objective_of_string objective with
+      | Error _ as e -> e
+      | Ok _ ->
+        if opt_rounds < 0 then
+          Error (Printf.sprintf "opt_rounds must be >= 0 (got %d)" opt_rounds)
+        else
+          Ok
+            { circuit; engine; confidence; seed; jobs; block_words; sweeps; alpha; nf_min;
+              w_min; start; start_jitter; quantize; weights; patterns; work_dir; opt_passes;
+              opt_rounds; objective }))
 
 let make ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ~circuit () =
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ?objective
+    ~circuit () =
   match circuit_of_string circuit with
   | Error _ as e -> e
   | Ok source ->
     of_source ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-      ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds source
+      ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ?objective
+      source
 
 let of_netlist ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ~name netlist =
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ?objective
+    ~name netlist =
   let digest = Digest.to_hex (Digest.string (Rt_circuit.Bench_format.to_string netlist)) in
   of_source ?engine ?confidence ?seed ?jobs ?block_words ?sweeps ?alpha ?nf_min ?w_min ?start
-    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds
+    ?start_jitter ?quantize ?weights ?patterns ?work_dir ?opt_passes ?opt_rounds ?objective
     (Inline { name; netlist; digest })
 
 let exn = function
@@ -223,7 +292,8 @@ let optimize_options t =
     quantize = t.quantize;
     nf_min = t.nf_min;
     start = t.start;
-    start_jitter = t.start_jitter }
+    start_jitter = t.start_jitter;
+    objective = objective_instance t }
 
 let resolve_passes t = List.filter_map Rt_circuit.Passes.by_name t.opt_passes
 
@@ -253,7 +323,8 @@ let quantize_key = function
 
 let optimize_key t =
   String.concat ";"
-    [ Printf.sprintf "confidence=%h" t.confidence;
+    [ "objective=" ^ t.objective;
+      Printf.sprintf "confidence=%h" t.confidence;
       Printf.sprintf "alpha=%h" t.alpha;
       Printf.sprintf "sweeps=%d" t.sweeps;
       Printf.sprintf "w_min=%h" t.w_min;

@@ -46,6 +46,10 @@ type t = {
           order; [[]] makes the stage the identity.  Default: every pass,
           unless [OPTPROB_OPT] is [0]/[off]/[false]/[no]/[none]. *)
   opt_rounds : int;  (** fixpoint round budget for the pass driver (default 8) *)
+  objective : string;
+      (** validated objective spec ([single], [ndetect:K], [twostage[:N1]]).
+          Default: [OPTPROB_OBJECTIVE] when set, else [single] — mirroring
+          how [OPTPROB_OPT] defaults [opt_passes]. *)
 }
 
 val make :
@@ -66,6 +70,7 @@ val make :
   ?work_dir:string ->
   ?opt_passes:string list ->
   ?opt_rounds:int ->
+  ?objective:string ->
   circuit:string ->
   unit ->
   (t, string) result
@@ -92,6 +97,7 @@ val of_source :
   ?work_dir:string ->
   ?opt_passes:string list ->
   ?opt_rounds:int ->
+  ?objective:string ->
   circuit_source ->
   (t, string) result
 (** Like {!make} for an already-validated circuit source. *)
@@ -114,6 +120,7 @@ val of_netlist :
   ?work_dir:string ->
   ?opt_passes:string list ->
   ?opt_rounds:int ->
+  ?objective:string ->
   name:string ->
   Rt_circuit.Netlist.t ->
   (t, string) result
@@ -131,12 +138,33 @@ val opt_passes_of_string : string -> (string list, string) result
     ["off"] mean no passes); unknown names are rejected with a
     did-you-mean message. *)
 
+type objective_kind =
+  | Single  (** the paper objective *)
+  | N_detect of int  (** [ndetect:K] — minimise missed [K]-fold detections *)
+  | Two_stage of int option
+      (** [twostage[:N1]] — adaptive two-stage design; [Some n1] pins the
+          stage-1 budget, [None] searches the split grid *)
+
+val objective_of_string : string -> (objective_kind, string) result
+(** Rejects unknown specs with the shared did-you-mean message. *)
+
+val objective_usage : string
+(** One-line summary of the objective grammar (for --help texts). *)
+
 val engine_usage : string
 (** One-line summary of the engine grammar (for --help texts). *)
 
 val circuit_name : circuit_source -> string
 val load_circuit : circuit_source -> Rt_circuit.Netlist.t
 val engine_kind : t -> Rt_testability.Detect.engine
+val objective_kind : t -> objective_kind
+
+val objective_instance : t -> Rt_optprob.Objective.t
+(** The {!Rt_optprob.Objective.t} the analysis layers (NORMALIZE /
+    MINIMIZE) use: [single] for [Single] and [Two_stage] (each stage of a
+    two-stage design minimises the paper objective), [n_detect] for
+    [N_detect]. *)
+
 val optimize_options : t -> Rt_optprob.Optimize.options
 val resolve_weights : t -> Rt_circuit.Netlist.t -> float array
 
@@ -153,7 +181,14 @@ val circuit_key : circuit_source -> string
 (** Builtin name, or content digest for files and inline netlists. *)
 
 val weights_key : t -> string
+
 val optimize_key : t -> string
+(** Includes the objective spec, so optimizer artifacts from different
+    objectives occupy distinct store keys. *)
+
+val objective_key : t -> string
+(** The validated objective spec verbatim (e.g. ["ndetect:2"]) — the
+    config-slice value recorded in manifests and the registry. *)
 
 val opt_key : t -> string
 (** ["opt=off"] when [opt_passes = []], else the pass list and round

@@ -39,6 +39,19 @@ type normalized = {
   n_undetectable : int;
 }
 
+type optimized = {
+  opt_report : Optimize.report;
+      (* the single-stage design; for a two-stage objective this is stage 1 *)
+  opt_two_stage : Optimize.two_stage_report option;
+}
+
+(* The weight vector the design actually deploys (stage-2 weights for a
+   two-stage design). *)
+let opt_weights o =
+  match o.opt_two_stage with
+  | Some ts -> ts.Optimize.ts_weights
+  | None -> o.opt_report.Optimize.weights
+
 type validated = {
   v_weights : float array;
   first_detect : int array;
@@ -59,7 +72,9 @@ type report = {
   r_faults : int;
   r_redundant : int;
   r_n_conventional : float;
+  r_objective : string;
   r_opt : Optimize.report;
+  r_two_stage : Optimize.two_stage_report option;
   r_coverage : float;
   r_patterns : int;
   r_seed : int;
@@ -74,7 +89,7 @@ type t = {
   mutable s_oracle : Detect.oracle option;
   mutable s_analysis : analysis staged option;
   mutable s_normalized : normalized staged option;
-  mutable s_optimized : Optimize.report staged option;
+  mutable s_optimized : optimized staged option;
   mutable s_validated : validated staged option;
   mutable s_simulated : validated staged option;
   mutable s_report : report staged option;
@@ -223,7 +238,10 @@ let normalized t =
     (fun t -> t.s_normalized)
     (fun t s -> t.s_normalized <- Some s)
     t ~stage:"normalized"
-    ~parts:[ Printf.sprintf "confidence=%h" t.config.Config.confidence; a.digest ]
+    ~parts:
+      [ Printf.sprintf "confidence=%h" t.config.Config.confidence;
+        "objective=" ^ (Config.objective_instance t.config).Rt_optprob.Objective.key;
+        a.digest ]
     (fun () ->
       let { pf; proven_redundant; _ } = a.value in
       let det_idx =
@@ -232,7 +250,11 @@ let normalized t =
              (List.init (Array.length pf) Fun.id))
       in
       let pf_det = Array.map (fun i -> pf.(i)) det_idx in
-      let norm = Normalize.run ~confidence:t.config.Config.confidence pf_det in
+      let norm =
+        Normalize.run
+          ~objective:(Config.objective_instance t.config)
+          ~confidence:t.config.Config.confidence pf_det
+      in
       (* Remap NORMALIZE's indices (into the detectable-filtered array)
          back to fault-array order for downstream consumers. *)
       { n_required = norm.Normalize.n;
@@ -249,7 +271,21 @@ let optimized ?progress ?recorder t =
     t ~stage:"optimized"
     ~parts:[ Config.optimize_key t.config; n.digest ]
     (fun () ->
-      Optimize.run ~options:(Config.optimize_options t.config) ?progress ?recorder (oracle t))
+      let options = Config.optimize_options t.config in
+      match Config.objective_kind t.config with
+      | Config.Two_stage n1 ->
+        (* The stage-1 simulated patterns use the driver's own fixed seed,
+           not the config seed: [optimized] must stay seed-independent
+           (its key has no seed part; only validated/report depend on the
+           config seed). *)
+        let ts =
+          Optimize.two_stage ~options ?n1 ?jobs:t.config.Config.jobs
+            ?block_words:t.config.Config.block_words ?progress ?recorder (oracle t)
+        in
+        { opt_report = ts.Optimize.ts_stage1; opt_two_stage = Some ts }
+      | Config.Single | Config.N_detect _ ->
+        { opt_report = Optimize.run ~options ?progress ?recorder (oracle t);
+          opt_two_stage = None })
 
 (* Fault-simulate [weights] with the config's seed/patterns/jobs; shared by
    the [validated] stage (optimized weights) and the [simulated] variant
@@ -288,7 +324,7 @@ let validated t =
     (fun t s -> t.s_validated <- Some s)
     t ~stage:"validated"
     ~parts:(sim_parts t ~at:"at-optimized" o.digest)
-    (fun () -> fault_simulate t o.value.Optimize.weights)
+    (fun () -> fault_simulate t (opt_weights o.value))
 
 let simulated t =
   let a = analysis t in
@@ -332,7 +368,9 @@ let report t =
         r_redundant =
           Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a.value.proven_redundant;
         r_n_conventional = n.value.n_required;
-        r_opt = o.value;
+        r_objective = Config.objective_key t.config;
+        r_opt = o.value.opt_report;
+        r_two_stage = o.value.opt_two_stage;
         r_coverage = v.value.coverage;
         r_patterns = v.value.patterns_run;
         r_seed = v.value.v_seed })
@@ -389,8 +427,20 @@ let pp_report ppf r =
   Format.fprintf ppf "N conventional: %s@."
     (if Float.is_finite r.r_n_conventional then Printf.sprintf "%.3e" r.r_n_conventional
      else "infinite");
+  if r.r_objective <> "single" then
+    Format.fprintf ppf "objective:      %s@." r.r_objective;
   Format.fprintf ppf "N initial:      %.3e@." r.r_opt.Optimize.n_initial;
   Format.fprintf ppf "N optimized:    %.3e  (gain x%.0f)@." r.r_opt.Optimize.n_final
     (Optimize.improvement r.r_opt);
+  (match r.r_two_stage with
+   | Some ts ->
+     Format.fprintf ppf "two-stage:      N1=%d (%d survivors) + N2=%s = %s vs single %.3e@."
+       ts.Optimize.ts_n1 ts.Optimize.ts_survivors
+       (if Float.is_finite ts.Optimize.ts_n2 then Printf.sprintf "%.3e" ts.Optimize.ts_n2
+        else "inf")
+       (if Float.is_finite ts.Optimize.ts_total then Printf.sprintf "%.3e" ts.Optimize.ts_total
+        else "inf")
+       ts.Optimize.ts_single_n
+   | None -> ());
   Format.fprintf ppf "validated:      %.2f%% coverage (%d patterns, seed %d)@."
     (100.0 *. r.r_coverage) r.r_patterns r.r_seed

@@ -20,7 +20,9 @@
     - [Normalized]: required test length [N] and the hardest-fault prefix
       (SORT + NORMALIZE).
     - [Optimized]: the full {!Rt_optprob.Optimize.report} (PREPARE /
-      MINIMIZE / OPTIMIZE sweeps).
+      MINIMIZE / OPTIMIZE sweeps) under the config's objective, plus the
+      {!Rt_optprob.Optimize.two_stage_report} when the objective is a
+      two-stage design.
     - [Validated]: fault-simulation confirmation at the optimized weights.
     - [Report]: the assembled run summary.
 
@@ -59,6 +61,17 @@ type normalized = {
   n_undetectable : int;
 }
 
+type optimized = {
+  opt_report : Rt_optprob.Optimize.report;
+      (** the single-stage design (stage 1 of a two-stage objective) *)
+  opt_two_stage : Rt_optprob.Optimize.two_stage_report option;
+      (** present iff the config objective is [twostage[:N1]] *)
+}
+
+val opt_weights : optimized -> float array
+(** The deployed weight vector: stage-2 weights for a two-stage design,
+    else the report's weights.  What [validated] simulates. *)
+
 type validated = {
   v_weights : float array;
   first_detect : int array;
@@ -79,7 +92,9 @@ type report = {
   r_faults : int;
   r_redundant : int;
   r_n_conventional : float;  (** required N at the analysis weights *)
+  r_objective : string;  (** {!Config.objective_key} of the run *)
   r_opt : Rt_optprob.Optimize.report;
+  r_two_stage : Rt_optprob.Optimize.two_stage_report option;
   r_coverage : float;
   r_patterns : int;
   r_seed : int;
@@ -105,7 +120,7 @@ val optimized :
   ?progress:(sweep:int -> n:float -> unit) ->
   ?recorder:Rt_obs.Convergence.t ->
   t ->
-  Rt_optprob.Optimize.report staged
+  optimized staged
 (** [progress]/[recorder] apply only when the stage actually runs; a cache
     hit leaves the recorder empty. *)
 

@@ -11,7 +11,7 @@
 
 type t = { dir : string }
 
-let schema = "optprob-pipeline-artifact/2"
+let schema = "optprob-pipeline-artifact/3"
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin

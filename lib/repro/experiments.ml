@@ -75,11 +75,13 @@ let set_full full =
 (* The table-driven base config: exact BDD analysis plus the optimizer
    budget shared by T3/T4/T5/F2/A1.  Netlist optimization is pinned off
    in every experiment config: the paper's numbers were computed on the
-   circuits as defined, and the tables must not shift with OPTPROB_OPT. *)
+   circuits as defined, and the tables must not shift with OPTPROB_OPT.
+   The objective is pinned to [single] for the same reason: the paper's
+   tables are single-detect, whatever OPTPROB_OBJECTIVE says. *)
 let base_config name =
   let circuit = if name = "s2" && !full_mode then "s2:20" else name in
   Pconfig.exn
-    (Pconfig.make ~engine:"bdd:2000000" ~confidence ~alpha:0.005 ~nf_min:256
+    (Pconfig.make ~engine:"bdd:2000000" ~confidence ~alpha:0.005 ~nf_min:256 ~objective:"single"
        ~sweeps:(if !full_mode then 16 else 12)
        ~quantize:(Optimize.Grid 0.05) ~opt_passes:[] ~circuit ())
 
@@ -148,7 +150,7 @@ let optimized name ~full =
        OPTIMIZE step, as T5 reports it. *)
     ignore (Pipeline.normalized t);
     let t0 = Rt_util.Stats.timer_start () in
-    let report = (Pipeline.optimized t).Pipeline.value in
+    let report = (Pipeline.optimized t).Pipeline.value.Pipeline.opt_report in
     let seconds = Rt_util.Stats.timer_elapsed t0 in
     Hashtbl.add opt_cache (name, full) (report, seconds);
     (report, seconds)
@@ -366,7 +368,8 @@ let x2_partitioning () =
   let t =
     Pipeline.create
       (Pconfig.exn
-         (Pconfig.make ~engine:"bdd:500000" ~confidence ~opt_passes:[] ~circuit:"antagonist" ()))
+         (Pconfig.make ~engine:"bdd:500000" ~confidence ~objective:"single" ~opt_passes:[]
+            ~circuit:"antagonist" ()))
   in
   let sp = Rt_optprob.Partition.split (Pipeline.oracle t) in
   let open Rt_optprob.Partition in
@@ -431,12 +434,12 @@ let x4_engine_ablation ?(full = false) () =
         let t =
           Pipeline.create
             (Pconfig.exn
-               (Pconfig.make ~engine ~confidence ~sweeps:8 ~nf_min:256 ~opt_passes:[]
-                  ~circuit:"s1" ()))
+               (Pconfig.make ~engine ~confidence ~sweeps:8 ~nf_min:256 ~objective:"single"
+                  ~opt_passes:[] ~circuit:"s1" ()))
         in
         ignore (Pipeline.normalized t);
         let t0 = Rt_util.Stats.timer_start () in
-        let r = (Pipeline.optimized t).Pipeline.value in
+        let r = (Pipeline.optimized t).Pipeline.value.Pipeline.opt_report in
         let seconds = Rt_util.Stats.timer_elapsed t0 in
         (* Score the weights with the exact engine regardless of which
            engine produced them. *)
@@ -471,9 +474,10 @@ let x5_quantization_ablation ?(full = false) () =
     Pipeline.create
       (Pconfig.exn
          (Pconfig.make ~engine:"bdd:2000000" ~confidence ~sweeps:12
-            ~quantize:Optimize.No_quantization ~opt_passes:[] ~circuit:"s1" ()))
+            ~quantize:Optimize.No_quantization ~objective:"single" ~opt_passes:[]
+            ~circuit:"s1" ()))
   in
-  let raw = (Pipeline.optimized t).Pipeline.value in
+  let raw = (Pipeline.optimized t).Pipeline.value.Pipeline.opt_report in
   let quantised q = Optimize.apply_quantization q raw.Optimize.weights in
   let rows =
     [ [ "unquantised"; fmt_n (score raw.Optimize.weights) ];
@@ -509,9 +513,10 @@ let x6_jitter_ablation ?(full = false) () =
       Pipeline.create
         (Pconfig.exn
            (Pconfig.of_netlist ~engine:"bdd:500000" ~confidence ~sweeps:10
-              ~start_jitter:jitter ~opt_passes:[] ~name:"guarded-eq" c))
+              ~start_jitter:jitter ~objective:"single" ~opt_passes:[]
+              ~name:"guarded-eq" c))
     in
-    (Pipeline.optimized t).Pipeline.value
+    (Pipeline.optimized t).Pipeline.value.Pipeline.opt_report
   in
   let rows =
     List.map

@@ -402,7 +402,7 @@ let test_with_span_h =
 
 let test_manifest =
   Obs.Artifact.make_manifest ~engine:"cop" ~seed:7 ~jobs:2 ~circuit:"s1" ~patterns:64
-    ~block_words:8 ~opt_passes:[ "fold"; "prune" ] ~opt_rounds:2
+    ~block_words:8 ~opt_passes:[ "fold"; "prune" ] ~opt_rounds:2 ~objective:"ndetect:2"
     ~argv:[| "optprob"; "optimize"; "s1" |]
     ~wall_s:0.25 ()
 
@@ -454,6 +454,9 @@ let test_artifact_roundtrip =
   (match jmember "opt_rounds" m with
    | Obs.Json.Num 2.0 -> ()
    | _ -> Alcotest.fail "opt_rounds");
+  (match jmember "objective" m with
+   | Obs.Json.Str "ndetect:2" -> ()
+   | _ -> Alcotest.fail "objective");
   (match jmember "host_cores" m with
    | Obs.Json.Num c -> check Alcotest.bool "host cores positive" true (c >= 1.0)
    | _ -> Alcotest.fail "host_cores");
@@ -665,7 +668,8 @@ let test_convergence_matches_report () =
       String.split_on_char '\n' (String.trim csv) |> List.rev |> List.hd
     in
     (match String.split_on_char ',' last_line with
-     | _stage :: _sweep :: _j :: n :: _ ->
+     | _stage :: objective :: _sweep :: _j :: n :: _ ->
+       check Alcotest.string "CSV rows carry the objective key" "single" objective;
        check (Alcotest.float 0.0) "CSV final N round-trips" r.Optimize.n_final (float_of_string n)
      | _ -> Alcotest.fail "CSV shape");
     let cj = parse_json (Obs.Convergence.to_json recorder) in

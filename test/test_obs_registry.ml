@@ -59,6 +59,7 @@ let write_artifact ?(queries = 5) ?(p50 = 100.0) dir =
     ~manifest:
       (Obs.Artifact.make_manifest ~engine:"cop" ~seed:7 ~jobs:2 ~circuit:"s1"
          ~patterns:64 ~block_words:8 ~opt_passes:[ "fold" ] ~opt_rounds:1
+         ~objective:"ndetect:2"
          ~argv:[| "test"; "registry" |]
          ~wall_s:0.25 ())
     ();
@@ -90,7 +91,7 @@ let test_roundtrip =
            (List.assoc_opt k s.Reg.config))
        [ ("engine", "cop"); ("circuit", "s1"); ("seed", "7"); ("jobs", "2");
          ("patterns", "64"); ("block_words", "8"); ("opt_passes", "fold");
-         ("opt_rounds", "1") ]
+         ("opt_rounds", "1"); ("objective", "ndetect:2") ]
    | l -> Alcotest.failf "expected 1 record, got %d" (List.length l));
   let r =
     match Reg.load ~registry id with
@@ -133,6 +134,10 @@ let test_filters =
     (n { Reg.no_filter with Reg.f_config = [ ("block_words", "8") ] });
   check Alcotest.int "config K=V mismatch" 0
     (n { Reg.no_filter with Reg.f_config = [ ("block_words", "1") ] });
+  check Alcotest.int "config objective match" 2
+    (n { Reg.no_filter with Reg.f_config = [ ("objective", "ndetect:2") ] });
+  check Alcotest.int "config objective mismatch" 0
+    (n { Reg.no_filter with Reg.f_config = [ ("objective", "single") ] });
   let all = Reg.list ~registry () in
   let prefix = String.sub (List.hd all).Reg.git_rev 0 6 in
   check Alcotest.int "git rev prefix match" 2

@@ -49,6 +49,80 @@ let derivatives_qcheck =
       let close a b scale = Float.abs (a -. b) <= (1e-3 *. scale) +. 1e-6 in
       close d1 fd1 (1.0 +. Float.abs d1) && close d2 fd2 (1.0 +. Float.abs d2) && d2 >= 0.0)
 
+(* --- Objective protocol: n-detection ------------------------------------------- *)
+
+let test_poisson_tail_identities () =
+  (* F_1(l) = e^-l; F_k(0) = 1; F_{k+1} - F_k = e^-l l^k / k!. *)
+  let f k l = let v, _, _ = Objective.poisson_tail ~k l in v in
+  List.iter
+    (fun l ->
+      check (Alcotest.float 1e-12) "F_1 = exp(-l)" (Float.exp (-.l)) (f 1 l);
+      let rec fact n = if n <= 1 then 1.0 else Float.of_int n *. fact (n - 1) in
+      List.iter
+        (fun k ->
+          check (Alcotest.float 1e-12) "F_k(0) = 1" 1.0 (f k 0.0);
+          let step = Float.exp (-.l) *. Float.pow l (Float.of_int k) /. fact k in
+          check (Alcotest.float 1e-12) "tail recurrence" step (f (k + 1) l -. f k l))
+        [ 1; 2; 3; 5 ])
+    [ 0.3; 1.0; 4.0; 9.5 ]
+
+let test_ndetect_one_matches_single () =
+  (* k = 1 collapses to the paper's objective.  Only analytically equal:
+     the k-detect derivative code associates products differently, so
+     compare with a tolerance, not for bit identity. *)
+  let nd1 = Objective.n_detect ~k:1 in
+  let s = Objective.single in
+  let p0 = [| 0.01; 0.2; 0.0; 0.35 |] and p1 = [| 0.15; 0.05; 0.4; 0.3 |] in
+  let n = 123.0 in
+  List.iter
+    (fun y ->
+      let rel = Alcotest.float 1e-9 in
+      check rel "value_along" (s.Objective.value_along ~n ~p0 ~p1 y)
+        (nd1.Objective.value_along ~n ~p0 ~p1 y);
+      let d1s, d2s = s.Objective.derivatives_along ~n ~p0 ~p1 y in
+      let d1k, d2k = nd1.Objective.derivatives_along ~n ~p0 ~p1 y in
+      check rel "d1" d1s d1k;
+      check rel "d2" d2s d2k)
+    [ 0.1; 0.5; 0.9 ];
+  check (Alcotest.float 1e-9) "value" (s.Objective.value ~n p0) (nd1.Objective.value ~n p0);
+  check (Alcotest.float 1e-9) "confidence" (s.Objective.confidence ~n p0)
+    (nd1.Objective.confidence ~n p0)
+
+let poisson_tail_convex_qcheck =
+  QCheck.Test.make ~name:"poisson tail F_k'' >= 0 for lambda >= k-1 (the contract)"
+    ~count:300
+    QCheck.(pair (int_range 1 6) (float_range 0.0 50.0))
+    (fun (k, excess) ->
+      (* Sample lambda inside the documented convexity regime only. *)
+      let lambda = Float.of_int (k - 1) +. excess in
+      let _, _, d2 = Objective.poisson_tail ~k lambda in
+      d2 >= -1e-12)
+
+let ndetect_derivatives_qcheck =
+  (* Same finite-difference cross-check as the single objective, restricted
+     to the convex regime (n * min p >= k - 1 along the whole coordinate
+     path) where J'' >= 0 is also part of the contract. *)
+  QCheck.Test.make ~name:"n-detect derivatives match finite differences, J'' >= 0"
+    ~count:200
+    QCheck.(
+      quad (int_range 2 4)
+        (list_of_size Gen.(1 -- 8) (pair (float_range 0.05 0.4) (float_range 0.05 0.4)))
+        (float_range 100.0 1000.0) (float_range 0.1 0.9))
+    (fun (k, pairs, n, y) ->
+      QCheck.assume (pairs <> []);
+      let obj = Objective.n_detect ~k in
+      let p0 = Array.of_list (List.map fst pairs) in
+      let p1 = Array.of_list (List.map snd pairs) in
+      (* n * 0.05 >= 5 > k-1 for k <= 4: in regime for every y. *)
+      let h = 1e-5 in
+      let j y = obj.Objective.value_along ~n ~p0 ~p1 y in
+      let d1, d2 = obj.Objective.derivatives_along ~n ~p0 ~p1 y in
+      let fd1 = (j (y +. h) -. j (y -. h)) /. (2.0 *. h) in
+      let fd2 = (j (y +. h) +. j (y -. h) -. (2.0 *. j y)) /. (h *. h) in
+      let close a b scale = Float.abs (a -. b) <= (1e-3 *. scale) +. 1e-6 in
+      close d1 fd1 (1.0 +. Float.abs d1) && close d2 fd2 (1.0 +. Float.abs d2)
+      && d2 >= -1e-12)
+
 (* --- Normalize ------------------------------------------------------------------ *)
 
 let test_normalize_matches_direct () =
@@ -193,6 +267,59 @@ let test_optimize_uses_incremental_cofactors () =
       check Alcotest.bool "one-coordinate moves committed in place" true
         (Rt_obs.value commits > 0))
 
+let test_optimize_ndetect_objective () =
+  (* The protocol end to end: an n-detect sweep still converges, and the
+     2-detect test length dominates the single-detect one (detecting every
+     fault twice can never need fewer patterns). *)
+  let c = Generators.wide_and 8 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make Detect.Cop c faults in
+  let run obj =
+    Optimize.run
+      ~options:{ Optimize.default_options with Optimize.objective = obj }
+      oracle
+  in
+  let r1 = run Objective.single in
+  let r2 = run (Objective.n_detect ~k:2) in
+  check Alcotest.bool "n-detect sweep improves" true (Optimize.improvement r2 > 10.0);
+  check Alcotest.bool "2-detect needs more patterns than 1-detect" true
+    (r2.Optimize.n_final > r1.Optimize.n_final)
+
+let two_stage_never_worse_qcheck =
+  (* The adaptive design searches a split grid that always contains N1 = 0,
+     whose candidate IS the single-stage design — so no fixed single-stage
+     budget beats the chosen two-stage total (within float tolerance). *)
+  QCheck.Test.make ~name:"two-stage total never exceeds the single-stage budget"
+    ~count:4
+    QCheck.(int_range 5 9)
+    (fun width ->
+      let c = Generators.wide_and width in
+      let faults = Rt_fault.Collapse.collapsed_universe c in
+      let oracle = Detect.make Detect.Cop c faults in
+      let ts = Optimize.two_stage ~sim_cap:4096 oracle in
+      let degenerate =
+        List.exists
+          (fun cand ->
+            cand.Optimize.cand_n1 = 0
+            && Float.abs (cand.Optimize.cand_total -. ts.Optimize.ts_single_n) < 1e-9)
+          ts.Optimize.ts_candidates
+      in
+      degenerate && ts.Optimize.ts_total <= ts.Optimize.ts_single_n +. 1e-9)
+
+let test_two_stage_pinned_split () =
+  (* Pinning N1 skips the grid search and reports that split's design. *)
+  let c = Generators.wide_and 8 in
+  let faults = Rt_fault.Collapse.collapsed_universe c in
+  let oracle = Detect.make Detect.Cop c faults in
+  let ts = Optimize.two_stage ~n1:32 ~sim_cap:4096 oracle in
+  check Alcotest.int "pinned split is the only candidate" 1
+    (List.length ts.Optimize.ts_candidates);
+  check Alcotest.int "chosen split is the pinned one" 32 ts.Optimize.ts_n1;
+  check (Alcotest.float 1e-9) "total = N1 + N2" (32.0 +. ts.Optimize.ts_n2)
+    ts.Optimize.ts_total;
+  check Alcotest.int "stage-2 weights match input width" 8
+    (Array.length ts.Optimize.ts_weights)
+
 let test_partition_antagonist () =
   let c = Generators.antagonist ~k:10 () in
   let faults = Rt_fault.Collapse.collapsed_universe c in
@@ -252,7 +379,11 @@ let () =
     [ ( "objective",
         [ Alcotest.test_case "value" `Quick test_objective_value;
           Alcotest.test_case "confidence consistency" `Quick test_objective_confidence_consistency;
-          q derivatives_qcheck ] );
+          q derivatives_qcheck;
+          Alcotest.test_case "poisson tail identities" `Quick test_poisson_tail_identities;
+          Alcotest.test_case "ndetect:1 matches single" `Quick test_ndetect_one_matches_single;
+          q poisson_tail_convex_qcheck;
+          q ndetect_derivatives_qcheck ] );
       ( "normalize",
         [ Alcotest.test_case "matches direct search" `Quick test_normalize_matches_direct;
           Alcotest.test_case "excludes zeros" `Quick test_normalize_excludes_zeros;
@@ -267,7 +398,12 @@ let () =
           Alcotest.test_case "respects start" `Quick test_optimize_respects_start;
           Alcotest.test_case "rejects bad start" `Quick test_optimize_rejects_bad_start;
           Alcotest.test_case "incremental cofactors drive PREPARE" `Quick
-            test_optimize_uses_incremental_cofactors ] );
+            test_optimize_uses_incremental_cofactors;
+          Alcotest.test_case "n-detect objective end to end" `Quick
+            test_optimize_ndetect_objective ] );
+      ( "two-stage",
+        [ q two_stage_never_worse_qcheck;
+          Alcotest.test_case "pinned split" `Quick test_two_stage_pinned_split ] );
       ( "partition",
         [ Alcotest.test_case "antagonist" `Quick test_partition_antagonist;
           Alcotest.test_case "antagonism measure" `Quick test_antagonism_measure;

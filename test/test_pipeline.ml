@@ -59,13 +59,17 @@ let legacy_weights ~engine ~jobs ~opt circuit_name =
   (Optimize.run ~options oracle).Optimize.weights
 
 let pipeline_weights ~engine ~jobs ~opt_passes circuit_name =
+  (* The objective is pinned to "single": the reference path above uses
+     Optimize.default_options, which never reads OPTPROB_OBJECTIVE, so the
+     golden comparison must not either (CI runs a ndetect:2-env leg). *)
   let cfg =
     Config.exn
       (Config.make ~engine ~confidence:0.95 ~jobs ~sweeps:3
-         ~quantize:(Optimize.Grid 0.05) ~opt_passes ~circuit:circuit_name ())
+         ~quantize:(Optimize.Grid 0.05) ~opt_passes ~objective:"single"
+         ~circuit:circuit_name ())
   in
   let ctx = Pipeline.create cfg in
-  (Pipeline.optimized ctx).Pipeline.value.Optimize.weights
+  (Pipeline.optimized ctx).Pipeline.value.Pipeline.opt_report.Optimize.weights
 
 let test_golden () =
   List.iter
@@ -134,11 +138,11 @@ let test_opt_transparency () =
     let cfg =
       Config.exn
         (Config.of_netlist ~engine ~jobs ~block_words ~sweeps:2 ~patterns:256 ~opt_passes
-           ~name:"pre-optimized-s1" pre)
+           ~objective:"single" ~name:"pre-optimized-s1" pre)
     in
     let t = Pipeline.create cfg in
     let a = (Pipeline.analysis t).Pipeline.value in
-    let o = (Pipeline.optimized t).Pipeline.value in
+    let o = (Pipeline.optimized t).Pipeline.value.Pipeline.opt_report in
     let v = (Pipeline.validated t).Pipeline.value in
     (a, o, v)
   in
@@ -264,6 +268,52 @@ let test_engine_early_cutoff () =
       ("normalized", false); ("optimized", true); ("validated", true); ("report", false) ]
     (stage_flags second)
 
+let test_objective_invalidation () =
+  (* Objectives occupy distinct store keys: switching re-runs the analysis
+     consumers (normalized onward) but never the circuit/fault/analysis
+     stages, and switching back is a full cache hit — no cross-objective
+     contamination in either direction. *)
+  let work_dir = fresh_dir () in
+  let cfg objective =
+    Config.exn
+      (Config.make ~engine:"cop" ~patterns:256 ~sweeps:2 ~objective ~work_dir
+         ~circuit:"s1" ())
+  in
+  ignore (Pipeline.run (Pipeline.create (cfg "single")));
+  let second = Pipeline.run (Pipeline.create (cfg "ndetect:2")) in
+  check
+    Alcotest.(list (pair string bool))
+    "objective change re-runs normalized onward"
+    [ ("loaded", true); ("opt_netlist", true); ("faults", true); ("analysis", true);
+      ("normalized", false); ("optimized", false); ("validated", false); ("report", false) ]
+    (stage_flags second);
+  let third = Pipeline.run (Pipeline.create (cfg "single")) in
+  check Alcotest.bool "original objective fully cached" true (Pipeline.all_cached third);
+  let fourth = Pipeline.run (Pipeline.create (cfg "ndetect:2")) in
+  check Alcotest.bool "n-detect run fully cached too" true (Pipeline.all_cached fourth)
+
+let test_two_stage_pipeline () =
+  (* The twostage objective flows through the pipeline: the optimized stage
+     carries the adaptive report and the validated stage simulates the
+     chosen design's weights. *)
+  let cfg =
+    Config.exn
+      (Config.make ~engine:"cop" ~patterns:256 ~sweeps:2 ~objective:"twostage:64"
+         ~circuit:"wide_and-8" ())
+  in
+  let t = Pipeline.create cfg in
+  let o = (Pipeline.optimized t).Pipeline.value in
+  (match o.Pipeline.opt_two_stage with
+   | Some ts ->
+     check Alcotest.int "pinned N1" 64 ts.Optimize.ts_n1;
+     check Alcotest.int "weights width" 8 (Array.length ts.Optimize.ts_weights)
+   | None -> Alcotest.fail "twostage objective must produce a two-stage report");
+  let r = Pipeline.run t in
+  check Alcotest.string "report records the objective" "twostage:64"
+    r.Pipeline.o_report.Pipeline.value.Pipeline.r_objective;
+  check Alcotest.bool "report carries the two-stage summary" true
+    (r.Pipeline.o_report.Pipeline.value.Pipeline.r_two_stage <> None)
+
 let test_cache_hit_counters () =
   (* The acceptance gate's counter contract: a resumed run shows
      pipeline.stage.<name>.cache_hit = 1 and .run = 0 for every stage. *)
@@ -357,6 +407,32 @@ let test_did_you_mean_opt_passes () =
   | Ok [ "const-fold"; "identity" ] -> ()
   | Ok _ | Error _ -> Alcotest.fail "whitespace-tolerant pass list"
 
+let test_did_you_mean_objective () =
+  let m = error_of (Config.objective_of_string "singel") in
+  check Alcotest.bool "suggests single" true (contains ~sub:{|did you mean "single"|} m);
+  check Alcotest.bool "shows grammar" true (contains ~sub:"ndetect:K" m);
+  let m = error_of (Config.objective_of_string "ndetct:2") in
+  check Alcotest.bool "suggests ndetect" true (contains ~sub:{|"ndetect"|} m);
+  check Alcotest.bool "K >= 1 enforced" true
+    (contains ~sub:"K must be >= 1" (error_of (Config.objective_of_string "ndetect:0")));
+  check Alcotest.bool "N1 >= 0 enforced" true
+    (contains ~sub:"N1 must be >= 0" (error_of (Config.objective_of_string "twostage:-1")));
+  (* and through the config constructor *)
+  let m = error_of (Config.make ~objective:"twostge" ~circuit:"s1" ()) in
+  check Alcotest.bool "constructor suggests twostage" true (contains ~sub:{|"twostage"|} m);
+  (match Config.objective_of_string "single" with
+   | Ok Config.Single -> ()
+   | _ -> Alcotest.fail "single parses");
+  (match Config.objective_of_string "ndetect:3" with
+   | Ok (Config.N_detect 3) -> ()
+   | _ -> Alcotest.fail "ndetect:3 parses");
+  (match Config.objective_of_string "twostage" with
+   | Ok (Config.Two_stage None) -> ()
+   | _ -> Alcotest.fail "twostage parses");
+  match Config.objective_of_string "twostage:100" with
+  | Ok (Config.Two_stage (Some 100)) -> ()
+  | _ -> Alcotest.fail "twostage:100 parses"
+
 let test_edit_distance () =
   check Alcotest.int "identical" 0 (Config.edit_distance "cop" "cop");
   check Alcotest.int "one substitution" 1 (Config.edit_distance "bdd" "bdd:");
@@ -392,10 +468,15 @@ let () =
           Alcotest.test_case "engine change re-runs analysis onward" `Quick
             test_engine_invalidation;
           Alcotest.test_case "equivalent engine early-cuts-off after normalized" `Quick
-            test_engine_early_cutoff ] );
+            test_engine_early_cutoff;
+          Alcotest.test_case "objective change re-keys, no cross-hits" `Quick
+            test_objective_invalidation;
+          Alcotest.test_case "twostage objective flows through the pipeline" `Quick
+            test_two_stage_pipeline ] );
       ( "validation",
         [ Alcotest.test_case "circuit did-you-mean" `Quick test_did_you_mean_circuit;
           Alcotest.test_case "engine did-you-mean" `Quick test_did_you_mean_engine;
           Alcotest.test_case "opt-passes did-you-mean" `Quick test_did_you_mean_opt_passes;
+          Alcotest.test_case "objective did-you-mean" `Quick test_did_you_mean_objective;
           Alcotest.test_case "edit distance" `Quick test_edit_distance;
           Alcotest.test_case "valid circuit specs parse" `Quick test_valid_circuits_parse ] ) ]
